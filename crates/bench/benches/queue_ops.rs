@@ -1,0 +1,83 @@
+//! Per-decision scheduler cost (feeds Table 3's CPU column): one
+//! enqueue + one dequeue against a queue pre-filled to a realistic depth,
+//! for every policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use das_sched::policy::PolicyKind;
+use das_sched::types::{OpId, OpTag, QueuedOp, RequestId};
+use das_sim::time::{SimDuration, SimTime};
+
+fn make_op(i: u64, now: SimTime) -> QueuedOp {
+    // Vary demands deterministically so priority queues do real work.
+    let local = 50 + (i * 37) % 1000;
+    let bottleneck = local + (i * 101) % 4000;
+    QueuedOp {
+        tag: OpTag {
+            op: OpId {
+                request: RequestId(i),
+                index: (i % 4) as u32,
+            },
+            request_arrival: now,
+            fanout: 1 + (i % 16) as u32,
+            local_estimate: SimDuration::from_micros(local),
+            bottleneck_eta: now + SimDuration::from_micros(bottleneck),
+            bottleneck_demand: SimDuration::from_micros(bottleneck),
+        },
+        local_estimate: SimDuration::from_micros(local),
+        enqueued_at: now,
+    }
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enqueue_dequeue");
+    let depth = 64u64;
+    let mut policies = PolicyKind::standard_set();
+    policies.push(PolicyKind::Edf);
+    policies.push(PolicyKind::LrptLast);
+    for policy in policies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, policy| {
+                let now = SimTime::from_millis(1);
+                let mut sched = policy.build();
+                for i in 0..depth {
+                    sched.enqueue(make_op(i, now), now);
+                }
+                let mut i = depth;
+                b.iter(|| {
+                    sched.enqueue(make_op(i, now), now);
+                    i += 1;
+                    black_box(sched.dequeue(now));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    // DAS dequeues scan the queue; show how the decision cost scales.
+    let mut group = c.benchmark_group("das_dequeue_by_depth");
+    for depth in [16u64, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let now = SimTime::from_millis(1);
+            let mut sched = PolicyKind::das().build();
+            for i in 0..depth {
+                sched.enqueue(make_op(i, now), now);
+            }
+            let mut i = depth;
+            b.iter(|| {
+                sched.enqueue(make_op(i, now), now);
+                i += 1;
+                black_box(sched.dequeue(now));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_ops, bench_depth_scaling);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Cost of DAS's rank math in isolation: hint application across a queue
+//! and the tag arithmetic itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use das_sched::das::{Das, DasConfig};
+use das_sched::scheduler::Scheduler;
+use das_sched::types::{HintUpdate, OpId, OpTag, QueuedOp, RequestId};
+use das_sim::time::{SimDuration, SimTime};
+
+fn make_op(i: u64, now: SimTime) -> QueuedOp {
+    let local = 50 + (i * 37) % 1000;
+    QueuedOp {
+        tag: OpTag {
+            op: OpId {
+                request: RequestId(i % 32),
+                index: (i % 4) as u32,
+            },
+            request_arrival: now,
+            fanout: 4,
+            local_estimate: SimDuration::from_micros(local),
+            bottleneck_eta: now + SimDuration::from_micros(local * 3),
+            bottleneck_demand: SimDuration::from_micros(local * 3),
+        },
+        local_estimate: SimDuration::from_micros(local),
+        enqueued_at: now,
+    }
+}
+
+fn bench_hint_application(c: &mut Criterion) {
+    c.bench_function("das_hint_256_queue", |b| {
+        let now = SimTime::from_millis(1);
+        let mut sched = Das::new(DasConfig::default());
+        for i in 0..256 {
+            sched.enqueue(make_op(i, now), now);
+        }
+        let update = HintUpdate {
+            bottleneck_eta: now + SimDuration::from_micros(100),
+            remaining_demand: SimDuration::from_micros(100),
+        };
+        let mut r = 0u64;
+        b.iter(|| {
+            sched.on_hint(RequestId(r % 32), black_box(update), now);
+            r += 1;
+        });
+    });
+}
+
+fn bench_tag_arithmetic(c: &mut Criterion) {
+    c.bench_function("op_tag_remaining_at", |b| {
+        let now = SimTime::from_millis(1);
+        let op = make_op(7, now);
+        let mut t = now;
+        b.iter(|| {
+            t += SimDuration::from_nanos(1);
+            black_box(op.tag.remaining_at(t));
+        });
+    });
+}
+
+criterion_group!(benches, bench_hint_application, bench_tag_arithmetic);
+criterion_main!(benches);

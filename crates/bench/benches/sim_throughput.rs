@@ -1,0 +1,48 @@
+//! End-to-end simulator throughput per policy: how many simulated events
+//! per wall-clock second the engine sustains. Large samples take a while;
+//! the group is tuned down accordingly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use das_core::prelude::*;
+use das_core::scenarios;
+
+fn run_once(policy: PolicyKind) -> u64 {
+    let cluster = {
+        let mut c = scenarios::base_cluster();
+        c.servers = 16;
+        c
+    };
+    let workload = scenarios::base_workload(0.6, &cluster);
+    let horizon = SimTime::from_millis(200);
+    let sim = SimulationConfig {
+        cluster: cluster.clone(),
+        policy,
+        seed: 7,
+        horizon_secs: 0.2,
+        warmup_secs: 0.0,
+        rct_timeseries_bin_secs: None,
+    };
+    let stream = RequestStream::new(&workload, &SeedFactory::new(7), horizon);
+    run_simulation(&sim, stream)
+        .expect("valid config")
+        .events_processed
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let events = run_once(PolicyKind::Fcfs);
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for policy in [PolicyKind::Fcfs, PolicyKind::ReinSbf, PolicyKind::das()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| b.iter(|| run_once(policy)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Workload-generator throughput: requests/second the generator sustains
+//! (it must comfortably outpace the simulator to never be the bottleneck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use das_sim::rng::SeedFactory;
+use das_workload::generator::{WorkloadGenerator, WorkloadSpec};
+use das_workload::spec::{ArrivalConfig, FanoutConfig, PopularityConfig, SizeConfig};
+
+fn spec(fanout: FanoutConfig, popularity: PopularityConfig) -> WorkloadSpec {
+    WorkloadSpec {
+        n_keys: 100_000,
+        arrival: ArrivalConfig::Poisson { rate: 10_000.0 },
+        fanout,
+        sizes: SizeConfig::etc_default(),
+        popularity,
+        hot_key_size_cap: None,
+        write_fraction: 0.0,
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let cases = vec![
+        (
+            "zipf_fanout_uniform_keys",
+            spec(
+                FanoutConfig::Zipf {
+                    max: 32,
+                    theta: 1.0,
+                },
+                PopularityConfig::Uniform,
+            ),
+        ),
+        (
+            "zipf_fanout_zipf_keys",
+            spec(
+                FanoutConfig::Zipf {
+                    max: 32,
+                    theta: 1.0,
+                },
+                PopularityConfig::Zipf { theta: 0.9 },
+            ),
+        ),
+        (
+            "constant_fanout",
+            spec(
+                FanoutConfig::Constant { keys: 4 },
+                PopularityConfig::Uniform,
+            ),
+        ),
+    ];
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(1));
+    for (name, spec) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            let mut gen = WorkloadGenerator::new(spec, &SeedFactory::new(3));
+            b.iter(|| black_box(gen.next_request()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

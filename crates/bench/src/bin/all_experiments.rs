@@ -1,0 +1,21 @@
+//! Runs the entire experiment suite and writes `results/ALL.md` alongside
+//! the per-figure outputs. `DAS_QUICK=1` for a fast smoke pass.
+use das_bench::figures::all_figures;
+use das_bench::output::results_dir;
+
+fn main() {
+    let outputs = all_figures();
+    let mut combined = String::from("# DAS reproduction — experiment outputs\n\n");
+    for f in &outputs {
+        f.emit();
+        combined.push_str(&f.to_markdown());
+        combined.push('\n');
+    }
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("ALL.md");
+        if std::fs::write(&path, combined).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Fig. 6: mean RCT vs offered load.
+use das_bench::{figures, output};
+
+fn main() {
+    let sweep = figures::run_load_sweep(output::quick_mode());
+    figures::fig06(&sweep).emit();
+}

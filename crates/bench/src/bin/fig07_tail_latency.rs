@@ -1,0 +1,7 @@
+//! Fig. 7: p99 RCT vs offered load.
+use das_bench::{figures, output};
+
+fn main() {
+    let sweep = figures::run_load_sweep(output::quick_mode());
+    figures::fig07(&sweep).emit();
+}

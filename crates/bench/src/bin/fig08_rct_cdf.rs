@@ -1,0 +1,7 @@
+//! Fig. 8: RCT distribution (quantile table) at the reference load.
+use das_bench::{figures, output};
+
+fn main() {
+    let sweep = figures::run_load_sweep(output::quick_mode());
+    figures::fig08(&sweep).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 9: sensitivity to the fan-out distribution.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig09(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 10: sensitivity to the value-size distribution.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig10(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 11: adaptivity to a load spike.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig11(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 12: adaptivity to time-varying server performance.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig12(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 13: scalability with cluster size.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig13(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 14: skewed key popularity.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig14(output::quick_mode()).emit();
+}

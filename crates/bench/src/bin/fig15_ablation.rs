@@ -1,0 +1,6 @@
+//! Fig. 15: DAS component ablation.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig15(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 16 (extension): bursty MMPP arrivals vs Poisson.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig16(output::quick_mode()).emit();
+}

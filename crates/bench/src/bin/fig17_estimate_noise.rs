@@ -1,0 +1,6 @@
+//! Fig. 17 (extension): robustness to size-estimate noise.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig17(output::quick_mode()).emit();
+}

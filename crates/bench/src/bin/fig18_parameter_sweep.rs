@@ -1,0 +1,6 @@
+//! Fig. 18 (extension): DAS design-parameter sensitivity.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig18(output::quick_mode()).emit();
+}

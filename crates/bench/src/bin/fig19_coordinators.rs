@@ -1,0 +1,6 @@
+//! Fig. 19 (extension): coordinator fragmentation.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig19(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 20 (extension): hint-loss robustness.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig20(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 21 (extension): read/write mix.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig21(output::quick_mode()).emit();
+}

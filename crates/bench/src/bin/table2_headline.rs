@@ -1,0 +1,7 @@
+//! Table 2: headline mean-RCT reductions vs FCFS (the 15-50% claim).
+use das_bench::{figures, output};
+
+fn main() {
+    let sweep = figures::run_load_sweep(output::quick_mode());
+    figures::table2(&sweep).emit();
+}

@@ -1,0 +1,6 @@
+//! Table 3: scheduling overhead per request.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table3(output::quick_mode()).emit();
+}

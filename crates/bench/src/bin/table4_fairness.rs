@@ -1,0 +1,6 @@
+//! Table 4: slowdown by fan-out class (fairness / starvation).
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table4(output::quick_mode()).emit();
+}

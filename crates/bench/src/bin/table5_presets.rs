@@ -1,0 +1,6 @@
+//! Table 5 (extension): named workload presets at rho=0.7.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table5(output::quick_mode()).emit();
+}

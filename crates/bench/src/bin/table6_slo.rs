@@ -1,0 +1,6 @@
+//! Table 6 (extension): SLO attainment per policy.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table6(output::quick_mode()).emit();
+}

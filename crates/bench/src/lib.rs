@@ -1,0 +1,17 @@
+//! # das-bench — the benchmark harness
+//!
+//! Regenerates every figure and table of the evaluation (see DESIGN.md's
+//! experiment index). Each binary in `src/bin/` produces one figure;
+//! `all_experiments` runs the whole suite and persists Markdown + JSON
+//! under `results/`.
+//!
+//! Environment:
+//! * `DAS_QUICK=1` — sparse sweeps and short horizons (smoke testing);
+//! * `DAS_RESULTS_DIR` — where to persist outputs (default `./results`).
+//!
+//! Criterion micro-benchmarks (per-decision scheduler cost, simulator
+//! throughput, generator throughput) live in `benches/` and feed Table 3's
+//! CPU-cost column: `cargo bench -p das-bench`.
+
+pub mod figures;
+pub mod output;

@@ -1,0 +1,150 @@
+//! Bridges the workload generator to the store engine: resolves each
+//! generated request's key sizes and yields [`StoreRequest`]s.
+
+use das_sim::rng::SeedFactory;
+use das_sim::time::SimTime;
+use das_store::engine::{KeyRead, StoreRequest};
+use das_workload::generator::{RequestSpec, WorkloadGenerator, WorkloadSpec};
+
+/// An iterator of [`StoreRequest`]s generated on demand from a workload
+/// spec, bounded by a horizon.
+pub struct RequestStream {
+    generator: WorkloadGenerator,
+    horizon: SimTime,
+    done: bool,
+}
+
+impl std::fmt::Debug for RequestStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestStream")
+            .field("horizon", &self.horizon)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RequestStream {
+    /// Creates a stream for `spec` ending at `horizon`, seeded from
+    /// `seeds`. Two streams with the same spec and seeds yield identical
+    /// requests — that is what makes cross-policy comparisons paired.
+    pub fn new(spec: &WorkloadSpec, seeds: &SeedFactory, horizon: SimTime) -> Self {
+        RequestStream {
+            generator: WorkloadGenerator::new(spec, seeds),
+            horizon,
+            done: false,
+        }
+    }
+
+    fn resolve(&self, req: RequestSpec) -> StoreRequest {
+        let ks = self.generator.keyspace();
+        StoreRequest {
+            id: req.id,
+            arrival: req.arrival,
+            reads: req
+                .keys
+                .iter()
+                .map(|&key| KeyRead {
+                    key,
+                    bytes: ks.size_of(key),
+                    write: req.write_keys.contains(&key),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = StoreRequest;
+
+    fn next(&mut self) -> Option<StoreRequest> {
+        if self.done {
+            return None;
+        }
+        let req = self.generator.next_request()?;
+        if req.arrival >= self.horizon {
+            self.done = true;
+            return None;
+        }
+        Some(self.resolve(req))
+    }
+}
+
+/// Converts a pre-recorded trace into store requests using sizes from a
+/// key space built with the same spec/seed.
+pub fn trace_to_requests(
+    trace: &[RequestSpec],
+    spec: &WorkloadSpec,
+    seeds: &SeedFactory,
+) -> Vec<StoreRequest> {
+    let ks = das_workload::keyspace::KeySpace::with_hot_key_cap(
+        spec.n_keys,
+        &spec.sizes,
+        &spec.popularity,
+        spec.hot_key_size_cap,
+        seeds,
+    );
+    trace
+        .iter()
+        .map(|r| StoreRequest {
+            id: r.id,
+            arrival: r.arrival,
+            reads: r
+                .keys
+                .iter()
+                .map(|&key| KeyRead {
+                    key,
+                    bytes: ks.size_of(key),
+                    write: r.write_keys.contains(&key),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_bounded_and_deterministic() {
+        let spec = WorkloadSpec::example();
+        let seeds = SeedFactory::new(11);
+        let horizon = SimTime::from_millis(50);
+        let a: Vec<StoreRequest> = RequestStream::new(&spec, &seeds, horizon).collect();
+        let b: Vec<StoreRequest> = RequestStream::new(&spec, &seeds, horizon).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|r| r.arrival < horizon));
+        assert!(a.iter().all(|r| r.reads.iter().all(|k| k.bytes >= 1)));
+    }
+
+    #[test]
+    fn sizes_match_keyspace() {
+        let spec = WorkloadSpec::example();
+        let seeds = SeedFactory::new(12);
+        let reqs: Vec<StoreRequest> =
+            RequestStream::new(&spec, &seeds, SimTime::from_millis(20)).collect();
+        // Same key always has the same size.
+        let mut seen: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for r in &reqs {
+            for k in &r.reads {
+                let prev = seen.insert(k.key, k.bytes);
+                if let Some(p) = prev {
+                    assert_eq!(p, k.bytes, "key {} changed size", k.key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_conversion_matches_stream() {
+        let spec = WorkloadSpec::example();
+        let seeds = SeedFactory::new(13);
+        let mut gen = WorkloadGenerator::new(&spec, &seeds);
+        let trace = gen.take_until(SimTime::from_millis(20));
+        let converted = trace_to_requests(&trace, &spec, &seeds);
+        let streamed: Vec<StoreRequest> =
+            RequestStream::new(&spec, &seeds, SimTime::from_millis(20)).collect();
+        assert_eq!(converted, streamed);
+    }
+}

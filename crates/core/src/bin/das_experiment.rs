@@ -1,0 +1,286 @@
+//! `das-experiment` — run DAS reproduction experiments from JSON configs.
+//!
+//! ```text
+//! das_experiment run <config.json> [--out <dir>]   run an experiment, print tables
+//! das_experiment template [rho]                    print a ready-to-edit config
+//! das_experiment policies                          list available policies
+//! das_experiment trace <config.json> <out.jsonl>   record the workload as a trace
+//! das_experiment replay <config.json> <trace.jsonl>  replay a recorded trace
+//! ```
+//!
+//! Configs are [`das_core::ExperimentConfig`] JSON — `template` prints one.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use das_core::adapter::trace_to_requests;
+use das_core::experiment::{ExperimentConfig, PolicySummary};
+use das_core::{report, scenarios};
+use das_sched::policy::PolicyKind;
+use das_sim::rng::SeedFactory;
+use das_sim::time::SimTime;
+use das_store::config::SimulationConfig;
+use das_store::engine::run_simulation;
+use das_workload::generator::WorkloadGenerator;
+use das_workload::trace::{read_trace, validate_trace, write_trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("template") => cmd_template(&args[1..]),
+        Some("policies") => cmd_policies(),
+        Some("check") => cmd_check(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "das-experiment — run DAS reproduction experiments from JSON configs\n\n\
+         USAGE:\n  \
+         das_experiment run <config.json> [--out <dir>]\n  \
+         das_experiment template [rho]\n  \
+         das_experiment policies\n  \
+         das_experiment check <config.json>\n  \
+         das_experiment trace <config.json> <out.jsonl>\n  \
+         das_experiment replay <config.json> <trace.jsonl>"
+    );
+}
+
+fn load_config(path: &str) -> Result<ExperimentConfig, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let config: ExperimentConfig =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok(config)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run: missing <config.json>")?;
+    let out_dir = match args.get(1).map(String::as_str) {
+        Some("--out") => Some(args.get(2).ok_or("--out: missing directory")?.clone()),
+        Some(other) => return Err(format!("run: unexpected argument `{other}`")),
+        None => None,
+    };
+    let config = load_config(path)?;
+    eprintln!(
+        "running `{}`: {} servers, {} policies, {}s horizon...",
+        config.name,
+        config.cluster.servers,
+        config.policies.len(),
+        config.horizon_secs
+    );
+    let result = config.run()?;
+    println!("{}", report::render_experiment(&result));
+    if let Some(chart) = das_metrics::ascii::bar_chart(&result.table(), "mean (ms)", 40) {
+        println!("{chart}");
+    }
+    println!("{}", report::overhead_table(&result).to_markdown());
+    println!("{}", report::fairness_table(&result).to_markdown());
+    if let Some(t) = report::timeseries_table(&result, "Mean RCT over time (ms)") {
+        println!("{}", t.to_markdown());
+    }
+    if let Some(dir) = out_dir {
+        let dir = Path::new(&dir);
+        fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let summaries: Vec<PolicySummary> =
+            result.runs.iter().map(PolicySummary::from_run).collect();
+        let json = serde_json::to_string_pretty(&summaries).map_err(|e| e.to_string())?;
+        let path = dir.join(format!("{}.json", sanitize(&result.name)));
+        fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_template(args: &[String]) -> Result<(), String> {
+    let rho: f64 = match args.first() {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("template: `{s}` is not a number"))?,
+        None => 0.7,
+    };
+    if !(0.0..1.5).contains(&rho) || rho <= 0.0 {
+        return Err(format!("template: rho {rho} out of (0, 1.5)"));
+    }
+    let mut config = scenarios::base_experiment(format!("custom rho={rho}"), rho);
+    config.policies.push(PolicyKind::oracle());
+    let json = serde_json::to_string_pretty(&config).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_policies() -> Result<(), String> {
+    println!("policy          | metadata B/op | hints | piggyback");
+    println!("----------------|---------------|-------|----------");
+    let mut policies = PolicyKind::standard_set();
+    policies.push(PolicyKind::Edf);
+    policies.push(PolicyKind::LrptLast);
+    policies.push(PolicyKind::ReinMl { levels: 4 });
+    policies.push(PolicyKind::Random { seed: 1 });
+    policies.push(PolicyKind::oracle());
+    policies.extend(PolicyKind::ablation_set());
+    let mut seen = std::collections::HashSet::new();
+    for p in policies {
+        let s = p.build();
+        if seen.insert(s.name()) {
+            println!(
+                "{:<15} | {:>13} | {:>5} | {}",
+                s.name(),
+                s.metadata_bytes(),
+                if s.wants_hints() { "yes" } else { "no" },
+                if s.wants_piggyback() { "yes" } else { "no" },
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Analytic stability check: computes each shard's *offered* load from the
+/// workload's key-popularity distribution and the partitioner, flagging
+/// shards that would run at or above capacity — the failure mode that makes
+/// simulated "ρ = 0.7" runs silently unstable (see DESIGN.md's calibration
+/// notes).
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("check: missing <config.json>")?;
+    let config = load_config(path)?;
+    config.cluster.validate()?;
+    let w = &config.workload;
+    let c = &config.cluster;
+    let rate = w
+        .arrival
+        .average_rate()
+        .ok_or("check: schedule-driven arrivals have no single rate; check the peak manually")?;
+    let n = w.n_keys;
+    let seeds = SeedFactory::new(config.seed);
+    let keyspace = das_workload::keyspace::KeySpace::with_hot_key_cap(
+        n,
+        &w.sizes,
+        &w.popularity,
+        w.hot_key_size_cap,
+        &seeds,
+    );
+    // Per-key access probability.
+    let probs: Vec<f64> = match w.popularity {
+        das_workload::spec::PopularityConfig::Uniform => vec![1.0 / n as f64; n],
+        das_workload::spec::PopularityConfig::Zipf { theta } => {
+            let h: f64 = (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+            (1..=n).map(|k| (k as f64).powf(-theta) / h).collect()
+        }
+    };
+    let partitioner = c.partitioner.build(c.servers);
+    let op_rate_total = rate * w.mean_fanout();
+    let mut load = vec![0.0f64; c.servers as usize];
+    for (key, p) in probs.iter().enumerate() {
+        let service = c.per_op_overhead.as_secs_f64()
+            + keyspace.size_of(key as u64) as f64 / c.base_rate_bytes_per_sec;
+        // With replication, least-loaded selection spreads a key across its
+        // replica set; assume even spread for the check.
+        let replicas = partitioner.replicas(key as u64, c.replication);
+        let share = op_rate_total * p * service / replicas.len() as f64;
+        for s in replicas {
+            load[s.0 as usize] += share;
+        }
+    }
+    let workers = c.workers_per_server as f64;
+    let mean = load.iter().sum::<f64>() / load.len() as f64 / workers;
+    let mut idx: Vec<usize> = (0..load.len()).collect();
+    idx.sort_by(|&a, &b| load[b].total_cmp(&load[a]));
+    println!("arrival rate: {rate:.0} req/s; mean offered load per server: {mean:.3}");
+    println!("hottest shards:");
+    for &i in idx.iter().take(5) {
+        println!("  server {i}: offered load {:.3}", load[i] / workers);
+    }
+    let hottest = load[idx[0]] / workers;
+    if hottest >= 0.95 {
+        Err(format!(
+            "UNSTABLE: server {} offered load {hottest:.3} >= 0.95 — results would be \
+             horizon-dependent. Reduce load, add replication, skew, or hot-key caps.",
+            idx[0]
+        ))
+    } else {
+        println!("stable: hottest shard at {hottest:.3}");
+        Ok(())
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let [config_path, out_path] = args else {
+        return Err("trace: expected <config.json> <out.jsonl>".into());
+    };
+    let config = load_config(config_path)?;
+    let seeds = SeedFactory::new(config.seed);
+    let mut generator = WorkloadGenerator::new(&config.workload, &seeds);
+    let trace = generator.take_until(SimTime::from_secs_f64(config.horizon_secs));
+    let file = fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_trace(&mut writer, &trace).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    eprintln!("wrote {} requests to {out_path}", trace.len());
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let [config_path, trace_path] = args else {
+        return Err("replay: expected <config.json> <trace.jsonl>".into());
+    };
+    let config = load_config(config_path)?;
+    let file = fs::File::open(trace_path).map_err(|e| format!("opening {trace_path}: {e}"))?;
+    let trace = read_trace(file).map_err(|e| e.to_string())?;
+    validate_trace(&trace)?;
+    eprintln!(
+        "replaying {} requests against {} policies...",
+        trace.len(),
+        config.policies.len()
+    );
+    let seeds = SeedFactory::new(config.seed);
+    println!("| policy | mean RCT (ms) | p99 (ms) | completed |");
+    println!("|---|---:|---:|---:|");
+    for &policy in &config.policies {
+        let sim = SimulationConfig {
+            cluster: config.cluster.clone(),
+            policy,
+            seed: config.seed,
+            horizon_secs: config.horizon_secs,
+            warmup_secs: config.warmup_secs,
+            rct_timeseries_bin_secs: None,
+        };
+        let requests = trace_to_requests(&trace, &config.workload, &seeds);
+        let result = run_simulation(&sim, requests)?;
+        println!(
+            "| {} | {:.3} | {:.3} | {} |",
+            result.policy,
+            result.mean_rct() * 1e3,
+            result.p99_rct() * 1e3,
+            result.completed,
+        );
+    }
+    Ok(())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,273 @@
+//! Experiment orchestration: run one workload against a set of policies
+//! and compare.
+
+use serde::{Deserialize, Serialize};
+
+use das_metrics::summary::ComparisonTable;
+use das_net::accounting::TrafficClass;
+use das_sched::policy::PolicyKind;
+use das_sim::rng::SeedFactory;
+use das_sim::time::SimTime;
+use das_store::config::{ClusterConfig, SimulationConfig};
+use das_store::engine::{run_simulation, RunResult};
+use das_workload::generator::WorkloadSpec;
+
+use crate::adapter::RequestStream;
+
+/// A full experiment: one workload, one cluster, many policies.
+///
+/// Every policy sees the *identical* request stream (same seed), so
+/// differences in the results are attributable to scheduling alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Experiment name (used in reports).
+    pub name: String,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// The cluster.
+    pub cluster: ClusterConfig,
+    /// Policies to compare.
+    pub policies: Vec<PolicyKind>,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated seconds.
+    pub horizon_secs: f64,
+    /// Warmup to exclude from statistics, seconds.
+    pub warmup_secs: f64,
+    /// Bin width for RCT-over-time, seconds (`None` = skip).
+    pub rct_timeseries_bin_secs: Option<f64>,
+}
+
+impl ExperimentConfig {
+    /// A standard-policy experiment over `workload` with sensible run
+    /// lengths.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec, cluster: ClusterConfig) -> Self {
+        ExperimentConfig {
+            name: name.into(),
+            workload,
+            cluster,
+            policies: PolicyKind::standard_set(),
+            seed: 42,
+            horizon_secs: 10.0,
+            warmup_secs: 1.0,
+            rct_timeseries_bin_secs: None,
+        }
+    }
+
+    /// Runs every policy and collects the results.
+    pub fn run(&self) -> Result<ExperimentResult, String> {
+        let seeds = SeedFactory::new(self.seed);
+        let horizon = SimTime::from_secs_f64(self.horizon_secs);
+        let mut runs = Vec::with_capacity(self.policies.len());
+        for &policy in &self.policies {
+            let sim = SimulationConfig {
+                cluster: self.cluster.clone(),
+                policy,
+                seed: self.seed,
+                horizon_secs: self.horizon_secs,
+                warmup_secs: self.warmup_secs,
+                rct_timeseries_bin_secs: self.rct_timeseries_bin_secs,
+            };
+            let stream = RequestStream::new(&self.workload, &seeds, horizon);
+            runs.push(run_simulation(&sim, stream)?);
+        }
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            runs,
+        })
+    }
+}
+
+/// The results of one experiment: one [`RunResult`] per policy.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Experiment name.
+    pub name: String,
+    /// One entry per configured policy, in configuration order.
+    pub runs: Vec<RunResult>,
+}
+
+impl ExperimentResult {
+    /// The run for `policy` (by display name).
+    pub fn run(&self, policy: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|r| r.policy == policy)
+    }
+
+    /// Mean RCT of `policy` in seconds.
+    pub fn mean_rct(&self, policy: &str) -> Option<f64> {
+        self.run(policy).map(|r| r.mean_rct())
+    }
+
+    /// Percentage reduction of `policy`'s mean RCT vs `baseline`
+    /// (positive = improvement).
+    pub fn reduction_vs(&self, policy: &str, baseline: &str) -> Option<f64> {
+        let p = self.mean_rct(policy)?;
+        let b = self.mean_rct(baseline)?;
+        (b > 0.0).then(|| (b - p) / b * 100.0)
+    }
+
+    /// The standard mean/p50/p95/p99 (+% vs FCFS) comparison table.
+    pub fn table(&self) -> ComparisonTable {
+        let mut t = ComparisonTable::new(
+            &self.name,
+            vec![
+                "mean (ms)".into(),
+                "p50 (ms)".into(),
+                "p95 (ms)".into(),
+                "p99 (ms)".into(),
+                "vs FCFS (%)".into(),
+            ],
+        );
+        let fcfs = self.mean_rct("FCFS");
+        for r in &self.runs {
+            let vs = match fcfs {
+                Some(b) if b > 0.0 => (r.mean_rct() - b) / b * 100.0,
+                _ => 0.0,
+            };
+            t.push_row(
+                r.policy.clone(),
+                vec![
+                    r.mean_rct() * 1e3,
+                    r.rct.p50() * 1e3,
+                    r.rct.p95() * 1e3,
+                    r.rct.p99() * 1e3,
+                    vs,
+                ],
+            );
+        }
+        t
+    }
+}
+
+/// A compact, serializable per-policy summary for persisting experiment
+/// outputs (EXPERIMENTS.md data, bench JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySummary {
+    /// Policy display name.
+    pub policy: String,
+    /// Requests measured.
+    pub measured: u64,
+    /// Mean RCT, seconds.
+    pub mean_rct: f64,
+    /// Median RCT, seconds.
+    pub p50_rct: f64,
+    /// p99 RCT, seconds.
+    pub p99_rct: f64,
+    /// p99.9 RCT, seconds.
+    pub p999_rct: f64,
+    /// p99.9 slowdown (starvation indicator).
+    pub p999_slowdown: f64,
+    /// Scheduling overhead bytes per measured request.
+    pub overhead_bytes_per_request: f64,
+    /// Hint messages per measured request.
+    pub hints_per_request: f64,
+    /// Mean server utilization.
+    pub mean_utilization: f64,
+    /// Zero-queueing lower bound on mean RCT, seconds.
+    pub lower_bound_mean_rct: f64,
+}
+
+impl PolicySummary {
+    /// Summarizes a run.
+    pub fn from_run(run: &RunResult) -> Self {
+        let per_req = |v: u64| {
+            if run.measured == 0 {
+                0.0
+            } else {
+                v as f64 / run.measured as f64
+            }
+        };
+        PolicySummary {
+            policy: run.policy.clone(),
+            measured: run.measured,
+            mean_rct: run.mean_rct(),
+            p50_rct: run.rct.p50(),
+            p99_rct: run.rct.p99(),
+            p999_rct: run.rct.p999(),
+            p999_slowdown: run.slowdown.overall_p999(),
+            overhead_bytes_per_request: per_req(run.traffic.overhead_bytes()),
+            hints_per_request: per_req(run.traffic.messages(TrafficClass::ProgressHint)),
+            mean_utilization: run.mean_utilization,
+            lower_bound_mean_rct: run.lower_bound_mean_rct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_workload::spec::{ArrivalConfig, FanoutConfig, PopularityConfig, SizeConfig};
+
+    fn quick_experiment() -> ExperimentConfig {
+        let cluster = ClusterConfig {
+            servers: 8,
+            ..Default::default()
+        };
+        let workload = WorkloadSpec {
+            n_keys: 10_000,
+            arrival: ArrivalConfig::Poisson { rate: 2000.0 },
+            fanout: FanoutConfig::Uniform { min: 1, max: 8 },
+            sizes: SizeConfig::Fixed { bytes: 20_000 },
+            popularity: PopularityConfig::Uniform,
+            hot_key_size_cap: None,
+            write_fraction: 0.0,
+        };
+        let mut e = ExperimentConfig::new("quick", workload, cluster);
+        e.horizon_secs = 1.0;
+        e.warmup_secs = 0.1;
+        e
+    }
+
+    #[test]
+    fn runs_all_policies_on_identical_streams() {
+        let e = quick_experiment();
+        let result = e.run().unwrap();
+        assert_eq!(result.runs.len(), PolicyKind::standard_set().len());
+        // Paired streams: every policy saw the same number of requests.
+        let counts: Vec<u64> = result.runs.iter().map(|r| r.completed).collect();
+        assert!(counts.iter().all(|&c| c == counts[0] && c > 0));
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let e = quick_experiment();
+        let result = e.run().unwrap();
+        let t = result.table();
+        assert_eq!(t.rows().len(), result.runs.len());
+        assert!(t.value("FCFS", "mean (ms)").unwrap() > 0.0);
+        assert!(t.value("DAS", "vs FCFS (%)").is_some());
+    }
+
+    #[test]
+    fn reduction_helpers() {
+        let e = quick_experiment();
+        let result = e.run().unwrap();
+        let red = result.reduction_vs("DAS", "FCFS").unwrap();
+        assert!(red.is_finite());
+        assert!(result.reduction_vs("nope", "FCFS").is_none());
+        assert!(result.mean_rct("DAS").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let e = quick_experiment();
+        let result = e.run().unwrap();
+        let s = PolicySummary::from_run(&result.runs[0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PolicySummary = serde_json::from_str(&json).unwrap();
+        // JSON prints shortest-roundtrip decimals; compare with tolerance.
+        assert_eq!(s.policy, back.policy);
+        assert_eq!(s.measured, back.measured);
+        assert!((s.mean_rct - back.mean_rct).abs() < 1e-12);
+        assert!((s.p99_rct - back.p99_rct).abs() < 1e-12);
+        assert!(s.mean_rct >= s.lower_bound_mean_rct * 0.99);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let e = quick_experiment();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,183 @@
+//! Rendering experiment results into the uniform Markdown blocks used by
+//! EXPERIMENTS.md and printed by every benchmark binary.
+
+use das_metrics::summary::ComparisonTable;
+use das_net::accounting::TrafficClass;
+
+use crate::experiment::ExperimentResult;
+
+/// Renders the standard RCT table plus the context line (measured
+/// requests, utilization, lower bound).
+pub fn render_experiment(result: &ExperimentResult) -> String {
+    let mut out = result.table().to_markdown();
+    if let Some(run) = result.runs.first() {
+        let ci = match run.mean_rct_ci95 {
+            Some(hw) => format!("; mean RCT 95% CI +-{:.3} ms (batch means)", hw * 1e3),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "\n_{} measured requests; mean utilization {:.2}; zero-queueing lower bound {:.3} ms{}_\n",
+            run.measured,
+            run.mean_utilization,
+            run.lower_bound_mean_rct * 1e3,
+            ci,
+        ));
+    }
+    out
+}
+
+/// Builds the overhead table (Table 3): metadata bytes/request, hint
+/// messages/request, piggyback bytes/request.
+pub fn overhead_table(result: &ExperimentResult) -> ComparisonTable {
+    let mut t = ComparisonTable::new(
+        format!("{} — scheduling overhead", result.name),
+        vec![
+            "metadata B/req".into(),
+            "piggyback B/req".into(),
+            "hint msgs/req".into(),
+            "hint B/req".into(),
+            "total overhead B/req".into(),
+        ],
+    );
+    for run in &result.runs {
+        let n = run.measured.max(run.completed).max(1) as f64;
+        t.push_row(
+            run.policy.clone(),
+            vec![
+                run.traffic.bytes(TrafficClass::SchedulingMetadata) as f64 / n,
+                run.traffic.bytes(TrafficClass::PiggybackReport) as f64 / n,
+                run.traffic.messages(TrafficClass::ProgressHint) as f64 / n,
+                run.traffic.bytes(TrafficClass::ProgressHint) as f64 / n,
+                run.traffic.overhead_bytes() as f64 / n,
+            ],
+        );
+    }
+    t
+}
+
+/// Builds the fairness table (Table 4): p99.9 slowdown per fan-out class.
+pub fn fairness_table(result: &ExperimentResult) -> ComparisonTable {
+    let classes = result
+        .runs
+        .first()
+        .map(|r| r.slowdown.class_count())
+        .unwrap_or(0);
+    let mut columns: Vec<String> = Vec::new();
+    if let Some(run) = result.runs.first() {
+        for c in 0..classes {
+            columns.push(format!("fanout {} p999", run.slowdown.class_label(c)));
+        }
+    }
+    columns.push("overall p999".into());
+    columns.push("overall max".into());
+    let mut t = ComparisonTable::new(
+        format!("{} — slowdown by fan-out class", result.name),
+        columns,
+    );
+    for run in &result.runs {
+        let mut values: Vec<f64> = (0..classes)
+            .map(|c| run.slowdown.class_stats(c).3)
+            .collect();
+        values.push(run.slowdown.overall_p999());
+        values.push(run.slowdown.overall_max());
+        t.push_row(run.policy.clone(), values);
+    }
+    t
+}
+
+/// Renders an RCT-over-time comparison (Figs. 11–12) as a Markdown table:
+/// one row per time bin, one column per policy.
+pub fn timeseries_table(result: &ExperimentResult, title: &str) -> Option<ComparisonTable> {
+    let series: Vec<(&str, &das_metrics::timeseries::TimeSeries)> = result
+        .runs
+        .iter()
+        .filter_map(|r| r.rct_over_time.as_ref().map(|ts| (r.policy.as_str(), ts)))
+        .collect();
+    if series.is_empty() {
+        return None;
+    }
+    let bins = series.iter().map(|(_, ts)| ts.bins().len()).max()?;
+    let mut t = ComparisonTable::new(
+        title,
+        series
+            .iter()
+            .map(|(p, _)| format!("{p} mean RCT (ms)"))
+            .collect(),
+    );
+    for bin in 0..bins {
+        let start = series[0].1.bin_width() * bin as f64;
+        let values: Vec<f64> = series
+            .iter()
+            .map(|(_, ts)| ts.bins().get(bin).map(|b| b.mean() * 1e3).unwrap_or(0.0))
+            .collect();
+        t.push_row(format!("t={start:.2}s"), values);
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use das_sched::policy::PolicyKind;
+    use das_store::config::ClusterConfig;
+    use das_workload::generator::WorkloadSpec;
+    use das_workload::spec::{ArrivalConfig, FanoutConfig, PopularityConfig, SizeConfig};
+
+    fn tiny_result(timeseries: bool) -> ExperimentResult {
+        let cluster = ClusterConfig {
+            servers: 4,
+            ..Default::default()
+        };
+        let workload = WorkloadSpec {
+            n_keys: 1000,
+            arrival: ArrivalConfig::Poisson { rate: 500.0 },
+            fanout: FanoutConfig::Uniform { min: 1, max: 4 },
+            sizes: SizeConfig::Fixed { bytes: 10_000 },
+            popularity: PopularityConfig::Uniform,
+            hot_key_size_cap: None,
+            write_fraction: 0.0,
+        };
+        let mut e = ExperimentConfig::new("tiny", workload, cluster);
+        e.horizon_secs = 0.5;
+        e.warmup_secs = 0.0;
+        e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+        if timeseries {
+            e.rct_timeseries_bin_secs = Some(0.1);
+        }
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn render_contains_policies_and_context() {
+        let r = tiny_result(false);
+        let md = render_experiment(&r);
+        assert!(md.contains("FCFS"));
+        assert!(md.contains("DAS"));
+        assert!(md.contains("lower bound"));
+    }
+
+    #[test]
+    fn overhead_table_has_das_overhead() {
+        let r = tiny_result(false);
+        let t = overhead_table(&r);
+        assert_eq!(t.value("FCFS", "total overhead B/req"), Some(0.0));
+        assert!(t.value("DAS", "metadata B/req").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fairness_table_shape() {
+        let r = tiny_result(false);
+        let t = fairness_table(&r);
+        assert_eq!(t.rows().len(), 2);
+        assert!(t.columns().iter().any(|c| c.contains("overall p999")));
+    }
+
+    #[test]
+    fn timeseries_table_present_only_when_recorded() {
+        assert!(timeseries_table(&tiny_result(false), "x").is_none());
+        let t = timeseries_table(&tiny_result(true), "spike").unwrap();
+        assert!(!t.rows().is_empty());
+        assert_eq!(t.columns().len(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Calibrated scenario presets shared by every experiment binary and the
+//! integration tests.
+//!
+//! The *base scenario* models a mid-size storage tier: 50 servers, ~220 µs
+//! mean operation service time (100 µs fixed cost + heavy-tailed value
+//! sizes at 50 MB/s), datacenter network latencies, Zipf multi-get
+//! fan-outs, and skewed key popularity. Each figure varies exactly one
+//! dimension of it.
+
+use das_net::latency::{LatencyConfig, NetworkConfig};
+use das_sim::time::SimDuration;
+use das_store::config::{ClusterConfig, PerfEvent};
+use das_store::partition::PartitionerConfig;
+use das_workload::generator::WorkloadSpec;
+use das_workload::spec::{ArrivalConfig, FanoutConfig, PopularityConfig, SizeConfig};
+
+use crate::experiment::ExperimentConfig;
+use crate::load::arrival_rate_for_load;
+
+/// Default number of servers in the base scenario.
+pub const BASE_SERVERS: u32 = 50;
+/// Default simulated horizon, seconds.
+pub const BASE_HORIZON_SECS: f64 = 5.0;
+/// Default warmup, seconds.
+pub const BASE_WARMUP_SECS: f64 = 0.5;
+
+/// The base cluster: 50 single-worker servers, 100 µs per-op overhead,
+/// 50 MB/s service rate, lognormal 50 µs network.
+pub fn base_cluster() -> ClusterConfig {
+    ClusterConfig {
+        servers: BASE_SERVERS,
+        workers_per_server: 1,
+        base_rate_bytes_per_sec: 5e7,
+        per_op_overhead: SimDuration::from_micros(100),
+        network: NetworkConfig {
+            latency: LatencyConfig::Lognormal {
+                mean_micros: 50.0,
+                sigma: 0.4,
+            },
+            bandwidth_bytes_per_sec: Some(1.25e9),
+        },
+        partitioner: PartitionerConfig::ConsistentHash { vnodes: 128 },
+        replication: 1,
+        coordinators: 1,
+        hint_loss: 0.0,
+        perf_events: Vec::new(),
+        estimate_noise: 0.0,
+    }
+}
+
+/// The base value-size distribution: bounded Pareto 512 B – 256 KiB,
+/// tail index 1.1 (ETC-like body with a long tail).
+///
+/// The cap keeps every *individual key's* offered load well under one
+/// server's capacity; since sizes are fixed per key, an unbounded tail
+/// would let a single unlucky giant key saturate its shard regardless of
+/// the nominal load level.
+pub fn base_sizes() -> SizeConfig {
+    SizeConfig::Etc {
+        min_bytes: 512,
+        max_bytes: 256 << 10,
+        alpha: 1.1,
+    }
+}
+
+/// The base fan-out distribution: Zipf over `[1, 32]`, skew 1.0 — many
+/// small multi-gets, a heavy tail of wide ones.
+pub fn base_fanout() -> FanoutConfig {
+    FanoutConfig::Zipf {
+        max: 32,
+        theta: 1.0,
+    }
+}
+
+/// The base workload at per-server utilization `rho` on `cluster`.
+pub fn base_workload(rho: f64, cluster: &ClusterConfig) -> WorkloadSpec {
+    // Popularity is uniform in the base scenario: per-key sizes are fixed,
+    // so skewed popularity would permanently overload whichever shard owns
+    // a hot key (real stores absorb this with caches/replicas). Key-skew
+    // effects are studied separately in the Fig. 14 scenario, which pairs
+    // moderate skew with replicated reads.
+    let mut spec = WorkloadSpec {
+        n_keys: 100_000,
+        arrival: ArrivalConfig::Poisson { rate: 1.0 },
+        fanout: base_fanout(),
+        sizes: base_sizes(),
+        popularity: PopularityConfig::Uniform,
+        hot_key_size_cap: None,
+        write_fraction: 0.0,
+    };
+    let rate = arrival_rate_for_load(rho, &spec, cluster);
+    spec.arrival = ArrivalConfig::Poisson { rate };
+    spec
+}
+
+/// A base-scenario workload with overridden fan-out/size/popularity,
+/// recalibrated so the arrival rate still produces per-server load `rho`.
+pub fn custom_workload(
+    rho: f64,
+    cluster: &ClusterConfig,
+    fanout: FanoutConfig,
+    sizes: SizeConfig,
+    popularity: PopularityConfig,
+) -> WorkloadSpec {
+    let mut spec = WorkloadSpec {
+        n_keys: 100_000,
+        arrival: ArrivalConfig::Poisson { rate: 1.0 },
+        fanout,
+        sizes,
+        popularity,
+        hot_key_size_cap: None,
+        write_fraction: 0.0,
+    };
+    let rate = arrival_rate_for_load(rho, &spec, cluster);
+    spec.arrival = ArrivalConfig::Poisson { rate };
+    spec
+}
+
+/// The base experiment (standard policy set) at load `rho`.
+pub fn base_experiment(name: impl Into<String>, rho: f64) -> ExperimentConfig {
+    let cluster = base_cluster();
+    let workload = base_workload(rho, &cluster);
+    let mut e = ExperimentConfig::new(name, workload, cluster);
+    e.horizon_secs = BASE_HORIZON_SECS;
+    e.warmup_secs = BASE_WARMUP_SECS;
+    e
+}
+
+/// Fig. 11's load spike: the schedule runs at `low` load, jumps to `high`
+/// for the middle third of the horizon, then falls back.
+pub fn load_spike_experiment(low_rho: f64, high_rho: f64) -> ExperimentConfig {
+    let cluster = base_cluster();
+    let probe = base_workload(1.0, &cluster); // rate for rho=1.0
+    let unit_rate = match probe.arrival {
+        ArrivalConfig::Poisson { rate } => rate,
+        _ => unreachable!("base workload is Poisson"),
+    };
+    let h = BASE_HORIZON_SECS;
+    let mut workload = probe;
+    workload.arrival = ArrivalConfig::Schedule {
+        steps: vec![
+            (0.0, unit_rate * low_rho),
+            (h / 3.0, unit_rate * high_rho),
+            (2.0 * h / 3.0, unit_rate * low_rho),
+        ],
+        period_secs: None,
+    };
+    let mut e = ExperimentConfig::new(
+        format!("load spike {low_rho}->{high_rho}"),
+        workload,
+        cluster,
+    );
+    e.horizon_secs = h;
+    e.warmup_secs = 0.0; // the whole trajectory is the result
+    e.rct_timeseries_bin_secs = Some(0.25);
+    e
+}
+
+/// Fig. 12's server degradation: `slow_servers` servers run `slowdown`×
+/// slower during the middle third of the horizon.
+pub fn server_degradation_experiment(
+    rho: f64,
+    slow_servers: u32,
+    slowdown: f64,
+) -> ExperimentConfig {
+    let mut e = base_experiment(format!("{slow_servers} servers {slowdown}x slower"), rho);
+    let h = e.horizon_secs;
+    for s in 0..slow_servers.min(e.cluster.servers) {
+        e.cluster.perf_events.push(PerfEvent {
+            server: s,
+            start_secs: h / 3.0,
+            end_secs: 2.0 * h / 3.0,
+            multiplier: 1.0 / slowdown,
+        });
+    }
+    e.warmup_secs = 0.0;
+    e.rct_timeseries_bin_secs = Some(0.25);
+    e
+}
+
+/// Fig. 14's key-skew scenario: Zipf popularity with skew `theta`,
+/// replicated reads (R=3, least-loaded replica) to keep hot shards
+/// servable, and narrow value sizes so the skew effect is isolated from
+/// the size tail. Run at moderate load — hot shards run far above the
+/// cluster average by construction.
+pub fn key_skew_experiment(rho: f64, theta: f64) -> ExperimentConfig {
+    let mut cluster = base_cluster();
+    cluster.replication = 3;
+    let mut workload = WorkloadSpec {
+        n_keys: 100_000,
+        arrival: ArrivalConfig::Poisson { rate: 1.0 },
+        fanout: base_fanout(),
+        sizes: SizeConfig::Uniform {
+            min_bytes: 1 << 10,
+            max_bytes: 16 << 10,
+        },
+        popularity: if theta == 0.0 {
+            PopularityConfig::Uniform
+        } else {
+            PopularityConfig::Zipf { theta }
+        },
+        // Hot keys are small (published trace correlation): prevents any
+        // single hot shard from being unconditionally overloaded.
+        hot_key_size_cap: Some(4 << 10),
+        write_fraction: 0.0,
+    };
+    let rate = arrival_rate_for_load(rho, &workload, &cluster);
+    workload.arrival = ArrivalConfig::Poisson { rate };
+    let mut e = ExperimentConfig::new(format!("key skew theta={theta}"), workload, cluster);
+    e.horizon_secs = BASE_HORIZON_SECS;
+    e.warmup_secs = BASE_WARMUP_SECS;
+    e
+}
+
+/// Fig. 16's bursty-arrival scenario: an MMPP-2 whose two states run at
+/// `low_rho` and `high_rho`, with the given mean sojourn times, so the
+/// *time-average* load is between them but queues see alternating calm and
+/// burst phases.
+pub fn bursty_experiment(low_rho: f64, high_rho: f64, sojourn_secs: [f64; 2]) -> ExperimentConfig {
+    let cluster = base_cluster();
+    let probe = base_workload(1.0, &cluster);
+    let unit_rate = probe
+        .arrival
+        .average_rate()
+        .expect("base workload is Poisson");
+    let mut workload = probe;
+    workload.arrival = ArrivalConfig::Mmpp {
+        rates: [unit_rate * low_rho, unit_rate * high_rho],
+        sojourn_secs,
+    };
+    let mut e = ExperimentConfig::new(format!("bursty {low_rho}/{high_rho}"), workload, cluster);
+    e.horizon_secs = BASE_HORIZON_SECS;
+    e.warmup_secs = BASE_WARMUP_SECS;
+    e
+}
+
+/// Fig. 17's estimate-noise scenario: the base experiment with the
+/// coordinator's service-time estimates perturbed by a lognormal factor of
+/// relative sigma `noise` (0 = perfect size knowledge).
+pub fn estimate_noise_experiment(rho: f64, noise: f64) -> ExperimentConfig {
+    let mut e = base_experiment(format!("noise sigma={noise}"), rho);
+    e.cluster.estimate_noise = noise;
+    e
+}
+
+/// A scaled variant of the base experiment with `servers` servers at the
+/// same per-server load (Fig. 13).
+pub fn cluster_size_experiment(rho: f64, servers: u32, horizon_secs: f64) -> ExperimentConfig {
+    let mut cluster = base_cluster();
+    cluster.servers = servers;
+    let workload = base_workload(rho, &cluster);
+    let mut e = ExperimentConfig::new(format!("N={servers}"), workload, cluster);
+    e.horizon_secs = horizon_secs;
+    e.warmup_secs = (horizon_secs * 0.1).min(BASE_WARMUP_SECS);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::offered_load;
+
+    #[test]
+    fn base_workload_hits_target_load() {
+        let cluster = base_cluster();
+        for rho in [0.3, 0.7, 0.9] {
+            let w = base_workload(rho, &cluster);
+            let rate = w.arrival.average_rate().unwrap();
+            let back = offered_load(rate, &w, &cluster);
+            assert!((back - rho).abs() < 1e-9, "rho {rho} -> {back}");
+        }
+    }
+
+    #[test]
+    fn base_service_time_in_calibrated_range() {
+        let cluster = base_cluster();
+        let mean_op_secs = cluster.per_op_overhead.as_secs_f64()
+            + base_sizes().mean_bytes() / cluster.base_rate_bytes_per_sec;
+        // The scenario is calibrated for a ~150-400us mean op.
+        assert!(
+            (1.5e-4..4e-4).contains(&mean_op_secs),
+            "mean op = {mean_op_secs}s"
+        );
+    }
+
+    #[test]
+    fn spike_schedule_has_three_phases() {
+        let e = load_spike_experiment(0.3, 0.9);
+        match &e.workload.arrival {
+            ArrivalConfig::Schedule { steps, .. } => {
+                assert_eq!(steps.len(), 3);
+                assert!(steps[1].1 > steps[0].1 * 2.0);
+                assert_eq!(steps[0].1, steps[2].1);
+            }
+            other => panic!("expected schedule, got {other:?}"),
+        }
+        assert!(e.rct_timeseries_bin_secs.is_some());
+    }
+
+    #[test]
+    fn degradation_adds_perf_events() {
+        let e = server_degradation_experiment(0.5, 5, 4.0);
+        assert_eq!(e.cluster.perf_events.len(), 5);
+        assert!((e.cluster.perf_events[0].multiplier - 0.25).abs() < 1e-12);
+        assert_eq!(e.cluster.validate(), Ok(()));
+    }
+
+    #[test]
+    fn cluster_size_scales_rate() {
+        let small = cluster_size_experiment(0.7, 10, 2.0);
+        let big = cluster_size_experiment(0.7, 100, 2.0);
+        let rs = small.workload.arrival.average_rate().unwrap();
+        let rb = big.workload.arrival.average_rate().unwrap();
+        assert!((rb / rs - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,183 @@
+//! Terminal visualization: Unicode sparklines and horizontal bar charts,
+//! so experiment binaries can show shape at a glance without leaving the
+//! terminal.
+
+use crate::summary::ComparisonTable;
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a one-line Unicode sparkline, scaled to the data's
+/// own min..max range. Non-finite values render as spaces.
+///
+/// ```
+/// use das_metrics::ascii::sparkline;
+///
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0]);
+/// assert_eq!(s.chars().count(), 7);
+/// assert!(s.starts_with('▁'));
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let t = ((v - min) / span * (BLOCKS.len() - 1) as f64).round() as usize;
+                BLOCKS[t.min(BLOCKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders one column of a [`ComparisonTable`] as a horizontal bar chart
+/// (one bar per row), `width` characters at full scale.
+///
+/// Returns `None` if the column does not exist or holds no finite values.
+pub fn bar_chart(table: &ComparisonTable, column: &str, width: usize) -> Option<String> {
+    let col = table.columns().iter().position(|c| c == column)?;
+    let rows: Vec<(&str, f64)> = table
+        .rows()
+        .iter()
+        .filter_map(|r| {
+            let v = *r.values.get(col)?;
+            v.is_finite().then_some((r.label.as_str(), v))
+        })
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    let max = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if max <= 0.0 {
+        return None;
+    }
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = format!("{} ({column})\n", table.title());
+    for (label, v) in rows {
+        let bar_len = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:<label_width$} | {} {}\n",
+            "█".repeat(bar_len.min(width)),
+            crate::summary::format_value_pub(v),
+        ));
+    }
+    Some(out)
+}
+
+/// Renders labelled series as stacked sparklines with a shared scale —
+/// handy for "RCT over time, one line per policy".
+pub fn sparkline_panel(series: &[(&str, Vec<f64>)]) -> String {
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let label_width = series
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, values) in series {
+        let line: String = values
+            .iter()
+            .map(|&v| {
+                if !v.is_finite() {
+                    ' '
+                } else {
+                    let t = ((v - min) / span * (BLOCKS.len() - 1) as f64).round() as usize;
+                    BLOCKS[t.min(BLOCKS.len() - 1)]
+                }
+            })
+            .collect();
+        out.push_str(&format!("{label:<label_width$} {line}\n"));
+    }
+    out.push_str(&format!(
+        "{:<label_width$} (scale {:.3}..{:.3})\n",
+        "", min, max
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        let s = sparkline(&[1.0, 1.0, 1.0]);
+        // Flat series: all minimum blocks.
+        assert!(s.chars().all(|c| c == '▁'));
+        let s = sparkline(&[0.0, 10.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_handles_non_finite() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some(' '));
+        assert_eq!(sparkline(&[f64::NAN]), " ");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn bar_chart_renders_rows() {
+        let mut t = ComparisonTable::new("RCT", vec!["mean".into()]);
+        t.push_row("FCFS", vec![10.0]);
+        t.push_row("DAS", vec![5.0]);
+        let chart = bar_chart(&t, "mean", 20).unwrap();
+        assert!(chart.contains("FCFS"));
+        assert!(chart.contains("DAS"));
+        // FCFS's bar is twice DAS's.
+        let fcfs_bar = chart.lines().find(|l| l.starts_with("FCFS")).unwrap();
+        let das_bar = chart.lines().find(|l| l.starts_with("DAS")).unwrap();
+        let count = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert_eq!(count(fcfs_bar), 20);
+        assert_eq!(count(das_bar), 10);
+    }
+
+    #[test]
+    fn bar_chart_rejects_missing_or_empty() {
+        let t = ComparisonTable::new("T", vec!["a".into()]);
+        assert!(bar_chart(&t, "a", 10).is_none()); // no rows
+        assert!(bar_chart(&t, "missing", 10).is_none());
+        let mut t = ComparisonTable::new("T", vec!["a".into()]);
+        t.push_row("x", vec![f64::NAN]);
+        assert!(bar_chart(&t, "a", 10).is_none());
+    }
+
+    #[test]
+    fn panel_shares_scale() {
+        let panel = sparkline_panel(&[
+            ("low", vec![0.0, 0.0, 0.0]),
+            ("high", vec![10.0, 10.0, 10.0]),
+        ]);
+        let lines: Vec<&str> = panel.lines().collect();
+        assert!(lines[0].contains("▁▁▁"));
+        assert!(lines[1].contains("███"));
+        assert!(lines[2].contains("scale"));
+        assert_eq!(sparkline_panel(&[]), "");
+    }
+}

@@ -1,0 +1,43 @@
+//! # das-metrics — measurement substrate
+//!
+//! Everything the evaluation reports is computed here:
+//!
+//! * [`histogram`] — fixed-memory log-bucketed histograms (~1 % relative
+//!   error quantiles) for latency distributions;
+//! * [`quantile`] — exact and P² streaming quantile estimators;
+//! * [`timeseries`] — fixed-bin "metric over time" series for the
+//!   time-varying-load figures;
+//! * [`summary`] — [`summary::LatencySummary`] and
+//!   [`summary::ComparisonTable`], the uniform format every experiment
+//!   prints;
+//! * [`slowdown`] — per-class slowdown tracking for the fairness table;
+//! * [`batch`] — batch-means confidence intervals for autocorrelated
+//!   simulation output;
+//! * [`ascii`] — terminal sparklines and bar charts.
+//!
+//! ```
+//! use das_metrics::summary::LatencySummary;
+//!
+//! let mut s = LatencySummary::new();
+//! s.record(0.004);
+//! s.record(0.006);
+//! assert_eq!(s.count(), 2);
+//! assert!((s.mean() - 0.005).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii;
+pub mod batch;
+pub mod histogram;
+pub mod quantile;
+pub mod slowdown;
+pub mod summary;
+pub mod timeseries;
+
+pub use batch::BatchMeans;
+pub use histogram::LogHistogram;
+pub use slowdown::SlowdownTracker;
+pub use summary::{ComparisonTable, LatencySummary, SummarySet};
+pub use timeseries::TimeSeries;

@@ -1,0 +1,285 @@
+//! Exact and streaming quantile estimators.
+//!
+//! [`ExactQuantiles`] stores every sample — exact but O(n) memory; used in
+//! tests and for small result sets. [`P2Quantile`] is the constant-memory
+//! Jain–Chlamtac P² estimator; used when only one or two quantiles are
+//! needed from a long stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Stores all samples and answers exact quantile queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactQuantiles {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl ExactQuantiles {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value. Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.values.push(v);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The exact `q`-quantile using the nearest-rank method, or `None` when
+    /// empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).max(1);
+        Some(self.values[rank - 1])
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Read-only view of the raw samples (unsorted unless a quantile was
+    /// queried).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// The P² streaming quantile estimator (Jain & Chlamtac, 1985): estimates a
+/// single quantile with five markers and O(1) memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Increments for desired positions.
+    increments: [f64; 5],
+    count: usize,
+    /// Initial observations collected before the marker invariant holds.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "q must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// Records one value. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup.sort_by(f64::total_cmp);
+                self.heights.copy_from_slice(&self.warmup);
+            }
+            return;
+        }
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (1..5).find(|&i| x < self.heights[i]).unwrap_or(4) - 1
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let parabolic = self.parabolic(i, sign);
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    self.heights[i] = self.linear(i, sign);
+                }
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate, or `None` before any samples.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.warmup.len() < 5 {
+            // Exact while we still hold all samples.
+            let mut v = self.warmup.clone();
+            v.sort_by(f64::total_cmp);
+            let rank = ((self.q * v.len() as f64).ceil() as usize).max(1);
+            return Some(v[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The target quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nearest_rank() {
+        let mut e = ExactQuantiles::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            e.record(v);
+        }
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(0.5), Some(3.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+        assert_eq!(e.mean(), 3.0);
+        assert_eq!(e.count(), 5);
+    }
+
+    #[test]
+    fn exact_ignores_non_finite() {
+        let mut e = ExactQuantiles::new();
+        e.record(f64::NAN);
+        e.record(f64::INFINITY);
+        assert!(e.is_empty());
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn exact_interleaves_record_and_query() {
+        let mut e = ExactQuantiles::new();
+        e.record(10.0);
+        assert_eq!(e.quantile(0.5), Some(10.0));
+        e.record(1.0);
+        assert_eq!(e.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn p2_median_of_uniform() {
+        let mut p = P2Quantile::new(0.5);
+        // A deterministic low-discrepancy stream over (0, 1).
+        let mut x = 0.5f64;
+        for _ in 0..50_000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            p.record(x);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "est = {est}");
+        assert_eq!(p.q(), 0.5);
+    }
+
+    #[test]
+    fn p2_p99_of_exponential_like() {
+        let mut p = P2Quantile::new(0.99);
+        let mut exact = ExactQuantiles::new();
+        let mut x = 0.123f64;
+        for _ in 0..100_000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            let v = -((1.0 - x).max(1e-12)).ln(); // Exp(1) via inverse CDF
+            p.record(v);
+            exact.record(v);
+        }
+        let est = p.estimate().unwrap();
+        let truth = exact.quantile(0.99).unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est = {est}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn p2_small_sample_is_exact() {
+        let mut p = P2Quantile::new(0.5);
+        p.record(3.0);
+        p.record(1.0);
+        p.record(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn p2_empty() {
+        let p = P2Quantile::new(0.9);
+        assert_eq!(p.estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0, 1)")]
+    fn p2_rejects_boundary_q() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

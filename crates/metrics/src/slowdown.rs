@@ -1,0 +1,164 @@
+//! Per-class slowdown tracking for fairness/starvation analysis (Table 4).
+//!
+//! *Slowdown* of a request is its completion time divided by its ideal
+//! (zero-queueing) completion time. Scheduling policies that favour small
+//! requests can starve large ones; bucketing slowdown by request class
+//! (e.g. fan-out) makes that visible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::LogHistogram;
+
+/// Tracks slowdown distributions per request class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowdownTracker {
+    /// Upper bounds (inclusive) of each class, in ascending order; the last
+    /// class is open-ended.
+    class_bounds: Vec<usize>,
+    per_class: Vec<LogHistogram>,
+    overall: LogHistogram,
+}
+
+impl SlowdownTracker {
+    /// Creates a tracker whose classes are `<= bounds[0]`,
+    /// `(bounds[0], bounds[1]]`, …, `> bounds.last()`.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<usize>) -> Self {
+        assert!(!bounds.is_empty(), "need at least one class bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let classes = bounds.len() + 1;
+        SlowdownTracker {
+            class_bounds: bounds,
+            per_class: vec![LogHistogram::new(); classes],
+            overall: LogHistogram::new(),
+        }
+    }
+
+    /// A tracker with fan-out classes matching the paper-style analysis:
+    /// 1, 2–4, 5–16, 17–64, >64.
+    pub fn fanout_default() -> Self {
+        SlowdownTracker::new(vec![1, 4, 16, 64])
+    }
+
+    fn class_of(&self, key: usize) -> usize {
+        self.class_bounds
+            .iter()
+            .position(|&b| key <= b)
+            .unwrap_or(self.class_bounds.len())
+    }
+
+    /// Records a request's slowdown (`actual / ideal`, ≥ 1 in theory) under
+    /// class key `key` (e.g. its fan-out).
+    pub fn record(&mut self, key: usize, actual: f64, ideal: f64) {
+        if !(actual.is_finite() && ideal.is_finite()) || ideal <= 0.0 {
+            return;
+        }
+        let slowdown = actual / ideal;
+        let class = self.class_of(key);
+        self.per_class[class].record(slowdown);
+        self.overall.record(slowdown);
+    }
+
+    /// Number of classes (bounds + 1).
+    pub fn class_count(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// A label like `"<=4"` / `"5-16"` / `">64"` for class `i`.
+    pub fn class_label(&self, i: usize) -> String {
+        let n = self.class_bounds.len();
+        if i == 0 {
+            format!("<={}", self.class_bounds[0])
+        } else if i < n {
+            format!("{}-{}", self.class_bounds[i - 1] + 1, self.class_bounds[i])
+        } else {
+            format!(">{}", self.class_bounds[n - 1])
+        }
+    }
+
+    /// `(count, mean, p99, p999)` slowdown for class `i`.
+    pub fn class_stats(&self, i: usize) -> (u64, f64, f64, f64) {
+        let h = &self.per_class[i];
+        (
+            h.count(),
+            h.mean(),
+            h.quantile(0.99).unwrap_or(0.0),
+            h.quantile(0.999).unwrap_or(0.0),
+        )
+    }
+
+    /// Overall p999 slowdown — the headline starvation indicator.
+    pub fn overall_p999(&self) -> f64 {
+        self.overall.quantile(0.999).unwrap_or(0.0)
+    }
+
+    /// Overall maximum slowdown observed.
+    pub fn overall_max(&self) -> f64 {
+        self.overall.max().unwrap_or(0.0)
+    }
+
+    /// Overall mean slowdown.
+    pub fn overall_mean(&self) -> f64 {
+        self.overall.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_keys() {
+        let t = SlowdownTracker::new(vec![1, 4, 16]);
+        assert_eq!(t.class_of(1), 0);
+        assert_eq!(t.class_of(2), 1);
+        assert_eq!(t.class_of(4), 1);
+        assert_eq!(t.class_of(5), 2);
+        assert_eq!(t.class_of(16), 2);
+        assert_eq!(t.class_of(17), 3);
+        assert_eq!(t.class_count(), 4);
+    }
+
+    #[test]
+    fn labels() {
+        let t = SlowdownTracker::new(vec![1, 4, 16]);
+        assert_eq!(t.class_label(0), "<=1");
+        assert_eq!(t.class_label(1), "2-4");
+        assert_eq!(t.class_label(2), "5-16");
+        assert_eq!(t.class_label(3), ">16");
+    }
+
+    #[test]
+    fn records_split_by_class() {
+        let mut t = SlowdownTracker::new(vec![2]);
+        t.record(1, 2.0, 1.0); // slowdown 2, class 0
+        t.record(10, 9.0, 3.0); // slowdown 3, class 1
+        let (c0, m0, _, _) = t.class_stats(0);
+        let (c1, m1, _, _) = t.class_stats(1);
+        assert_eq!((c0, c1), (1, 1));
+        assert!((m0 - 2.0).abs() < 0.05);
+        assert!((m1 - 3.0).abs() < 0.05);
+        assert!((t.overall_mean() - 2.5).abs() < 0.05);
+        assert!(t.overall_max() >= 3.0 * 0.99);
+        assert!(t.overall_p999() > 0.0);
+    }
+
+    #[test]
+    fn ignores_invalid() {
+        let mut t = SlowdownTracker::fanout_default();
+        t.record(1, 1.0, 0.0);
+        t.record(1, f64::NAN, 1.0);
+        assert_eq!(t.class_stats(0).0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = SlowdownTracker::new(vec![4, 4]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # das-net — simulated network substrate
+//!
+//! Message delays and traffic accounting for the simulated cluster:
+//!
+//! * [`latency`] — declarative latency models ([`latency::NetworkConfig`])
+//!   producing per-message one-way delays (propagation distribution +
+//!   bandwidth serialization term);
+//! * [`accounting`] — per-class message/byte counters used to quantify
+//!   each scheduler's coordination overhead (Table 3 of the evaluation).
+//!
+//! ```
+//! use das_net::latency::NetworkConfig;
+//! use das_sim::rng::SeedFactory;
+//!
+//! let net = NetworkConfig::default().build();
+//! let mut rng = SeedFactory::new(1).stream("net", 0);
+//! let d = net.delay(4096, &mut rng);
+//! assert!(d.as_secs_f64() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod latency;
+
+pub use accounting::{TrafficAccounting, TrafficClass};
+pub use latency::{LatencyConfig, NetworkConfig, NetworkModel};

@@ -1,0 +1,344 @@
+//! The real-threaded cluster: hash-partitioned [`RtServer`]s plus the
+//! client-side multi-get path with DAS tagging and progress hints.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+use parking_lot::RwLock;
+
+use das_metrics::summary::LatencySummary;
+use das_sched::policy::PolicyKind;
+use das_sched::types::{HintUpdate, OpId, OpTag, QueuedOp, RequestId, ServerId};
+use das_sim::time::{SimDuration, SimTime};
+
+use crate::server::{RtOp, RtServer};
+
+/// Configuration of the real-threaded prototype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtConfig {
+    /// Number of servers (each with its own worker pool and store shard).
+    pub servers: usize,
+    /// Worker threads per server.
+    pub workers_per_server: usize,
+    /// The scheduling policy on every server.
+    pub policy: PolicyKind,
+    /// Fixed emulated service cost per op, nanoseconds.
+    pub per_op_nanos: u64,
+    /// Emulated service cost per value byte, nanoseconds.
+    pub per_byte_nanos: f64,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            servers: 4,
+            workers_per_server: 1,
+            policy: PolicyKind::das(),
+            per_op_nanos: 20_000,
+            per_byte_nanos: 0.5,
+        }
+    }
+}
+
+/// The result of one multi-get.
+#[derive(Debug)]
+pub struct MultiGetResult {
+    /// Value per requested key (`None` = key absent).
+    pub values: HashMap<u64, Option<Bytes>>,
+    /// Wall-clock request completion time.
+    pub rct: Duration,
+    /// Number of per-server operations the request fanned out into.
+    pub ops: usize,
+}
+
+/// A running in-process cluster.
+pub struct RtCluster {
+    config: RtConfig,
+    servers: Vec<RtServer>,
+    /// Client-side value-size metadata (real deployments predict sizes
+    /// from cached metadata; here the index is maintained on load).
+    size_index: RwLock<HashMap<u64, u32>>,
+    epoch: Instant,
+    next_request: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for RtCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtCluster")
+            .field("servers", &self.servers.len())
+            .field("policy", &self.config.policy.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RtCluster {
+    /// Starts the cluster.
+    pub fn start(config: RtConfig) -> Self {
+        assert!(config.servers >= 1);
+        let epoch = Instant::now();
+        RtCluster {
+            servers: (0..config.servers)
+                .map(|_| RtServer::start(config.policy, config.workers_per_server, epoch))
+                .collect(),
+            size_index: RwLock::new(HashMap::new()),
+            epoch,
+            next_request: std::sync::atomic::AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The configured policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.config.policy.name()
+    }
+
+    fn server_of(&self, key: u64) -> usize {
+        // SplitMix mix + modulo: the prototype keeps placement simple.
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z % self.servers.len() as u64) as usize
+    }
+
+    /// Loads a key/value pair into the owning server.
+    pub fn load(&self, key: u64, value: Bytes) {
+        self.size_index.write().insert(key, value.len() as u32);
+        self.servers[self.server_of(key)].load(key, value);
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn demand_nanos(&self, keys: &[u64], index: &HashMap<u64, u32>) -> u64 {
+        let bytes: u64 = keys
+            .iter()
+            .map(|k| *index.get(k).unwrap_or(&1024) as u64)
+            .sum();
+        self.config.per_op_nanos + (bytes as f64 * self.config.per_byte_nanos) as u64
+    }
+
+    /// Executes a multi-get across the cluster, blocking until every
+    /// per-server operation returns.
+    pub fn multi_get(&self, keys: &[u64]) -> MultiGetResult {
+        assert!(!keys.is_empty(), "multi-get needs at least one key");
+        let request = RequestId(
+            self.next_request
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let start = Instant::now();
+        let now = self.now();
+
+        // Group keys per server.
+        let mut groups: Vec<(usize, Vec<u64>)> = Vec::new();
+        for &key in keys {
+            let s = self.server_of(key);
+            match groups.iter_mut().find(|(gs, _)| *gs == s) {
+                Some((_, v)) => v.push(key),
+                None => groups.push((s, vec![key])),
+            }
+        }
+        let fanout = groups.len() as u32;
+
+        // Demands from the size index.
+        let index = self.size_index.read();
+        let demands: Vec<u64> = groups
+            .iter()
+            .map(|(_, keys)| self.demand_nanos(keys, &index))
+            .collect();
+        drop(index);
+        let bottleneck = *demands.iter().max().expect("non-empty groups");
+
+        let (tx, rx) = bounded(groups.len());
+        for (idx, ((server, group_keys), demand)) in groups.iter().zip(demands.iter()).enumerate() {
+            let tag = OpTag {
+                op: OpId {
+                    request,
+                    index: idx as u32,
+                },
+                request_arrival: now,
+                fanout,
+                local_estimate: SimDuration::from_nanos(*demand),
+                bottleneck_eta: now + SimDuration::from_nanos(bottleneck),
+                bottleneck_demand: SimDuration::from_nanos(bottleneck),
+            };
+            self.servers[*server].submit(RtOp {
+                queued: QueuedOp {
+                    tag,
+                    local_estimate: tag.local_estimate,
+                    enqueued_at: now,
+                },
+                keys: group_keys.clone(),
+                service_nanos: *demand,
+                reply: tx.clone(),
+            });
+        }
+        drop(tx);
+
+        // Collect replies; keep the remaining-bottleneck view current and
+        // hint pending servers when it changes.
+        let wants_hints = self.servers[0].wants_hints();
+        let mut done = vec![false; groups.len()];
+        let mut values: HashMap<u64, Option<Bytes>> = HashMap::with_capacity(keys.len());
+        let mut current_bottleneck = bottleneck;
+        for _ in 0..groups.len() {
+            let reply = rx.recv().expect("server dropped reply channel");
+            let idx = reply.op.index as usize;
+            done[idx] = true;
+            for (key, value) in groups[idx].1.iter().zip(reply.values) {
+                values.insert(*key, value);
+            }
+            let remaining = demands
+                .iter()
+                .zip(&done)
+                .filter(|(_, d)| !**d)
+                .map(|(d, _)| *d)
+                .max();
+            if let Some(remaining) = remaining {
+                if wants_hints && remaining != current_bottleneck {
+                    current_bottleneck = remaining;
+                    let update = HintUpdate {
+                        bottleneck_eta: self.now() + SimDuration::from_nanos(remaining),
+                        remaining_demand: SimDuration::from_nanos(remaining),
+                    };
+                    for (i, (server, _)) in groups.iter().enumerate() {
+                        if !done[i] {
+                            self.servers[*server].hint(request, update);
+                        }
+                    }
+                }
+            }
+        }
+        MultiGetResult {
+            values,
+            rct: start.elapsed(),
+            ops: groups.len(),
+        }
+    }
+
+    /// Total ops served across all servers.
+    pub fn ops_served(&self) -> u64 {
+        self.servers.iter().map(|s| s.ops_served()).sum()
+    }
+
+    /// Stops all servers.
+    pub fn shutdown(self) {
+        for s in self.servers {
+            s.shutdown();
+        }
+    }
+
+    /// A placement helper exposed for tests: which server serves `key`.
+    pub fn owner_of(&self, key: u64) -> ServerId {
+        ServerId(self.server_of(key) as u32)
+    }
+}
+
+/// Drives `clients` closed-loop client threads, each issuing `requests`
+/// multi-gets of the given key batches, and returns the wall-clock RCT
+/// distribution.
+pub fn run_closed_loop(
+    cluster: &RtCluster,
+    clients: usize,
+    batches: &[Vec<u64>],
+) -> LatencySummary {
+    assert!(clients >= 1 && !batches.is_empty());
+    let mut summary = LatencySummary::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut local = LatencySummary::new();
+                    for (i, batch) in batches.iter().enumerate() {
+                        if i % clients == c {
+                            let r = cluster.multi_get(batch);
+                            local.record(r.rct.as_secs_f64());
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            summary.merge(&h.join().expect("client thread panicked"));
+        }
+    });
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(policy: PolicyKind) -> RtCluster {
+        let cluster = RtCluster::start(RtConfig {
+            servers: 3,
+            workers_per_server: 2,
+            policy,
+            per_op_nanos: 5_000,
+            per_byte_nanos: 0.1,
+        });
+        for key in 0..300u64 {
+            cluster.load(key, Bytes::from(vec![key as u8; 256]));
+        }
+        cluster
+    }
+
+    #[test]
+    fn multi_get_returns_all_values() {
+        let cluster = small_cluster(PolicyKind::Fcfs);
+        let keys: Vec<u64> = (0..20).collect();
+        let r = cluster.multi_get(&keys);
+        assert_eq!(r.values.len(), 20);
+        for k in &keys {
+            let v = r.values[k].as_ref().expect("loaded key present");
+            assert_eq!(v.len(), 256);
+            assert_eq!(v[0], *k as u8);
+        }
+        assert!(r.ops <= 3);
+        assert!(r.rct > Duration::ZERO);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn missing_keys_are_none() {
+        let cluster = small_cluster(PolicyKind::das());
+        let r = cluster.multi_get(&[5, 9999]);
+        assert!(r.values[&5].is_some());
+        assert_eq!(r.values[&9999], None);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn placement_is_stable() {
+        let cluster = small_cluster(PolicyKind::Fcfs);
+        for k in 0..100 {
+            assert_eq!(cluster.owner_of(k), cluster.owner_of(k));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn closed_loop_measures_all_requests() {
+        let cluster = small_cluster(PolicyKind::das());
+        let batches: Vec<Vec<u64>> = (0..40).map(|i| vec![i, i + 100, i + 200]).collect();
+        let summary = run_closed_loop(&cluster, 4, &batches);
+        assert_eq!(summary.count(), 40);
+        assert!(summary.mean() > 0.0);
+        assert!(cluster.ops_served() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn all_policies_serve_correctly() {
+        for policy in PolicyKind::standard_set() {
+            let cluster = small_cluster(policy);
+            let r = cluster.multi_get(&(0..12).collect::<Vec<u64>>());
+            assert_eq!(r.values.len(), 12);
+            assert!(r.values.values().all(|v| v.is_some()));
+            cluster.shutdown();
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # das-rt — real-threaded prototype
+//!
+//! The schedulers from `das-sched` running outside the simulator: an
+//! in-process, multi-threaded key-value cluster with real worker threads,
+//! real queues, and wall-clock measurement. This is the "tokio-style
+//! prototype" counterpart to the simulation — used by the examples and as
+//! a sanity check that the disciplines behave under genuine concurrency —
+//! built on `crossbeam` + `parking_lot` (no async runtime in the approved
+//! dependency set, and none needed for an in-process prototype).
+//!
+//! * [`store`] — a sharded concurrent in-memory store;
+//! * [`server`] — scheduler-fronted worker pools with emulated service
+//!   cost (busy-wait per byte);
+//! * [`cluster`] — hash-partitioned cluster, the client-side multi-get
+//!   path with DAS tags + progress hints, and a closed-loop load driver.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use das_rt::cluster::{RtCluster, RtConfig};
+//!
+//! let cluster = RtCluster::start(RtConfig { servers: 2, ..Default::default() });
+//! cluster.load(7, Bytes::from_static(b"hello"));
+//! let result = cluster.multi_get(&[7]);
+//! assert_eq!(result.values[&7].as_deref(), Some(&b"hello"[..]));
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod server;
+pub mod store;
+
+pub use cluster::{run_closed_loop, MultiGetResult, RtCluster, RtConfig};
+pub use server::{OpReply, RtOp, RtServer};
+pub use store::InMemoryStore;

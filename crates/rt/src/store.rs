@@ -1,0 +1,106 @@
+//! A sharded in-memory key-value store: the data plane of the
+//! real-threaded prototype.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Number of lock shards (power of two).
+const SHARDS: usize = 64;
+
+/// A concurrent in-memory key→value map with striped locking.
+#[derive(Debug)]
+pub struct InMemoryStore {
+    shards: Vec<RwLock<HashMap<u64, Bytes>>>,
+}
+
+impl Default for InMemoryStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        InMemoryStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Bytes>> {
+        // SplitMix-style mix so sequential keys spread across shards.
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        &self.shards[(z as usize) & (SHARDS - 1)]
+    }
+
+    /// Stores `value` under `key`, returning the previous value if any.
+    pub fn put(&self, key: u64, value: Bytes) -> Option<Bytes> {
+        self.shard(key).write().insert(key, value)
+    }
+
+    /// Reads the value under `key`.
+    pub fn get(&self, key: u64) -> Option<Bytes> {
+        self.shard(key).read().get(&key).cloned()
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: u64) -> Option<Bytes> {
+        self.shard(key).write().remove(&key)
+    }
+
+    /// Number of stored keys (takes all shard locks; O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let s = InMemoryStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.put(1, Bytes::from_static(b"a")), None);
+        assert_eq!(
+            s.put(1, Bytes::from_static(b"b")),
+            Some(Bytes::from_static(b"a"))
+        );
+        assert_eq!(s.get(1), Some(Bytes::from_static(b"b")));
+        assert_eq!(s.get(2), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(1), Some(Bytes::from_static(b"b")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let s = Arc::new(InMemoryStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let key = t * 1000 + i;
+                        s.put(key, Bytes::from(vec![t as u8; 16]));
+                        assert!(s.get(key).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 8000);
+    }
+}

@@ -1,0 +1,174 @@
+//! Declarative policy selection: a serde-friendly [`PolicyKind`] that every
+//! experiment config uses, plus the factory turning it into a live
+//! [`Scheduler`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{Edf, Fcfs, LrptLast, RandomOrder, Sjf};
+use crate::das::{Das, DasConfig};
+use crate::rein::{Rein2L, ReinMultiLevel, ReinSbf};
+use crate::scheduler::Scheduler;
+
+/// The scheduling disciplines available to experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PolicyKind {
+    /// First-come-first-served (default baseline).
+    Fcfs,
+    /// Shortest job first on the local op's expected service time.
+    Sjf,
+    /// Earliest (arrival + bottleneck demand) first.
+    Edf,
+    /// The LRPT-last component in isolation.
+    LrptLast,
+    /// Rein's exact Shortest Bottleneck First.
+    ReinSbf,
+    /// Rein's two-priority-level practical variant.
+    Rein2L,
+    /// Generalized multi-level Rein with `levels` adaptive bands.
+    ReinMl {
+        /// Number of priority levels (>= 2).
+        levels: usize,
+    },
+    /// Uniformly random service order (control baseline).
+    Random {
+        /// Seed for the policy's private RNG.
+        seed: u64,
+    },
+    /// The Distributed Adaptive Scheduler with explicit configuration.
+    Das {
+        /// DAS tuning/ablation knobs.
+        #[serde(default)]
+        config: DasConfig,
+    },
+}
+
+impl PolicyKind {
+    /// DAS with default configuration.
+    pub fn das() -> Self {
+        PolicyKind::Das {
+            config: DasConfig::default(),
+        }
+    }
+
+    /// The centralized-oracle reference.
+    pub fn oracle() -> Self {
+        PolicyKind::Das {
+            config: DasConfig::oracle(),
+        }
+    }
+
+    /// The policy set used by the headline figures: FCFS, SJF, Rein-SBF,
+    /// Rein-2L, DAS.
+    pub fn standard_set() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Fcfs,
+            PolicyKind::Sjf,
+            PolicyKind::ReinSbf,
+            PolicyKind::Rein2L,
+            PolicyKind::das(),
+        ]
+    }
+
+    /// The ablation set for Fig. 15.
+    pub fn ablation_set() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::das(),
+            PolicyKind::Das {
+                config: DasConfig::without_remaining_bottleneck(),
+            },
+            PolicyKind::Das {
+                config: DasConfig::without_adaptivity(),
+            },
+            PolicyKind::Das {
+                config: DasConfig::without_aging(),
+            },
+        ]
+    }
+
+    /// Instantiates a fresh scheduler (one per server).
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            PolicyKind::Fcfs => Box::new(Fcfs::new()),
+            PolicyKind::Sjf => Box::new(Sjf::new()),
+            PolicyKind::Edf => Box::new(Edf::new()),
+            PolicyKind::LrptLast => Box::new(LrptLast::new()),
+            PolicyKind::ReinSbf => Box::new(ReinSbf::new()),
+            PolicyKind::Rein2L => Box::new(Rein2L::new()),
+            PolicyKind::ReinMl { levels } => Box::new(ReinMultiLevel::new(levels)),
+            PolicyKind::Random { seed } => Box::new(RandomOrder::new(seed)),
+            PolicyKind::Das { config } => Box::new(Das::new(config)),
+        }
+    }
+
+    /// The display name (matches [`Scheduler::name`] of the built
+    /// scheduler).
+    pub fn name(&self) -> &'static str {
+        self.build().name()
+    }
+
+    /// True if the built scheduler uses oracle-quality information.
+    pub fn is_oracle(&self) -> bool {
+        matches!(self, PolicyKind::Das { config } if config.oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_across_standard_set() {
+        let names: std::collections::HashSet<&str> = PolicyKind::standard_set()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(names.len(), PolicyKind::standard_set().len());
+    }
+
+    #[test]
+    fn build_matches_name() {
+        for p in PolicyKind::standard_set() {
+            assert_eq!(p.build().name(), p.name());
+        }
+        assert_eq!(PolicyKind::oracle().name(), "Oracle");
+        assert!(PolicyKind::oracle().is_oracle());
+        assert!(!PolicyKind::das().is_oracle());
+        assert!(!PolicyKind::Fcfs.is_oracle());
+    }
+
+    #[test]
+    fn ablation_set_has_distinct_names() {
+        let names: Vec<&str> = PolicyKind::ablation_set()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["DAS", "DAS-noLRPT", "DAS-noAdapt", "DAS-noAging"]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for p in [
+            PolicyKind::Fcfs,
+            PolicyKind::Edf,
+            PolicyKind::LrptLast,
+            PolicyKind::ReinMl { levels: 4 },
+            PolicyKind::Random { seed: 3 },
+            PolicyKind::das(),
+            PolicyKind::oracle(),
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: PolicyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn das_config_defaults_apply_when_omitted() {
+        let p: PolicyKind = serde_json::from_str(r#"{"kind":"das"}"#).unwrap();
+        assert_eq!(p, PolicyKind::das());
+    }
+}

@@ -1,0 +1,197 @@
+//! The [`Scheduler`] trait: a per-server queue discipline.
+//!
+//! A scheduler owns the server's wait queue. The simulated (or real) server
+//! calls [`Scheduler::enqueue`] when an operation arrives and
+//! [`Scheduler::dequeue`] whenever a worker frees up. Schedulers are
+//! strictly local: the only remote information available is what arrives in
+//! each op's [`OpTag`](crate::types::OpTag) and, for hint-driven policies,
+//! through [`Scheduler::on_hint`].
+
+use das_sim::time::{SimDuration, SimTime};
+
+use crate::types::{HintUpdate, QueuedOp, RequestId};
+
+/// A per-server, non-preemptive queue discipline.
+pub trait Scheduler: Send {
+    /// Stable machine-readable name (used as the row label in every table).
+    fn name(&self) -> &'static str;
+
+    /// Adds an operation to the wait queue.
+    fn enqueue(&mut self, op: QueuedOp, now: SimTime);
+
+    /// Removes and returns the next operation to serve, or `None` if the
+    /// queue is empty.
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedOp>;
+
+    /// Number of queued operations.
+    fn len(&self) -> usize;
+
+    /// True when no operations are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers a progress hint: the owning request's bottleneck estimates
+    /// changed (see [`HintUpdate`]). Only called when
+    /// [`Scheduler::wants_hints`] is true.
+    fn on_hint(&mut self, _request: RequestId, _update: HintUpdate, _now: SimTime) {}
+
+    /// Extra metadata bytes this policy attaches to each dispatched op
+    /// (charged to the overhead accounting).
+    fn metadata_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Whether the coordinator should send progress hints to this policy.
+    fn wants_hints(&self) -> bool {
+        false
+    }
+
+    /// Whether this policy benefits from piggybacked server reports (the
+    /// coordinator maintains load/rate estimates only when some policy
+    /// wants them).
+    fn wants_piggyback(&self) -> bool {
+        false
+    }
+
+    /// Sum of `local_estimate` over all queued ops — the backlog the server
+    /// advertises in its piggybacked reports.
+    fn queued_work(&self) -> SimDuration;
+}
+
+/// A FIFO-stable priority queue keyed once at enqueue time: the workhorse
+/// behind SJF, Rein-SBF and EDF.
+///
+/// Lower keys dequeue first; equal keys dequeue in arrival order.
+#[derive(Debug)]
+pub struct KeyedQueue {
+    heap: std::collections::BinaryHeap<Entry>,
+    seq: u64,
+    queued_work: SimDuration,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    seq: u64,
+    op: QueuedOp,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (key, seq).
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl Default for KeyedQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyedQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        KeyedQueue {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+            queued_work: SimDuration::ZERO,
+        }
+    }
+
+    /// Inserts `op` with priority `key` (lower dequeues first).
+    pub fn push(&mut self, key: u64, op: QueuedOp) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queued_work += op.local_estimate;
+        self.heap.push(Entry { key, seq, op });
+    }
+
+    /// Removes the lowest-key (oldest on ties) operation.
+    pub fn pop(&mut self) -> Option<QueuedOp> {
+        let e = self.heap.pop()?;
+        self.queued_work = self.queued_work.saturating_sub(e.op.local_estimate);
+        Some(e.op)
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total estimated work queued.
+    pub fn queued_work(&self) -> SimDuration {
+        self.queued_work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{OpId, OpTag};
+
+    pub(crate) fn op(req: u64, idx: u32, est_us: u64, now: SimTime) -> QueuedOp {
+        QueuedOp {
+            tag: OpTag {
+                op: OpId {
+                    request: RequestId(req),
+                    index: idx,
+                },
+                request_arrival: now,
+                fanout: 1,
+                local_estimate: SimDuration::from_micros(est_us),
+                bottleneck_eta: now + SimDuration::from_micros(est_us),
+                bottleneck_demand: SimDuration::from_micros(est_us),
+            },
+            local_estimate: SimDuration::from_micros(est_us),
+            enqueued_at: now,
+        }
+    }
+
+    #[test]
+    fn keyed_queue_orders_by_key_then_fifo() {
+        let mut q = KeyedQueue::new();
+        let t = SimTime::ZERO;
+        q.push(5, op(1, 0, 10, t));
+        q.push(3, op(2, 0, 10, t));
+        q.push(5, op(3, 0, 10, t));
+        assert_eq!(q.pop().unwrap().tag.op.request, RequestId(2));
+        assert_eq!(q.pop().unwrap().tag.op.request, RequestId(1));
+        assert_eq!(q.pop().unwrap().tag.op.request, RequestId(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn keyed_queue_tracks_work() {
+        let mut q = KeyedQueue::new();
+        let t = SimTime::ZERO;
+        q.push(1, op(1, 0, 100, t));
+        q.push(2, op(2, 0, 200, t));
+        assert_eq!(q.queued_work(), SimDuration::from_micros(300));
+        q.pop();
+        assert_eq!(q.queued_work(), SimDuration::from_micros(200));
+        q.pop();
+        assert_eq!(q.queued_work(), SimDuration::ZERO);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Identifiers and the per-operation metadata tag that travels with every
+//! key-value operation.
+//!
+//! The tag is the *only* cross-server information a distributed scheduler
+//! may use — that is what makes DAS deployable without centralized state.
+
+use serde::{Deserialize, Serialize};
+
+use das_sim::time::{SimDuration, SimTime};
+
+/// Identifies one end-user (multi-get) request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+/// Identifies one server in the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u32);
+
+/// Identifies one key-value operation: the request it belongs to and its
+/// index within that request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId {
+    /// The owning request.
+    pub request: RequestId,
+    /// Index of this operation within the request (0-based).
+    pub index: u32,
+}
+
+/// Scheduling metadata stamped on an operation by the coordinator at
+/// dispatch time.
+///
+/// All estimates are the *coordinator's* view built from piggybacked server
+/// reports; they may be stale or wrong — schedulers must treat them as
+/// hints, not truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpTag {
+    /// The operation's identity.
+    pub op: OpId,
+    /// When the end-user request arrived at the coordinator.
+    pub request_arrival: SimTime,
+    /// Number of sibling operations in the request (including this one).
+    pub fanout: u32,
+    /// Expected service time of this operation at its target server.
+    pub local_estimate: SimDuration,
+    /// Expected completion instant of the request's *bottleneck* operation
+    /// (the largest expected wait + service across all siblings), as
+    /// estimated at dispatch. This single absolute timestamp encodes both
+    /// Rein's bottleneck size and DAS's remaining-time view: the remaining
+    /// bottleneck work at time `t` is `bottleneck_eta - t`.
+    pub bottleneck_eta: SimTime,
+    /// The request's bottleneck *service demand* (max expected sibling
+    /// service time, excluding queueing) — Rein-SBF's priority key.
+    pub bottleneck_demand: SimDuration,
+}
+
+impl OpTag {
+    /// Remaining bottleneck time of the owning request as seen at `now`
+    /// (zero once the estimated bottleneck instant has passed).
+    pub fn remaining_at(&self, now: SimTime) -> SimDuration {
+        self.bottleneck_eta.saturating_since(now)
+    }
+}
+
+/// An operation waiting in (or being handed to) a server's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedOp {
+    /// Dispatch-time metadata.
+    pub tag: OpTag,
+    /// The scheduler's estimate of this op's service time at *this* server.
+    /// May differ from the true demand if estimates are noisy.
+    pub local_estimate: SimDuration,
+    /// When this op arrived at the server.
+    pub enqueued_at: SimTime,
+}
+
+impl QueuedOp {
+    /// Time this op has spent waiting at the server as of `now`.
+    pub fn wait_at(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.enqueued_at)
+    }
+}
+
+/// A progress hint from the coordinator: the owning request's bottleneck
+/// estimates changed (typically because a sibling operation completed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HintUpdate {
+    /// New estimated completion instant of the request's slowest pending
+    /// operation.
+    pub bottleneck_eta: SimTime,
+    /// New largest expected *service demand* among the request's pending
+    /// operations — the quantity DAS ranks by.
+    pub remaining_demand: SimDuration,
+}
+
+/// Server state piggybacked on every response: the coordinator's window
+/// into time-varying load and performance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// The reporting server.
+    pub server: ServerId,
+    /// Expected seconds of queued + in-service work at report time.
+    pub backlog_secs: f64,
+    /// EWMA-observed service rate, bytes/second.
+    pub service_rate: f64,
+    /// Number of queued operations.
+    pub queue_len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(eta_ms: u64) -> OpTag {
+        OpTag {
+            op: OpId {
+                request: RequestId(1),
+                index: 0,
+            },
+            request_arrival: SimTime::ZERO,
+            fanout: 3,
+            local_estimate: SimDuration::from_millis(1),
+            bottleneck_eta: SimTime::from_millis(eta_ms),
+            bottleneck_demand: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn remaining_decays_to_zero() {
+        let t = tag(10);
+        assert_eq!(
+            t.remaining_at(SimTime::from_millis(4)),
+            SimDuration::from_millis(6)
+        );
+        assert_eq!(t.remaining_at(SimTime::from_millis(10)), SimDuration::ZERO);
+        assert_eq!(t.remaining_at(SimTime::from_millis(99)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wait_accumulates() {
+        let q = QueuedOp {
+            tag: tag(10),
+            local_estimate: SimDuration::from_millis(1),
+            enqueued_at: SimTime::from_millis(5),
+        };
+        assert_eq!(
+            q.wait_at(SimTime::from_millis(8)),
+            SimDuration::from_millis(3)
+        );
+        assert_eq!(q.wait_at(SimTime::from_millis(2)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        let a = OpId {
+            request: RequestId(1),
+            index: 0,
+        };
+        let b = OpId {
+            request: RequestId(1),
+            index: 1,
+        };
+        assert!(a < b);
+        let set: HashSet<OpId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,401 @@
+//! Discrete distributions: weighted sampling (alias method), Zipf key
+//! popularity, and integer-valued distributions for request fan-outs.
+
+use rand::RngCore;
+
+use crate::rng::open_unit;
+
+/// A discrete distribution over `usize` sampled with an external RNG.
+pub trait SampleDiscrete {
+    /// Draws one value.
+    fn sample(&self, rng: &mut dyn RngCore) -> usize;
+
+    /// The mean, when known.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// Walker's alias method: O(n) setup, O(1) exact weighted sampling.
+///
+/// ```
+/// use das_sim::discrete::{AliasTable, SampleDiscrete};
+/// use das_sim::rng::SeedFactory;
+///
+/// let t = AliasTable::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = SeedFactory::new(1).stream("alias", 0);
+/// let mut counts = [0usize; 3];
+/// for _ in 0..40_000 {
+///     counts[t.sample(&mut rng)] += 1;
+/// }
+/// assert_eq!(counts[1], 0); // zero weight never drawn
+/// assert!(counts[2] > counts[0] * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    mean: f64,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights. Returns `None` if the
+    /// slice is empty, contains a negative or non-finite weight, or sums to
+    /// zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        let mean = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| i as f64 * w / total)
+            .sum();
+        Some(AliasTable { prob, alias, mean })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+impl SampleDiscrete for AliasTable {
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let n = self.prob.len();
+        let i = (rng.next_u64() % n as u64) as usize;
+        if open_unit(rng) <= self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// Zipf distribution over ranks `0..n` with skew `theta >= 0`.
+///
+/// `theta = 0` is uniform; larger values concentrate probability on low
+/// ranks. Implemented with a precomputed alias table, so sampling is O(1)
+/// and exact.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Zipf over `n >= 1` ranks with exponent `theta >= 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-theta)).collect();
+        Zipf {
+            table: AliasTable::new(&weights).expect("weights are positive"),
+            theta,
+        }
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the distribution has no ranks (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl SampleDiscrete for Zipf {
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        self.table.sample(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        self.table.mean()
+    }
+}
+
+/// A point mass at a single integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantInt {
+    value: usize,
+}
+
+impl ConstantInt {
+    /// A point mass at `value`.
+    pub fn new(value: usize) -> Self {
+        ConstantInt { value }
+    }
+}
+
+impl SampleDiscrete for ConstantInt {
+    fn sample(&self, _rng: &mut dyn RngCore) -> usize {
+        self.value
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.value as f64)
+    }
+}
+
+/// Uniform over the inclusive integer range `[low, high]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformInt {
+    low: usize,
+    high: usize,
+}
+
+impl UniformInt {
+    /// Uniform over `[low, high]`; requires `low <= high`.
+    pub fn new(low: usize, high: usize) -> Self {
+        assert!(low <= high);
+        UniformInt { low, high }
+    }
+}
+
+impl SampleDiscrete for UniformInt {
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let span = (self.high - self.low + 1) as u64;
+        self.low + (rng.next_u64() % span) as usize
+    }
+    fn mean(&self) -> Option<f64> {
+        Some((self.low + self.high) as f64 / 2.0)
+    }
+}
+
+/// An integer distribution given by an explicit probability vector over
+/// `offset..offset+weights.len()`.
+#[derive(Debug, Clone)]
+pub struct WeightedInt {
+    table: AliasTable,
+    offset: usize,
+}
+
+impl WeightedInt {
+    /// Weighted distribution over `offset + i` for each weight index `i`.
+    /// Returns `None` on invalid weights (see [`AliasTable::new`]).
+    pub fn new(offset: usize, weights: &[f64]) -> Option<Self> {
+        Some(WeightedInt {
+            table: AliasTable::new(weights)?,
+            offset,
+        })
+    }
+
+    /// A two-point distribution: `a` with probability `p_a`, else `b`.
+    /// Requires `a < b`.
+    pub fn bimodal(a: usize, p_a: f64, b: usize) -> Self {
+        assert!(a < b, "bimodal requires a < b");
+        assert!((0.0..=1.0).contains(&p_a));
+        let mut weights = vec![0.0; b - a + 1];
+        weights[0] = p_a;
+        weights[b - a] = 1.0 - p_a;
+        WeightedInt::new(a, &weights).expect("valid weights")
+    }
+}
+
+impl SampleDiscrete for WeightedInt {
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        self.offset + self.table.sample(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        self.table.mean().map(|m| m + self.offset as f64)
+    }
+}
+
+/// Geometric-like distribution truncated to `[1, max]`: value `k` has weight
+/// `p * (1-p)^(k-1)`. Useful for fan-outs where small requests dominate.
+#[derive(Debug, Clone)]
+pub struct TruncatedGeometric {
+    inner: WeightedInt,
+}
+
+impl TruncatedGeometric {
+    /// Truncated geometric on `[1, max]` with success probability
+    /// `0 < p < 1`.
+    pub fn new(p: f64, max: usize) -> Self {
+        assert!((0.0..1.0).contains(&p) && p > 0.0);
+        assert!(max >= 1);
+        let weights: Vec<f64> = (1..=max)
+            .map(|k| p * (1.0 - p).powi(k as i32 - 1))
+            .collect();
+        TruncatedGeometric {
+            inner: WeightedInt::new(1, &weights).expect("valid weights"),
+        }
+    }
+}
+
+impl SampleDiscrete for TruncatedGeometric {
+    fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        self.inner.sample(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        self.inner.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedFactory;
+
+    #[test]
+    fn alias_rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut rng = SeedFactory::new(11).stream("a", 0);
+        let n = 400_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = (i + 1) as f64 / 10.0;
+            let got = c as f64 / n as f64;
+            assert!((got - expect).abs() < 0.005, "i={i} got={got}");
+        }
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn alias_singleton() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = SeedFactory::new(1).stream("s", 0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SeedFactory::new(2).stream("z", 0);
+        let n = 200_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let got = c as f64 / n as f64;
+            assert!((got - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SeedFactory::new(3).stream("z2", 0);
+        let n = 100_000;
+        let mut top10 = 0usize;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta ~ 1, the top 1% of ranks should carry a large share.
+        assert!(top10 as f64 / n as f64 > 0.3, "top10 share = {top10}");
+        assert_eq!(z.len(), 1000);
+        assert!((z.theta() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_and_uniform_int() {
+        let mut rng = SeedFactory::new(4).stream("ci", 0);
+        let c = ConstantInt::new(7);
+        assert_eq!(c.sample(&mut rng), 7);
+        assert_eq!(c.mean(), Some(7.0));
+        let u = UniformInt::new(2, 5);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((2..=5).contains(&x));
+        }
+        assert_eq!(u.mean(), Some(3.5));
+    }
+
+    #[test]
+    fn weighted_int_offset() {
+        let w = WeightedInt::new(10, &[1.0, 1.0]).unwrap();
+        let mut rng = SeedFactory::new(5).stream("wi", 0);
+        for _ in 0..1000 {
+            let x = w.sample(&mut rng);
+            assert!(x == 10 || x == 11);
+        }
+        assert_eq!(w.mean(), Some(10.5));
+    }
+
+    #[test]
+    fn bimodal_int() {
+        let w = WeightedInt::bimodal(1, 0.9, 100);
+        let mut rng = SeedFactory::new(6).stream("bi", 0);
+        let n = 100_000;
+        let small = (0..n).filter(|_| w.sample(&mut rng) == 1).count();
+        assert!((small as f64 / n as f64 - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn truncated_geometric_range_and_skew() {
+        let g = TruncatedGeometric::new(0.5, 8);
+        let mut rng = SeedFactory::new(7).stream("g", 0);
+        let n = 100_000;
+        let mut counts = [0usize; 9];
+        for _ in 0..n {
+            let x = g.sample(&mut rng);
+            assert!((1..=8).contains(&x));
+            counts[x] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[3]);
+    }
+}

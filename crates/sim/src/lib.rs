@@ -1,0 +1,57 @@
+//! # das-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate every other crate in this workspace runs on. It provides:
+//!
+//! * [`time`] — integer-nanosecond [`time::SimTime`] / [`time::SimDuration`];
+//! * [`queue`] — a future event list with FIFO tie-breaking, making runs
+//!   bit-for-bit reproducible;
+//! * [`rng`] — labelled, independently seeded RNG streams;
+//! * [`dist`] / [`discrete`] — the probability distributions needed by the
+//!   workloads of the DAS paper (exponential, bounded Pareto, lognormal,
+//!   Zipf, …), implemented locally because `rand_distr` is not in the
+//!   approved dependency set;
+//! * [`process`] — Poisson / MMPP / schedule-modulated arrival processes for
+//!   time-varying-load experiments;
+//! * [`stats`] — Welford accumulators and EWMAs used by the adaptive
+//!   scheduler.
+//!
+//! ## Example
+//!
+//! ```
+//! use das_sim::prelude::*;
+//!
+//! // A reproducible Poisson arrival stream.
+//! let seeds = SeedFactory::new(7);
+//! let mut rng = seeds.stream("arrivals", 0);
+//! let mut process = PoissonProcess::new(1_000.0);
+//! let mut queue = EventQueue::new();
+//! let mut t = SimTime::ZERO;
+//! for id in 0..10u32 {
+//!     t = process.next_arrival(t, &mut rng).unwrap();
+//!     queue.schedule(t, id);
+//! }
+//! let first = queue.pop().unwrap();
+//! assert_eq!(first.event, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod discrete;
+pub mod dist;
+pub mod process;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+/// Convenient glob-import of the kernel's most used types.
+pub mod prelude {
+    pub use crate::discrete::{SampleDiscrete, Zipf};
+    pub use crate::dist::{Exponential, Sample};
+    pub use crate::process::{ArrivalProcess, PoissonProcess, RateSchedule};
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::{SeedFactory, SimRng};
+    pub use crate::stats::{Ewma, OnlineStats};
+    pub use crate::time::{SimDuration, SimTime};
+}

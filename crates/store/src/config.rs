@@ -1,0 +1,289 @@
+//! Cluster and simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use das_net::latency::NetworkConfig;
+use das_sched::policy::PolicyKind;
+use das_sim::time::SimDuration;
+
+use crate::partition::PartitionerConfig;
+
+fn default_coordinators() -> u32 {
+    1
+}
+
+/// A scheduled change to one server's performance — the substrate for the
+/// time-varying-server-performance experiments (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfEvent {
+    /// Affected server index.
+    pub server: u32,
+    /// When the change takes effect, seconds.
+    pub start_secs: f64,
+    /// When the server recovers, seconds (`f64::INFINITY` = never).
+    pub end_secs: f64,
+    /// Service-rate multiplier during the window (0.25 = 4× slower).
+    pub multiplier: f64,
+}
+
+impl PerfEvent {
+    /// The multiplier in effect for this event at time `t` (1.0 outside
+    /// the window).
+    pub fn multiplier_at(&self, t_secs: f64) -> f64 {
+        if t_secs >= self.start_secs && t_secs < self.end_secs {
+            self.multiplier
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of servers.
+    pub servers: u32,
+    /// Concurrent workers (service slots) per server.
+    pub workers_per_server: u32,
+    /// Nominal service rate, bytes/second (e.g. `1e9` ≈ memcached-class).
+    pub base_rate_bytes_per_sec: f64,
+    /// Fixed per-operation service overhead (parsing, lookup, framing).
+    pub per_op_overhead: SimDuration,
+    /// Network model between coordinator and servers.
+    pub network: NetworkConfig,
+    /// Key→server placement.
+    pub partitioner: PartitionerConfig,
+    /// Replication factor (1 = no replication). Reads go to the replica
+    /// with the lowest estimated completion time.
+    pub replication: u32,
+    /// Number of independent client coordinators. Requests are spread
+    /// round-robin across them; each maintains its *own* piggyback-fed
+    /// estimates and only sees its own responses, so higher counts mean
+    /// staler, more fragmented information — the realistic stress test of
+    /// the "distributed" claim.
+    #[serde(default = "default_coordinators")]
+    pub coordinators: u32,
+    /// Probability that a progress-hint message is lost in flight
+    /// (hints are fire-and-forget; DAS must tolerate losing them).
+    #[serde(default)]
+    pub hint_loss: f64,
+    /// Scheduled server slowdowns/speedups.
+    pub perf_events: Vec<PerfEvent>,
+    /// Relative standard deviation of the coordinator's service-time
+    /// estimates (0 = perfect size knowledge).
+    pub estimate_noise: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            servers: 100,
+            workers_per_server: 1,
+            base_rate_bytes_per_sec: 1e9,
+            per_op_overhead: SimDuration::from_micros(5),
+            network: NetworkConfig::default(),
+            partitioner: PartitionerConfig::default(),
+            replication: 1,
+            coordinators: 1,
+            hint_loss: 0.0,
+            perf_events: Vec::new(),
+            estimate_noise: 0.0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Effective rate multiplier for `server` at `t_secs`, combining all
+    /// overlapping events multiplicatively.
+    pub fn rate_multiplier(&self, server: u32, t_secs: f64) -> f64 {
+        self.perf_events
+            .iter()
+            .filter(|e| e.server == server)
+            .map(|e| e.multiplier_at(t_secs))
+            .product()
+    }
+
+    /// Mean service time for an op of `bytes` at nominal rate.
+    pub fn nominal_service_secs(&self, bytes: u64) -> f64 {
+        self.per_op_overhead.as_secs_f64() + bytes as f64 / self.base_rate_bytes_per_sec
+    }
+
+    /// Validates invariants, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers == 0 {
+            return Err("servers must be >= 1".into());
+        }
+        if self.workers_per_server == 0 {
+            return Err("workers_per_server must be >= 1".into());
+        }
+        if !(self.base_rate_bytes_per_sec.is_finite() && self.base_rate_bytes_per_sec > 0.0) {
+            return Err("base_rate_bytes_per_sec must be positive".into());
+        }
+        if self.replication == 0 {
+            return Err("replication must be >= 1".into());
+        }
+        if self.coordinators == 0 {
+            return Err("coordinators must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.hint_loss) {
+            return Err("hint_loss must be in [0, 1]".into());
+        }
+        if !(self.estimate_noise.is_finite() && self.estimate_noise >= 0.0) {
+            return Err("estimate_noise must be >= 0".into());
+        }
+        for e in &self.perf_events {
+            if e.server >= self.servers {
+                return Err(format!("perf event for nonexistent server {}", e.server));
+            }
+            if !(e.multiplier.is_finite() && e.multiplier > 0.0) {
+                return Err("perf multiplier must be positive".into());
+            }
+            if e.end_secs < e.start_secs {
+                return Err("perf event ends before it starts".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything one simulation run needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// The cluster under test.
+    pub cluster: ClusterConfig,
+    /// The scheduling policy deployed on every server.
+    pub policy: PolicyKind,
+    /// Master seed (all randomness derives from it).
+    pub seed: u64,
+    /// Simulated run length, seconds.
+    pub horizon_secs: f64,
+    /// Requests arriving before this instant are excluded from statistics.
+    pub warmup_secs: f64,
+    /// Bin width for the RCT-over-time series, seconds (`None` = skip).
+    pub rct_timeseries_bin_secs: Option<f64>,
+}
+
+impl SimulationConfig {
+    /// A run of `horizon_secs` with the given policy on a default cluster.
+    pub fn new(policy: PolicyKind, horizon_secs: f64) -> Self {
+        SimulationConfig {
+            cluster: ClusterConfig::default(),
+            policy,
+            seed: 1,
+            horizon_secs,
+            warmup_secs: (horizon_secs * 0.1).min(2.0),
+            rct_timeseries_bin_secs: None,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cluster.validate()?;
+        if !(self.horizon_secs.is_finite() && self.horizon_secs > 0.0) {
+            return Err("horizon must be positive".into());
+        }
+        if self.warmup_secs < 0.0 || self.warmup_secs >= self.horizon_secs {
+            return Err("warmup must be in [0, horizon)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(ClusterConfig::default().validate(), Ok(()));
+        assert_eq!(
+            SimulationConfig::new(PolicyKind::Fcfs, 10.0).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn perf_event_windows() {
+        let e = PerfEvent {
+            server: 3,
+            start_secs: 1.0,
+            end_secs: 2.0,
+            multiplier: 0.25,
+        };
+        assert_eq!(e.multiplier_at(0.5), 1.0);
+        assert_eq!(e.multiplier_at(1.0), 0.25);
+        assert_eq!(e.multiplier_at(1.999), 0.25);
+        assert_eq!(e.multiplier_at(2.0), 1.0);
+    }
+
+    #[test]
+    fn multipliers_compose() {
+        let c = ClusterConfig {
+            perf_events: perf_event_fixture(),
+            ..Default::default()
+        };
+        fn perf_event_fixture() -> Vec<PerfEvent> {
+            vec![
+                PerfEvent {
+                    server: 0,
+                    start_secs: 0.0,
+                    end_secs: 10.0,
+                    multiplier: 0.5,
+                },
+                PerfEvent {
+                    server: 0,
+                    start_secs: 5.0,
+                    end_secs: 10.0,
+                    multiplier: 0.5,
+                },
+                PerfEvent {
+                    server: 1,
+                    start_secs: 0.0,
+                    end_secs: 10.0,
+                    multiplier: 2.0,
+                },
+            ]
+        }
+        assert_eq!(c.rate_multiplier(0, 1.0), 0.5);
+        assert_eq!(c.rate_multiplier(0, 6.0), 0.25);
+        assert_eq!(c.rate_multiplier(1, 6.0), 2.0);
+        assert_eq!(c.rate_multiplier(2, 6.0), 1.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let c = ClusterConfig {
+            servers: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.perf_events.push(PerfEvent {
+            server: 1000,
+            start_secs: 0.0,
+            end_secs: 1.0,
+            multiplier: 0.5,
+        });
+        assert!(c.validate().unwrap_err().contains("nonexistent"));
+
+        let mut s = SimulationConfig::new(PolicyKind::Fcfs, 10.0);
+        s.warmup_secs = 20.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn nominal_service_time() {
+        let c = ClusterConfig::default();
+        let t = c.nominal_service_secs(1_000_000);
+        assert!((t - (5e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = SimulationConfig::new(PolicyKind::das(), 5.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SimulationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

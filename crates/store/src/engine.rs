@@ -1,0 +1,920 @@
+//! The discrete-event simulation engine: coordinator, network, and servers
+//! wired together.
+//!
+//! One run simulates a single logical coordinator (the client tier) issuing
+//! multi-get requests against `N` servers. Per-key reads are coalesced into
+//! one operation per target server, as real multi-get RPCs are. The engine
+//! is fully deterministic given the configuration seed.
+
+use std::collections::HashMap;
+
+use das_metrics::batch::BatchMeans;
+use das_metrics::slowdown::SlowdownTracker;
+use das_metrics::summary::LatencySummary;
+use das_metrics::timeseries::TimeSeries;
+use das_net::accounting::{wire, TrafficAccounting, TrafficClass};
+use das_net::latency::NetworkModel;
+use das_sched::types::{HintUpdate, OpId, OpTag, QueuedOp, RequestId, ServerId, ServerReport};
+use das_sim::dist::{Lognormal, Sample};
+use das_sim::queue::EventQueue;
+use das_sim::rng::{SeedFactory, SimRng};
+use das_sim::stats::OnlineStats;
+use das_sim::time::{SimDuration, SimTime};
+
+use crate::config::SimulationConfig;
+use crate::coordinator::{Coordinator, PendingOp, RequestState};
+use crate::partition::Partitioner;
+use crate::server::Server;
+
+/// One multi-get request as the store sees it: keys with resolved value
+/// sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreRequest {
+    /// Request id (unique, increasing).
+    pub id: u64,
+    /// Arrival instant at the coordinator.
+    pub arrival: SimTime,
+    /// The keys to read and their value sizes.
+    pub reads: Vec<KeyRead>,
+}
+
+/// One key access within a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRead {
+    /// The key.
+    pub key: u64,
+    /// Its value size in bytes.
+    pub bytes: u32,
+    /// True for a put (the value travels *to* the server and the response
+    /// is a small ack); false for a get.
+    pub write: bool,
+}
+
+impl KeyRead {
+    /// A read access.
+    pub fn read(key: u64, bytes: u32) -> Self {
+        KeyRead {
+            key,
+            bytes,
+            write: false,
+        }
+    }
+
+    /// A write access.
+    pub fn write(key: u64, bytes: u32) -> Self {
+        KeyRead {
+            key,
+            bytes,
+            write: true,
+        }
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Display name of the policy that ran.
+    pub policy: String,
+    /// Requests that completed (including warmup).
+    pub completed: u64,
+    /// Requests inside the measurement window.
+    pub measured: u64,
+    /// Request completion time distribution (measured window only).
+    pub rct: LatencySummary,
+    /// ~95% batch-means confidence half-width on the mean RCT, seconds
+    /// (`None` when the run is too short for a meaningful interval).
+    pub mean_rct_ci95: Option<f64>,
+    /// RCT binned by request *arrival* time (all completed requests) —
+    /// used by the time-varying figures.
+    pub rct_over_time: Option<TimeSeries>,
+    /// Per-fan-out-class slowdown (actual / zero-queueing ideal).
+    pub slowdown: SlowdownTracker,
+    /// Message/byte accounting.
+    pub traffic: TrafficAccounting,
+    /// Mean server utilization over the horizon.
+    pub mean_utilization: f64,
+    /// The busiest server's utilization.
+    pub max_utilization: f64,
+    /// Utilization of each server over the horizon (index = server id).
+    pub per_server_utilization: Vec<f64>,
+    /// Mean zero-queueing ideal RCT over measured requests — the lower
+    /// bound no policy can beat. The per-request ideal uses *mean* network
+    /// delays, so the bound holds in expectation (individual requests can
+    /// undershoot it when their sampled network delays land below the
+    /// mean).
+    pub lower_bound_mean_rct: f64,
+    /// Mean number of ops per request after per-server coalescing.
+    pub mean_ops_per_request: f64,
+    /// Total simulated events processed (a cost/progress indicator).
+    pub events_processed: u64,
+}
+
+impl RunResult {
+    /// Mean RCT in seconds (measured window).
+    pub fn mean_rct(&self) -> f64 {
+        self.rct.mean()
+    }
+
+    /// p99 RCT in seconds (measured window).
+    pub fn p99_rct(&self) -> f64 {
+        self.rct.p99()
+    }
+}
+
+/// Byte accounting for one in-flight op.
+#[derive(Debug, Clone, Copy)]
+struct OpBytes {
+    /// Bytes driving the service time (reads + writes).
+    service: u64,
+    /// Bytes returned in the response (reads only).
+    response: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    NextArrival,
+    OpArrival {
+        server: ServerId,
+        op: QueuedOp,
+    },
+    ServiceDone {
+        server: ServerId,
+        op: OpId,
+        end: SimTime,
+        bytes: u64,
+    },
+    ResponseArrival {
+        op: OpId,
+        report: Option<ServerReport>,
+    },
+    Hint {
+        server: ServerId,
+        request: RequestId,
+        update: HintUpdate,
+    },
+}
+
+/// Runs one simulation over `requests` (which must arrive in
+/// non-decreasing order). Returns an error message for invalid configs.
+pub fn run_simulation<I>(config: &SimulationConfig, requests: I) -> Result<RunResult, String>
+where
+    I: IntoIterator<Item = StoreRequest>,
+{
+    config.validate()?;
+    Engine::new(config)?.run(requests.into_iter())
+}
+
+struct Engine<'a> {
+    config: &'a SimulationConfig,
+    queue: EventQueue<Event>,
+    servers: Vec<Server>,
+    /// One per configured coordinator; a request's owner is
+    /// `id % coordinators`.
+    coordinators: Vec<Coordinator>,
+    partitioner: Partitioner,
+    net: NetworkModel,
+    net_mean_secs: f64,
+    net_rng: SimRng,
+    noise_rng: SimRng,
+    noise: Option<Lognormal>,
+    traffic: TrafficAccounting,
+    /// True byte accounting per in-flight op (the scheduler only sees
+    /// estimates).
+    op_bytes: HashMap<OpId, OpBytes>,
+    // Policy capabilities, read once.
+    wants_hints: bool,
+    wants_piggyback: bool,
+    metadata_bytes: u64,
+    oracle: bool,
+    // Measurement.
+    horizon: SimTime,
+    warmup: SimTime,
+    rct: LatencySummary,
+    rct_batches: BatchMeans,
+    rct_over_time: Option<TimeSeries>,
+    slowdown: SlowdownTracker,
+    ideal_stats: OnlineStats,
+    ops_per_request: OnlineStats,
+    completed: u64,
+    measured: u64,
+    events_processed: u64,
+    pending_next: Option<StoreRequest>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a SimulationConfig) -> Result<Self, String> {
+        let seeds = SeedFactory::new(config.seed);
+        let cluster = &config.cluster;
+        let servers: Vec<Server> = (0..cluster.servers)
+            .map(|i| {
+                Server::new(
+                    ServerId(i),
+                    config.policy.build(),
+                    cluster.workers_per_server,
+                )
+            })
+            .collect();
+        let probe = config.policy.build();
+        let noise = (cluster.estimate_noise > 0.0)
+            .then(|| Lognormal::with_mean(1.0, cluster.estimate_noise));
+        Ok(Engine {
+            queue: EventQueue::with_capacity(1024),
+            coordinators: (0..cluster.coordinators)
+                .map(|_| Coordinator::new(cluster.servers, cluster.base_rate_bytes_per_sec))
+                .collect(),
+            partitioner: cluster.partitioner.build(cluster.servers),
+            net: cluster.network.build(),
+            net_mean_secs: cluster.network.latency.mean_secs(),
+            net_rng: seeds.stream("engine-net", 0),
+            noise_rng: seeds.stream("engine-noise", 0),
+            noise,
+            traffic: TrafficAccounting::new(),
+            op_bytes: HashMap::new(),
+            wants_hints: probe.wants_hints(),
+            wants_piggyback: probe.wants_piggyback(),
+            metadata_bytes: probe.metadata_bytes(),
+            oracle: config.policy.is_oracle(),
+            horizon: SimTime::from_secs_f64(config.horizon_secs),
+            warmup: SimTime::from_secs_f64(config.warmup_secs),
+            rct: LatencySummary::new(),
+            rct_batches: BatchMeans::new(),
+            rct_over_time: config.rct_timeseries_bin_secs.map(TimeSeries::new),
+            slowdown: SlowdownTracker::fanout_default(),
+            ideal_stats: OnlineStats::new(),
+            ops_per_request: OnlineStats::new(),
+            completed: 0,
+            measured: 0,
+            events_processed: 0,
+            pending_next: None,
+            servers,
+            config,
+        })
+    }
+
+    /// The coordinator owning request `id`.
+    fn coord(&self, id: RequestId) -> &Coordinator {
+        &self.coordinators[(id.0 % self.coordinators.len() as u64) as usize]
+    }
+
+    /// Mutable access to the coordinator owning request `id`.
+    fn coord_mut(&mut self, id: RequestId) -> &mut Coordinator {
+        let idx = (id.0 % self.coordinators.len() as u64) as usize;
+        &mut self.coordinators[idx]
+    }
+
+    /// True service time of an op of `bytes` at `server` starting at `now`.
+    fn true_service(&self, server: ServerId, bytes: u64, now: SimTime) -> SimDuration {
+        let c = &self.config.cluster;
+        let rate = c.base_rate_bytes_per_sec * c.rate_multiplier(server.0, now.as_secs_f64());
+        SimDuration::from_secs_f64(c.per_op_overhead.as_secs_f64() + bytes as f64 / rate)
+    }
+
+    /// The coordinator's service-time estimate for an op of `bytes` at
+    /// `server`, using the adaptive rate estimate (or oracle truth).
+    fn estimate_service(
+        &mut self,
+        request: RequestId,
+        server: ServerId,
+        bytes: u64,
+        now: SimTime,
+    ) -> f64 {
+        let c = &self.config.cluster;
+        let rate = if self.oracle {
+            c.base_rate_bytes_per_sec * c.rate_multiplier(server.0, now.as_secs_f64())
+        } else if self.wants_piggyback {
+            self.coord(request).estimate(server).rate()
+        } else {
+            c.base_rate_bytes_per_sec
+        };
+        let mut est = c.per_op_overhead.as_secs_f64() + bytes as f64 / rate;
+        if let Some(noise) = &self.noise {
+            if !self.oracle {
+                est *= noise.sample(&mut self.noise_rng).max(0.05);
+            }
+        }
+        est
+    }
+
+    /// Expected queueing delay at `server` as of `now`.
+    fn estimate_wait(&self, request: RequestId, server: ServerId, now: SimTime) -> f64 {
+        // Outstanding-work tracking is free local knowledge available to
+        // every policy (and keeps replica selection fair across
+        // disciplines). The oracle additionally sees the server's exact
+        // current backlog — but still needs the self-charge: without it,
+        // simultaneous dispatches herd onto the momentarily least-loaded
+        // replica before their load becomes visible.
+        let own = self.coord(request).estimate(server).wait_secs(now);
+        if self.oracle {
+            own.max(self.servers[server.0 as usize].backlog_secs(now))
+        } else {
+            own
+        }
+    }
+
+    fn run(
+        mut self,
+        mut requests: impl Iterator<Item = StoreRequest>,
+    ) -> Result<RunResult, String> {
+        // Prime the arrival stream.
+        self.pending_next = requests.next();
+        if let Some(r) = &self.pending_next {
+            if r.arrival < self.horizon {
+                self.queue.schedule(r.arrival, Event::NextArrival);
+            }
+        }
+        let mut final_time = SimTime::ZERO;
+        while let Some(scheduled) = self.queue.pop() {
+            let now = scheduled.time;
+            final_time = now;
+            self.events_processed += 1;
+            match scheduled.event {
+                Event::NextArrival => {
+                    let req = self
+                        .pending_next
+                        .take()
+                        .expect("NextArrival without a pending request");
+                    debug_assert_eq!(req.arrival, now);
+                    self.pending_next = requests.next();
+                    if let Some(next) = &self.pending_next {
+                        if next.arrival < self.horizon {
+                            if next.arrival < now {
+                                return Err(format!(
+                                    "request {} arrives before its predecessor",
+                                    next.id
+                                ));
+                            }
+                            self.queue.schedule(next.arrival, Event::NextArrival);
+                        }
+                    }
+                    self.handle_request(req, now);
+                }
+                Event::OpArrival { server, op } => {
+                    self.servers[server.0 as usize].enqueue(op, now);
+                    self.kick(server, now);
+                }
+                Event::ServiceDone {
+                    server,
+                    op,
+                    end,
+                    bytes,
+                } => {
+                    self.servers[server.0 as usize].complete_service(end, bytes);
+                    self.kick(server, now);
+                    self.send_response(server, op, bytes, now);
+                }
+                Event::ResponseArrival { op, report } => {
+                    if let Some(r) = &report {
+                        self.coord_mut(op.request).absorb_report(r, now);
+                    }
+                    self.handle_op_done(op, now);
+                }
+                Event::Hint {
+                    server,
+                    request,
+                    update,
+                } => {
+                    self.servers[server.0 as usize].hint(request, update, now);
+                }
+            }
+        }
+        let horizon_secs = self.config.horizon_secs.max(final_time.as_secs_f64());
+        let utils: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| s.busy_time().as_secs_f64() / horizon_secs)
+            .collect();
+        let mean_utilization = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
+        let max_utilization = utils.iter().copied().fold(0.0, f64::max);
+        let per_server_utilization = utils;
+        Ok(RunResult {
+            policy: self.config.policy.name().to_string(),
+            completed: self.completed,
+            measured: self.measured,
+            rct: self.rct,
+            mean_rct_ci95: self.rct_batches.ci95_half_width(),
+            rct_over_time: self.rct_over_time,
+            slowdown: self.slowdown,
+            traffic: self.traffic,
+            mean_utilization,
+            max_utilization,
+            per_server_utilization,
+            lower_bound_mean_rct: self.ideal_stats.mean(),
+            mean_ops_per_request: self.ops_per_request.mean(),
+            events_processed: self.events_processed,
+        })
+    }
+
+    /// Splits a request into per-server ops, stamps tags, and dispatches.
+    fn handle_request(&mut self, req: StoreRequest, now: SimTime) {
+        let c = &self.config.cluster;
+        let measured = req.arrival >= self.warmup;
+        // Choose a replica per key (least estimated completion), then
+        // coalesce per server.
+        // (server, total bytes, key count, bytes written)
+        let mut per_server: Vec<(ServerId, u64, u32, u64)> = Vec::new();
+        let request_id = RequestId(req.id);
+        for read in &req.reads {
+            // Writes go to the primary (single-copy write model); reads may
+            // pick any replica.
+            let replicas = if read.write {
+                vec![self.partitioner.primary(read.key)]
+            } else {
+                self.partitioner.replicas(read.key, c.replication)
+            };
+            let server = if replicas.len() == 1 {
+                replicas[0]
+            } else {
+                let coord = self.coord(request_id);
+                *replicas
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let ea = self.estimate_wait(request_id, a, now)
+                            + read.bytes as f64 / coord.estimate(a).rate();
+                        let eb = self.estimate_wait(request_id, b, now)
+                            + read.bytes as f64 / coord.estimate(b).rate();
+                        ea.total_cmp(&eb)
+                    })
+                    .expect("non-empty replica set")
+            };
+            let written = if read.write { read.bytes as u64 } else { 0 };
+            match per_server.iter_mut().find(|(s, _, _, _)| *s == server) {
+                Some(entry) => {
+                    entry.1 += read.bytes as u64;
+                    entry.2 += 1;
+                    entry.3 += written;
+                }
+                None => per_server.push((server, read.bytes as u64, 1, written)),
+            }
+        }
+        let fanout = per_server.len() as u32;
+        self.ops_per_request.record(fanout as f64);
+
+        // Per-op estimates.
+        let mut etas = Vec::with_capacity(per_server.len());
+        let mut bottleneck_demand = 0.0f64;
+        let mut ideal = 0.0f64;
+        for &(server, bytes, _, _) in &per_server {
+            let service_est = self.estimate_service(request_id, server, bytes, now);
+            let wait_est = self.estimate_wait(request_id, server, now);
+            let eta = now + SimDuration::from_secs_f64(self.net_mean_secs + wait_est + service_est);
+            etas.push((server, service_est, eta));
+            bottleneck_demand = bottleneck_demand.max(service_est);
+            // The zero-queueing ideal uses *true* service times and mean
+            // network delays in both directions.
+            let true_secs = self.true_service(server, bytes, now).as_secs_f64();
+            ideal = ideal.max(2.0 * self.net_mean_secs + true_secs);
+        }
+        let bottleneck_eta = etas.iter().map(|&(_, _, eta)| eta).max().unwrap_or(now);
+
+        let mut ops = Vec::with_capacity(per_server.len());
+        for (index, (&(server, bytes, keys, written), &(_, service_est, eta))) in
+            per_server.iter().zip(etas.iter()).enumerate()
+        {
+            let op_id = OpId {
+                request: request_id,
+                index: index as u32,
+            };
+            let tag = OpTag {
+                op: op_id,
+                request_arrival: req.arrival,
+                fanout,
+                local_estimate: SimDuration::from_secs_f64(service_est),
+                bottleneck_eta,
+                bottleneck_demand: SimDuration::from_secs_f64(bottleneck_demand),
+            };
+            // Wire accounting: request frame + per-key framing + policy
+            // metadata.
+            let req_bytes = wire::MSG_HEADER_BYTES + 16 * keys as u64 + written;
+            self.traffic.charge(TrafficClass::OpRequest, req_bytes);
+            if self.metadata_bytes > 0 {
+                self.traffic
+                    .charge_bytes(TrafficClass::SchedulingMetadata, self.metadata_bytes);
+            }
+            self.coord_mut(request_id)
+                .estimate_mut(server)
+                .charge_dispatch(service_est);
+            // The response carries only the *read* value bytes; written
+            // bytes already travelled in the request.
+            self.op_bytes.insert(
+                op_id,
+                OpBytes {
+                    service: bytes,
+                    response: bytes - written,
+                },
+            );
+            let delay = self.net.delay(req_bytes, &mut self.net_rng);
+            let op = QueuedOp {
+                tag,
+                local_estimate: tag.local_estimate,
+                // Stamped on arrival at the server (see OpArrival).
+                enqueued_at: now + delay,
+            };
+            self.queue
+                .schedule(now + delay, Event::OpArrival { server, op });
+            ops.push(PendingOp {
+                server,
+                eta,
+                demand_est: SimDuration::from_secs_f64(service_est),
+                done: false,
+            });
+        }
+        if measured {
+            self.ideal_stats.record(ideal);
+        }
+        self.coord_mut(request_id).track(
+            request_id,
+            RequestState {
+                arrival: req.arrival,
+                key_count: req.reads.len() as u32,
+                ops,
+                bottleneck_eta,
+                bottleneck_demand: SimDuration::from_secs_f64(bottleneck_demand),
+                ideal: SimDuration::from_secs_f64(ideal),
+                measured,
+            },
+        );
+    }
+
+    /// Starts service on `server` while it has idle workers and queued ops.
+    fn kick(&mut self, server: ServerId, now: SimTime) {
+        loop {
+            let s = &mut self.servers[server.0 as usize];
+            if !s.has_idle_worker() || s.queue_len() == 0 {
+                return;
+            }
+            // Peek the op the scheduler picks, then compute its true
+            // service time from the side table.
+            let op_bytes = &self.op_bytes;
+            let cluster = &self.config.cluster;
+            let mut served = OpBytes {
+                service: 0,
+                response: 0,
+            };
+            let started = s.try_start_service(now, |op| {
+                let bytes = op_bytes.get(&op.tag.op).copied().unwrap_or(OpBytes {
+                    service: 0,
+                    response: 0,
+                });
+                served = bytes;
+                let bytes = bytes.service;
+                let rate = cluster.base_rate_bytes_per_sec
+                    * cluster.rate_multiplier(server.0, now.as_secs_f64());
+                SimDuration::from_secs_f64(
+                    cluster.per_op_overhead.as_secs_f64() + bytes as f64 / rate,
+                )
+            });
+            match started {
+                Some((op, end)) => {
+                    self.queue.schedule(
+                        end,
+                        Event::ServiceDone {
+                            server,
+                            op: op.tag.op,
+                            end,
+                            bytes: served.response,
+                        },
+                    );
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Ships the value (and a piggybacked report) back to the coordinator.
+    fn send_response(&mut self, server: ServerId, op: OpId, bytes: u64, now: SimTime) {
+        let resp_bytes = wire::MSG_HEADER_BYTES + bytes;
+        self.traffic.charge(TrafficClass::OpResponse, resp_bytes);
+        let report = if self.wants_piggyback {
+            if !self.oracle {
+                self.traffic
+                    .charge_bytes(TrafficClass::PiggybackReport, wire::PIGGYBACK_BYTES);
+            }
+            let s = &self.servers[server.0 as usize];
+            let c = &self.config.cluster;
+            Some(ServerReport {
+                server,
+                backlog_secs: s.backlog_secs(now),
+                service_rate: c.base_rate_bytes_per_sec
+                    * c.rate_multiplier(server.0, now.as_secs_f64()),
+                queue_len: s.queue_len() as u32,
+            })
+        } else {
+            None
+        };
+        let delay = self.net.delay(resp_bytes, &mut self.net_rng);
+        self.queue
+            .schedule(now + delay, Event::ResponseArrival { op, report });
+    }
+
+    /// Processes an op response at the coordinator: progress tracking,
+    /// hints, and (possibly) request completion.
+    fn handle_op_done(&mut self, op: OpId, now: SimTime) {
+        self.op_bytes.remove(&op);
+        let wants_hints = self.wants_hints;
+        // Phase 1: update the owning coordinator's request state and
+        // extract everything the later phases need, so the coordinator
+        // borrow ends before other parts of `self` are touched.
+        enum Outcome {
+            Hint(HintUpdate, Vec<ServerId>),
+            NoHint,
+            Complete,
+        }
+        let (op_server, op_demand_est, outcome) = {
+            let Some(state) = self.coord_mut(op.request).request_mut(op.request) else {
+                debug_assert!(false, "response for untracked request");
+                return;
+            };
+            let pending_op = state.ops[op.index as usize];
+            let remaining = state.complete_op(op.index as usize);
+            let outcome = match remaining {
+                Some((new_eta, new_demand)) => {
+                    // Only hint when the request's remaining-bottleneck
+                    // view actually changed (i.e. the completed op was the
+                    // current bottleneck by demand or by eta).
+                    let changed =
+                        new_eta != state.bottleneck_eta || new_demand != state.bottleneck_demand;
+                    if wants_hints && changed {
+                        state.bottleneck_eta = new_eta;
+                        state.bottleneck_demand = new_demand;
+                        Outcome::Hint(
+                            HintUpdate {
+                                bottleneck_eta: new_eta,
+                                remaining_demand: new_demand,
+                            },
+                            state.pending_servers().collect(),
+                        )
+                    } else {
+                        Outcome::NoHint
+                    }
+                }
+                None => Outcome::Complete,
+            };
+            (
+                pending_op.server,
+                pending_op.demand_est.as_secs_f64(),
+                outcome,
+            )
+        };
+        self.coord_mut(op.request)
+            .estimate_mut(op_server)
+            .complete_dispatch(op_demand_est);
+        match outcome {
+            Outcome::NoHint => {}
+            Outcome::Hint(update, targets) => {
+                for server in targets {
+                    if self.oracle {
+                        // Centralized reference: instant, free updates.
+                        self.servers[server.0 as usize].hint(op.request, update, now);
+                    } else {
+                        let hint_bytes = wire::MSG_HEADER_BYTES + wire::HINT_BYTES;
+                        self.traffic.charge(TrafficClass::ProgressHint, hint_bytes);
+                        // Hints are fire-and-forget; they may be lost.
+                        if self.config.cluster.hint_loss > 0.0
+                            && das_sim::rng::open_unit(&mut self.net_rng)
+                                <= self.config.cluster.hint_loss
+                        {
+                            continue;
+                        }
+                        let delay = self.net.delay(hint_bytes, &mut self.net_rng);
+                        self.queue.schedule(
+                            now + delay,
+                            Event::Hint {
+                                server,
+                                request: op.request,
+                                update,
+                            },
+                        );
+                    }
+                }
+            }
+            Outcome::Complete => {
+                let state = self
+                    .coord_mut(op.request)
+                    .finish(op.request)
+                    .expect("state present: we just touched it");
+                let rct = now.saturating_since(state.arrival).as_secs_f64();
+                self.completed += 1;
+                if let Some(ts) = &mut self.rct_over_time {
+                    ts.record(state.arrival.as_secs_f64(), rct);
+                }
+                if state.measured {
+                    self.measured += 1;
+                    self.rct.record(rct);
+                    self.rct_batches.record(rct);
+                    self.slowdown
+                        .record(state.ops.len(), rct, state.ideal.as_secs_f64());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_sched::policy::PolicyKind;
+
+    fn requests(n: u64, gap_us: u64, keys_per_req: usize) -> Vec<StoreRequest> {
+        (0..n)
+            .map(|i| StoreRequest {
+                id: i,
+                arrival: SimTime::from_micros(i * gap_us),
+                reads: (0..keys_per_req)
+                    .map(|k| KeyRead::read(i * 37 + k as u64 * 101, 4096))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn quick_config(policy: PolicyKind) -> SimulationConfig {
+        let mut cfg = SimulationConfig::new(policy, 1.0);
+        cfg.cluster.servers = 8;
+        cfg.warmup_secs = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let cfg = quick_config(PolicyKind::Fcfs);
+        let result = run_simulation(&cfg, requests(500, 100, 4)).unwrap();
+        assert_eq!(result.completed, 500);
+        assert_eq!(result.measured, 500);
+        assert_eq!(result.rct.count(), 500);
+        assert!(result.mean_rct() > 0.0);
+        assert!(result.events_processed > 500);
+    }
+
+    #[test]
+    fn rct_at_least_lower_bound() {
+        for policy in PolicyKind::standard_set() {
+            let cfg = quick_config(policy);
+            let result = run_simulation(&cfg, requests(300, 50, 6)).unwrap();
+            assert!(
+                result.mean_rct() >= result.lower_bound_mean_rct * 0.999,
+                "{}: mean {} < bound {}",
+                result.policy,
+                result.mean_rct(),
+                result.lower_bound_mean_rct
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick_config(PolicyKind::das());
+        let a = run_simulation(&cfg, requests(200, 80, 4)).unwrap();
+        let b = run_simulation(&cfg, requests(200, 80, 4)).unwrap();
+        assert_eq!(a.mean_rct(), b.mean_rct());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn warmup_excludes_early_requests() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.warmup_secs = 0.01;
+        let result = run_simulation(&cfg, requests(300, 100, 2)).unwrap();
+        assert_eq!(result.completed, 300);
+        assert!(result.measured < 300);
+        assert!(result.measured > 0);
+    }
+
+    #[test]
+    fn traffic_charged_per_policy() {
+        let fcfs = run_simulation(&quick_config(PolicyKind::Fcfs), requests(100, 100, 4)).unwrap();
+        assert_eq!(fcfs.traffic.overhead_bytes(), 0);
+        let das = run_simulation(&quick_config(PolicyKind::das()), requests(100, 100, 4)).unwrap();
+        assert!(das.traffic.overhead_bytes() > 0);
+        assert!(das.traffic.bytes(TrafficClass::SchedulingMetadata) > 0);
+        // Oracle coordination is free by definition.
+        let oracle =
+            run_simulation(&quick_config(PolicyKind::oracle()), requests(100, 100, 4)).unwrap();
+        assert_eq!(oracle.traffic.overhead_bytes(), 0);
+    }
+
+    #[test]
+    fn single_key_requests_have_one_op() {
+        let cfg = quick_config(PolicyKind::Fcfs);
+        let result = run_simulation(&cfg, requests(50, 100, 1)).unwrap();
+        assert_eq!(result.mean_ops_per_request, 1.0);
+    }
+
+    #[test]
+    fn coalescing_bounds_ops_by_cluster_size() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.cluster.servers = 4;
+        // 64 keys over 4 servers: at most 4 ops per request.
+        let result = run_simulation(&cfg, requests(50, 1000, 64)).unwrap();
+        assert!(result.mean_ops_per_request <= 4.0);
+        assert!(result.mean_ops_per_request > 1.0);
+    }
+
+    #[test]
+    fn timeseries_when_requested() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.rct_timeseries_bin_secs = Some(0.01);
+        let result = run_simulation(&cfg, requests(200, 100, 2)).unwrap();
+        let ts = result.rct_over_time.unwrap();
+        assert!(!ts.bins().is_empty());
+        assert_eq!(ts.bins().iter().map(|b| b.count).sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn replication_spreads_reads() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 3;
+        let result = run_simulation(&cfg, requests(200, 50, 4)).unwrap();
+        assert_eq!(result.completed, 200);
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let cfg = quick_config(PolicyKind::Fcfs);
+        let result = run_simulation(&cfg, Vec::new()).unwrap();
+        assert_eq!(result.completed, 0);
+        assert_eq!(result.mean_rct(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_rejected() {
+        let cfg = quick_config(PolicyKind::Fcfs);
+        let reqs = vec![
+            StoreRequest {
+                id: 0,
+                arrival: SimTime::from_millis(10),
+                reads: vec![KeyRead::read(1, 100)],
+            },
+            StoreRequest {
+                id: 1,
+                arrival: SimTime::from_millis(5),
+                reads: vec![KeyRead::read(2, 100)],
+            },
+        ];
+        assert!(run_simulation(&cfg, reqs).is_err());
+    }
+
+    #[test]
+    fn requests_at_horizon_are_dropped() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.horizon_secs = 0.001;
+        // Arrivals at 0us and 2000us; only the first is inside the horizon.
+        let result = run_simulation(&cfg, requests(2, 2000, 1)).unwrap();
+        assert_eq!(result.completed, 1);
+    }
+
+    #[test]
+    fn multiple_coordinators_still_complete_everything() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.coordinators = 8;
+        let result = run_simulation(&cfg, requests(400, 60, 5)).unwrap();
+        assert_eq!(result.completed, 400);
+        assert!(result.mean_rct() >= result.lower_bound_mean_rct * 0.999);
+        // And stays deterministic.
+        let again = run_simulation(&cfg, requests(400, 60, 5)).unwrap();
+        assert_eq!(result.mean_rct().to_bits(), again.mean_rct().to_bits());
+    }
+
+    #[test]
+    fn fragmented_coordinators_change_estimates_not_correctness() {
+        let mut one = quick_config(PolicyKind::das());
+        one.cluster.coordinators = 1;
+        let mut many = one.clone();
+        many.cluster.coordinators = 16;
+        let a = run_simulation(&one, requests(500, 50, 5)).unwrap();
+        let b = run_simulation(&many, requests(500, 50, 5)).unwrap();
+        assert_eq!(a.completed, b.completed);
+        // Different information quality -> different schedules.
+        assert_ne!(a.mean_rct().to_bits(), b.mean_rct().to_bits());
+    }
+
+    #[test]
+    fn hint_loss_drops_hints_but_not_requests() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.hint_loss = 1.0; // every hint lost
+        let result = run_simulation(&cfg, requests(300, 60, 5)).unwrap();
+        assert_eq!(result.completed, 300);
+        // Hints are still *charged* (they were sent), just never delivered;
+        // correctness must not depend on them.
+        assert!(result.traffic.messages(TrafficClass::ProgressHint) > 0);
+    }
+
+    #[test]
+    fn invalid_hint_loss_rejected() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.hint_loss = 1.5;
+        assert!(run_simulation(&cfg, requests(1, 100, 1)).is_err());
+        cfg.cluster.hint_loss = 0.5;
+        cfg.cluster.coordinators = 0;
+        assert!(run_simulation(&cfg, requests(1, 100, 1)).is_err());
+    }
+
+    #[test]
+    fn utilization_positive_under_load() {
+        let cfg = quick_config(PolicyKind::Fcfs);
+        let result = run_simulation(&cfg, requests(2000, 20, 4)).unwrap();
+        assert!(result.mean_utilization > 0.0);
+        assert!(result.max_utilization >= result.mean_utilization);
+        assert!(result.max_utilization <= 1.5, "{}", result.max_utilization);
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulated storage server: a scheduler-fronted service station with
+//! one or more workers and a (possibly time-varying) service rate.
+
+use das_sched::scheduler::Scheduler;
+use das_sched::types::{QueuedOp, ServerId};
+use das_sim::time::{SimDuration, SimTime};
+
+/// One storage server.
+pub struct Server {
+    id: ServerId,
+    scheduler: Box<dyn Scheduler>,
+    workers: u32,
+    busy_workers: u32,
+    /// Completion instants of ops currently in service (for exact backlog).
+    in_service_ends: Vec<SimTime>,
+    /// Accumulated busy time across all workers.
+    busy_time: SimDuration,
+    ops_served: u64,
+    bytes_served: u64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("id", &self.id)
+            .field("queue_len", &self.scheduler.len())
+            .field("busy_workers", &self.busy_workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Creates a server with `workers` service slots fronted by
+    /// `scheduler`.
+    pub fn new(id: ServerId, scheduler: Box<dyn Scheduler>, workers: u32) -> Self {
+        assert!(workers >= 1);
+        Server {
+            id,
+            scheduler,
+            workers,
+            busy_workers: 0,
+            in_service_ends: Vec::new(),
+            busy_time: SimDuration::ZERO,
+            ops_served: 0,
+            bytes_served: 0,
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Queued (not yet serving) operations.
+    pub fn queue_len(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// True if a worker is free.
+    pub fn has_idle_worker(&self) -> bool {
+        self.busy_workers < self.workers
+    }
+
+    /// Adds an op to the wait queue.
+    pub fn enqueue(&mut self, op: QueuedOp, now: SimTime) {
+        self.scheduler.enqueue(op, now);
+    }
+
+    /// Delivers a progress hint to the scheduler.
+    pub fn hint(
+        &mut self,
+        request: das_sched::types::RequestId,
+        update: das_sched::types::HintUpdate,
+        now: SimTime,
+    ) {
+        self.scheduler.on_hint(request, update, now);
+    }
+
+    /// If a worker is idle and the queue is non-empty, starts service on the
+    /// scheduler's pick and returns it with its completion instant
+    /// (`now + service`). The caller supplies the true service time.
+    pub fn try_start_service(
+        &mut self,
+        now: SimTime,
+        service_of: impl FnOnce(&QueuedOp) -> SimDuration,
+    ) -> Option<(QueuedOp, SimTime)> {
+        if !self.has_idle_worker() {
+            return None;
+        }
+        let op = self.scheduler.dequeue(now)?;
+        let service = service_of(&op);
+        let end = now + service;
+        self.busy_workers += 1;
+        self.in_service_ends.push(end);
+        self.busy_time += service;
+        Some((op, end))
+    }
+
+    /// Marks the op that completes at `end` as done, freeing its worker.
+    pub fn complete_service(&mut self, end: SimTime, bytes: u64) {
+        debug_assert!(self.busy_workers > 0);
+        if let Some(pos) = self.in_service_ends.iter().position(|&e| e == end) {
+            self.in_service_ends.swap_remove(pos);
+        }
+        self.busy_workers = self.busy_workers.saturating_sub(1);
+        self.ops_served += 1;
+        self.bytes_served += bytes;
+    }
+
+    /// Expected seconds of work at this server as of `now`: remaining
+    /// in-service time plus the scheduler's queued work estimate. This is
+    /// what the server piggybacks on responses.
+    pub fn backlog_secs(&self, now: SimTime) -> f64 {
+        let in_service: f64 = self
+            .in_service_ends
+            .iter()
+            .map(|&e| e.saturating_since(now).as_secs_f64())
+            .sum();
+        in_service + self.scheduler.queued_work().as_secs_f64()
+    }
+
+    /// Whether the scheduler consumes progress hints.
+    pub fn wants_hints(&self) -> bool {
+        self.scheduler.wants_hints()
+    }
+
+    /// Whether the scheduler benefits from piggybacked reports.
+    pub fn wants_piggyback(&self) -> bool {
+        self.scheduler.wants_piggyback()
+    }
+
+    /// Metadata bytes this server's policy attaches per op.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.scheduler.metadata_bytes()
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Operations served to completion.
+    pub fn ops_served(&self) -> u64 {
+        self.ops_served
+    }
+
+    /// Bytes served to completion.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_sched::policy::PolicyKind;
+    use das_sched::types::{OpId, OpTag, RequestId};
+
+    fn op(req: u64, est_us: u64) -> QueuedOp {
+        let now = SimTime::ZERO;
+        QueuedOp {
+            tag: OpTag {
+                op: OpId {
+                    request: RequestId(req),
+                    index: 0,
+                },
+                request_arrival: now,
+                fanout: 1,
+                local_estimate: SimDuration::from_micros(est_us),
+                bottleneck_eta: now + SimDuration::from_micros(est_us),
+                bottleneck_demand: SimDuration::from_micros(est_us),
+            },
+            local_estimate: SimDuration::from_micros(est_us),
+            enqueued_at: now,
+        }
+    }
+
+    fn server(workers: u32) -> Server {
+        Server::new(ServerId(0), PolicyKind::Fcfs.build(), workers)
+    }
+
+    #[test]
+    fn single_worker_serializes() {
+        let mut s = server(1);
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100), now);
+        s.enqueue(op(2, 100), now);
+        let (first, end1) = s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        assert_eq!(first.tag.op.request, RequestId(1));
+        assert_eq!(end1, SimTime::from_micros(100));
+        // Worker busy: second op must wait.
+        assert!(s.try_start_service(now, |_| SimDuration::ZERO).is_none());
+        s.complete_service(end1, 50);
+        let (second, _) = s
+            .try_start_service(end1, |_| SimDuration::from_micros(100))
+            .unwrap();
+        assert_eq!(second.tag.op.request, RequestId(2));
+        assert_eq!(s.ops_served(), 1);
+        assert_eq!(s.bytes_served(), 50);
+    }
+
+    #[test]
+    fn multiple_workers_run_concurrently() {
+        let mut s = server(2);
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100), now);
+        s.enqueue(op(2, 100), now);
+        s.enqueue(op(3, 100), now);
+        assert!(s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .is_some());
+        assert!(s
+            .try_start_service(now, |_| SimDuration::from_micros(200))
+            .is_some());
+        assert!(!s.has_idle_worker());
+        assert!(s.try_start_service(now, |_| SimDuration::ZERO).is_none());
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn backlog_counts_queue_and_in_service() {
+        let mut s = server(1);
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100), now);
+        s.enqueue(op(2, 300), now);
+        let (_, end) = s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        // In service: 100us remaining; queued: 300us estimate.
+        let b = s.backlog_secs(now);
+        assert!((b - 400e-6).abs() < 1e-9, "backlog = {b}");
+        // Halfway through service the in-service part shrinks.
+        let b2 = s.backlog_secs(SimTime::from_micros(50));
+        assert!((b2 - 350e-6).abs() < 1e-9, "backlog = {b2}");
+        s.complete_service(end, 1);
+        let b3 = s.backlog_secs(end);
+        assert!((b3 - 300e-6).abs() < 1e-9, "backlog = {b3}");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut s = server(1);
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100), now);
+        let (_, end) = s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        s.complete_service(end, 1);
+        assert_eq!(s.busy_time(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn policy_properties_pass_through() {
+        let fcfs = server(1);
+        assert_eq!(fcfs.policy_name(), "FCFS");
+        assert!(!fcfs.wants_hints());
+        let das = Server::new(ServerId(1), PolicyKind::das().build(), 1);
+        assert!(das.wants_hints());
+        assert!(das.wants_piggyback());
+        assert!(das.metadata_bytes() > 0);
+        assert_eq!(das.id(), ServerId(1));
+    }
+}

@@ -1,0 +1,252 @@
+//! The key space: a fixed population of keys with per-key value sizes and a
+//! popularity distribution.
+//!
+//! Value sizes are sampled once at construction (deterministically from the
+//! seed) and stay fixed for the whole run, as they would in a real store —
+//! repeated reads of a hot key always see the same size.
+
+use rand::RngCore;
+
+use das_sim::discrete::SampleDiscrete;
+use das_sim::rng::SeedFactory;
+
+use crate::spec::{PopularityConfig, SizeConfig};
+
+/// A fixed key population with sizes and popularity.
+pub struct KeySpace {
+    sizes: Vec<u32>,
+    popularity: Box<dyn SampleDiscrete + Send + Sync>,
+    mean_size: f64,
+}
+
+impl std::fmt::Debug for KeySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeySpace")
+            .field("keys", &self.sizes.len())
+            .field("mean_size", &self.mean_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl KeySpace {
+    /// Builds a key space of `n_keys` keys with sizes from `sizes` and
+    /// popularity from `popularity`, deterministically derived from
+    /// `seeds`.
+    ///
+    /// # Panics
+    /// Panics if `n_keys == 0`.
+    pub fn new(
+        n_keys: usize,
+        sizes: &SizeConfig,
+        popularity: &PopularityConfig,
+        seeds: &SeedFactory,
+    ) -> Self {
+        Self::with_hot_key_cap(n_keys, sizes, popularity, None, seeds)
+    }
+
+    /// Like [`KeySpace::new`], but caps the value size of the hottest 1 %
+    /// of keys at `cap` bytes when `Some`.
+    ///
+    /// Published trace characterizations (e.g. the Facebook ETC study)
+    /// find popularity and size anti-correlated — hot keys are small
+    /// counters/flags, giant blobs are cold. Under Zipf popularity the
+    /// rank *is* the key id, so the cap applies to the lowest ids. Without
+    /// it, skewed popularity composed with a heavy size tail can park a
+    /// hot giant key on one shard and overload it at any nominal load.
+    pub fn with_hot_key_cap(
+        n_keys: usize,
+        sizes: &SizeConfig,
+        popularity: &PopularityConfig,
+        hot_key_size_cap: Option<u32>,
+        seeds: &SeedFactory,
+    ) -> Self {
+        assert!(n_keys > 0, "key space must be non-empty");
+        let sampler = sizes.build();
+        let mut rng = seeds.stream("keyspace-sizes", 0);
+        let hot_ranks = n_keys.div_ceil(100);
+        let sizes: Vec<u32> = (0..n_keys)
+            .map(|i| {
+                let size = sampler.sample(&mut rng).round().max(1.0) as u32;
+                match hot_key_size_cap {
+                    Some(cap) if i < hot_ranks => size.min(cap.max(1)),
+                    _ => size,
+                }
+            })
+            .collect();
+        let mean_size = sizes.iter().map(|&s| s as f64).sum::<f64>() / n_keys as f64;
+        KeySpace {
+            sizes,
+            popularity: popularity.build(n_keys),
+            mean_size,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when the key space is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The value size of `key` in bytes.
+    ///
+    /// # Panics
+    /// Panics if `key` is out of range.
+    pub fn size_of(&self, key: u64) -> u32 {
+        self.sizes[key as usize]
+    }
+
+    /// Empirical mean value size in bytes.
+    pub fn mean_size(&self) -> f64 {
+        self.mean_size
+    }
+
+    /// Samples one key according to the popularity distribution.
+    pub fn sample_key(&self, rng: &mut dyn RngCore) -> u64 {
+        self.popularity.sample(rng) as u64
+    }
+
+    /// Samples `count` *distinct* keys. If `count` exceeds the key-space
+    /// size it is clamped.
+    pub fn sample_distinct_keys(&self, count: usize, rng: &mut dyn RngCore) -> Vec<u64> {
+        let count = count.min(self.sizes.len());
+        let mut keys = Vec::with_capacity(count);
+        // Rejection sampling: fine because fan-outs are tiny relative to the
+        // key population. Guard against pathological popularity skew with a
+        // bounded number of attempts before falling back to sequential
+        // filling.
+        let mut attempts = 0usize;
+        let max_attempts = count * 64 + 256;
+        while keys.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let k = self.sample_key(rng);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        let mut next = 0u64;
+        while keys.len() < count {
+            if !keys.contains(&next) {
+                keys.push(next);
+            }
+            next += 1;
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(n: usize) -> KeySpace {
+        KeySpace::new(
+            n,
+            &SizeConfig::Uniform {
+                min_bytes: 100,
+                max_bytes: 200,
+            },
+            &PopularityConfig::Uniform,
+            &SeedFactory::new(42),
+        )
+    }
+
+    #[test]
+    fn sizes_fixed_and_in_range() {
+        let ks = space(1000);
+        assert_eq!(ks.len(), 1000);
+        assert!(!ks.is_empty());
+        for k in 0..1000u64 {
+            let s = ks.size_of(k);
+            assert!((100..=200).contains(&s));
+            assert_eq!(s, ks.size_of(k), "size must be stable");
+        }
+        assert!((100.0..=200.0).contains(&ks.mean_size()));
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = space(100);
+        let b = space(100);
+        for k in 0..100u64 {
+            assert_eq!(a.size_of(k), b.size_of(k));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct() {
+        let ks = space(50);
+        let mut rng = SeedFactory::new(7).stream("keys", 0);
+        for _ in 0..100 {
+            let keys = ks.sample_distinct_keys(10, &mut rng);
+            assert_eq!(keys.len(), 10);
+            let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+            assert_eq!(set.len(), 10);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_clamped_to_population() {
+        let ks = space(5);
+        let mut rng = SeedFactory::new(8).stream("keys", 0);
+        let keys = ks.sample_distinct_keys(50, &mut rng);
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn hot_key_cap_applies_to_top_ranks_only() {
+        let ks = KeySpace::with_hot_key_cap(
+            10_000,
+            &SizeConfig::Fixed { bytes: 100_000 },
+            &PopularityConfig::Zipf { theta: 0.9 },
+            Some(4096),
+            &SeedFactory::new(5),
+        );
+        for k in 0..100u64 {
+            assert!(ks.size_of(k) <= 4096, "hot key {k} not capped");
+        }
+        assert_eq!(ks.size_of(5000), 100_000);
+        // No cap leaves everything alone.
+        let free = KeySpace::new(
+            100,
+            &SizeConfig::Fixed { bytes: 100_000 },
+            &PopularityConfig::Uniform,
+            &SeedFactory::new(5),
+        );
+        assert_eq!(free.size_of(0), 100_000);
+    }
+
+    #[test]
+    fn zipf_popularity_prefers_low_keys() {
+        let ks = KeySpace::new(
+            10_000,
+            &SizeConfig::Fixed { bytes: 100 },
+            &PopularityConfig::Zipf { theta: 1.0 },
+            &SeedFactory::new(1),
+        );
+        let mut rng = SeedFactory::new(9).stream("pop", 0);
+        let n = 50_000;
+        let hot = (0..n).filter(|_| ks.sample_key(&mut rng) < 100).count();
+        assert!(hot as f64 / n as f64 > 0.3, "hot share = {hot}");
+    }
+
+    #[test]
+    fn pathological_skew_still_terminates() {
+        // Popularity so skewed that rejection sampling alone would spin:
+        // theta huge concentrates almost all mass on key 0.
+        let ks = KeySpace::new(
+            100,
+            &SizeConfig::Fixed { bytes: 1 },
+            &PopularityConfig::Zipf { theta: 8.0 },
+            &SeedFactory::new(2),
+        );
+        let mut rng = SeedFactory::new(10).stream("skew", 0);
+        let keys = ks.sample_distinct_keys(20, &mut rng);
+        assert_eq!(keys.len(), 20);
+        let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 20);
+    }
+}

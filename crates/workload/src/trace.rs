@@ -1,0 +1,129 @@
+//! Trace record/replay: a JSON-lines format for request streams, so an
+//! identical workload can be replayed against every policy or shared
+//! between machines.
+
+use std::io::{self, BufRead, Write};
+
+use crate::generator::RequestSpec;
+
+/// Writes requests as one JSON object per line.
+///
+/// ```
+/// use das_workload::trace::{write_trace, read_trace};
+/// use das_workload::generator::RequestSpec;
+/// use das_sim::time::SimTime;
+///
+/// let reqs = vec![RequestSpec {
+///     id: 0,
+///     arrival: SimTime::from_millis(1),
+///     keys: vec![3, 5],
+///     write_keys: vec![],
+/// }];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &reqs).unwrap();
+/// let back = read_trace(&buf[..]).unwrap();
+/// assert_eq!(back, reqs);
+/// ```
+pub fn write_trace<W: Write>(mut w: W, requests: &[RequestSpec]) -> io::Result<()> {
+    for r in requests {
+        let line = serde_json::to_string(r).map_err(io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace produced by [`write_trace`]. Blank lines are
+/// skipped; malformed lines produce an error naming the line number.
+pub fn read_trace<R: io::Read>(r: R) -> io::Result<Vec<RequestSpec>> {
+    let reader = io::BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: RequestSpec = serde_json::from_str(&line)
+            .map_err(|e| io::Error::other(format!("trace line {}: {e}", i + 1)))?;
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Validates a trace for replay: ids strictly increasing, arrivals
+/// non-decreasing, every request non-empty. Returns the first problem
+/// found.
+pub fn validate_trace(requests: &[RequestSpec]) -> Result<(), String> {
+    for w in requests.windows(2) {
+        if w[1].id <= w[0].id {
+            return Err(format!("ids not strictly increasing at id {}", w[1].id));
+        }
+        if w[1].arrival < w[0].arrival {
+            return Err(format!("arrivals go backwards at id {}", w[1].id));
+        }
+    }
+    if let Some(r) = requests.iter().find(|r| r.keys.is_empty()) {
+        return Err(format!("request {} has no keys", r.id));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadGenerator, WorkloadSpec};
+    use das_sim::rng::SeedFactory;
+    use das_sim::time::SimTime;
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let mut g = WorkloadGenerator::new(&WorkloadSpec::example(), &SeedFactory::new(3));
+        let reqs: Vec<_> = (0..50).map(|_| g.next_request().unwrap()).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &reqs).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, reqs);
+        assert!(validate_trace(&back).is_ok());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let req = RequestSpec {
+            id: 1,
+            arrival: SimTime::from_millis(5),
+            keys: vec![1],
+            write_keys: vec![],
+        };
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::slice::from_ref(&req)).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, vec![req]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let data = b"{\"id\":0,\"arrival\":1,\"keys\":[1]}\nnot json\n";
+        let err = read_trace(&data[..]).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "err = {err}");
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mk = |id, ms, keys: Vec<u64>| RequestSpec {
+            id,
+            arrival: SimTime::from_millis(ms),
+            keys,
+            write_keys: vec![],
+        };
+        assert!(validate_trace(&[mk(0, 1, vec![1]), mk(1, 2, vec![2])]).is_ok());
+        assert!(validate_trace(&[mk(1, 1, vec![1]), mk(1, 2, vec![2])])
+            .unwrap_err()
+            .contains("ids"));
+        assert!(validate_trace(&[mk(0, 2, vec![1]), mk(1, 1, vec![2])])
+            .unwrap_err()
+            .contains("backwards"));
+        assert!(validate_trace(&[mk(0, 1, vec![])])
+            .unwrap_err()
+            .contains("no keys"));
+    }
+}

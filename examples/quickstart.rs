@@ -1,0 +1,39 @@
+//! Quickstart: compare every scheduling policy at one load level.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs the calibrated base scenario (50 servers, heavy-tailed value
+//! sizes, Zipf multi-get fan-outs) at 70 % load and prints the standard
+//! comparison table. DAS should cut mean RCT well below FCFS and edge out
+//! Rein-SBF.
+
+use das_core::prelude::*;
+use das_core::report;
+
+fn main() {
+    let mut experiment = scenarios::base_experiment("quickstart @ rho=0.7", 0.7);
+    // Keep the demo snappy; the benches run the full horizons.
+    experiment.horizon_secs = 2.0;
+    experiment.warmup_secs = 0.25;
+    // Add the oracle reference on top of the standard policy set.
+    experiment.policies.push(PolicyKind::oracle());
+
+    println!(
+        "cluster: {} servers, workload: {:.0} req/s, mean fan-out {:.1}",
+        experiment.cluster.servers,
+        experiment.workload.arrival.average_rate().unwrap_or(0.0),
+        experiment.workload.mean_fanout(),
+    );
+    let result = experiment.run().expect("valid experiment config");
+    println!("\n{}", report::render_experiment(&result));
+
+    let reduction = result
+        .reduction_vs("DAS", "FCFS")
+        .expect("both policies ran");
+    println!("DAS cuts mean RCT by {reduction:.1}% vs FCFS");
+    if let Some(vs_rein) = result.reduction_vs("DAS", "Rein-SBF") {
+        println!("DAS vs Rein-SBF: {vs_rein:.1}% lower mean RCT");
+    }
+}

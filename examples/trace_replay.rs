@@ -1,0 +1,59 @@
+//! Trace record & replay: generate a workload once, persist it as
+//! JSON-lines, and replay the identical request stream against several
+//! policies — the workflow for sharing a workload between machines or
+//! pinning down a regression.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use das_core::adapter::trace_to_requests;
+use das_core::prelude::*;
+use das_core::scenarios;
+use das_workload::trace::{read_trace, validate_trace, write_trace};
+
+fn main() {
+    let cluster = {
+        let mut c = scenarios::base_cluster();
+        c.servers = 16;
+        c
+    };
+    let workload = scenarios::base_workload(0.6, &cluster);
+    let seeds = SeedFactory::new(2024);
+
+    // 1. Record one second of workload to a trace file.
+    let mut generator = WorkloadGenerator::new(&workload, &seeds);
+    let trace = generator.take_until(SimTime::from_secs(1));
+    let path = std::env::temp_dir().join("das_example_trace.jsonl");
+    let file = std::fs::File::create(&path).expect("create trace file");
+    write_trace(std::io::BufWriter::new(file), &trace).expect("write trace");
+    println!("recorded {} requests to {}", trace.len(), path.display());
+
+    // 2. Read it back and validate.
+    let loaded = read_trace(std::fs::File::open(&path).expect("open trace")).expect("read trace");
+    validate_trace(&loaded).expect("trace is well-formed");
+    assert_eq!(loaded.len(), trace.len());
+
+    // 3. Replay the identical stream under each policy.
+    println!("\n| policy | mean RCT (ms) | p99 (ms) |");
+    println!("|---|---:|---:|");
+    for policy in [PolicyKind::Fcfs, PolicyKind::ReinSbf, PolicyKind::das()] {
+        let sim = SimulationConfig {
+            cluster: cluster.clone(),
+            policy,
+            seed: 2024,
+            horizon_secs: 1.0,
+            warmup_secs: 0.1,
+            rct_timeseries_bin_secs: None,
+        };
+        let requests = trace_to_requests(&loaded, &workload, &seeds);
+        let result = run_simulation(&sim, requests).expect("valid replay");
+        println!(
+            "| {} | {:.3} | {:.3} |",
+            result.policy,
+            result.mean_rct() * 1e3,
+            result.p99_rct() * 1e3,
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

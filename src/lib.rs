@@ -1,0 +1,14 @@
+//! # das-repro — workspace facade
+//!
+//! Re-exports the workspace crates so the top-level examples and
+//! integration tests can use one dependency. Library users should depend
+//! on the individual crates (`das-core`, `das-sched`, …) directly.
+
+pub use das_core as core;
+pub use das_metrics as metrics;
+pub use das_net as net;
+pub use das_rt as rt;
+pub use das_sched as sched;
+pub use das_sim as sim;
+pub use das_store as store;
+pub use das_workload as workload;

@@ -1,0 +1,165 @@
+//! Focused tests of the adaptive machinery: time-varying server
+//! performance, estimate noise, worker scaling, replication balancing.
+
+use das_repro::core::prelude::*;
+use das_repro::core::scenarios;
+use das_repro::sched::das::DasConfig;
+use das_repro::sched::policy::PolicyKind;
+
+fn base(policies: Vec<PolicyKind>, horizon: f64) -> ExperimentConfig {
+    let mut cluster = scenarios::base_cluster();
+    cluster.servers = 12;
+    let workload = scenarios::base_workload(0.6, &cluster);
+    let mut e = ExperimentConfig::new("adaptivity", workload, cluster);
+    e.horizon_secs = horizon;
+    e.warmup_secs = 0.0;
+    e.policies = policies;
+    e
+}
+
+#[test]
+fn degraded_server_slows_requests_touching_it() {
+    let healthy = base(vec![PolicyKind::Fcfs], 0.8);
+    let mut degraded = healthy.clone();
+    degraded.cluster.perf_events.push(PerfEvent {
+        server: 0,
+        start_secs: 0.0,
+        end_secs: f64::INFINITY,
+        multiplier: 0.25,
+    });
+    let h = healthy.run().unwrap().runs.remove(0);
+    let d = degraded.run().unwrap().runs.remove(0);
+    assert!(
+        d.mean_rct() > h.mean_rct() * 1.2,
+        "degradation should hurt: {} vs {}",
+        d.mean_rct(),
+        h.mean_rct()
+    );
+    // The slow server shows higher utilization (same work, kept busier).
+    assert!(d.per_server_utilization[0] > h.per_server_utilization[0] * 1.5);
+}
+
+#[test]
+fn per_server_utilization_is_consistent() {
+    let result = base(vec![PolicyKind::Fcfs], 0.6).run().unwrap();
+    let run = &result.runs[0];
+    assert_eq!(run.per_server_utilization.len(), 12, "one entry per server");
+    let mean: f64 =
+        run.per_server_utilization.iter().sum::<f64>() / run.per_server_utilization.len() as f64;
+    assert!((mean - run.mean_utilization).abs() < 1e-12);
+    let max = run
+        .per_server_utilization
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+    assert!((max - run.max_utilization).abs() < 1e-12);
+}
+
+#[test]
+fn oracle_rate_knowledge_pays_off_under_degradation() {
+    // With half the cluster degraded, exact rate knowledge (oracle) must
+    // not lose to the hint-less, estimate-less ablation.
+    let mut e = base(
+        vec![
+            PolicyKind::Das {
+                config: DasConfig::without_adaptivity(),
+            },
+            PolicyKind::oracle(),
+        ],
+        1.0,
+    );
+    for s in 0..6 {
+        e.cluster.perf_events.push(PerfEvent {
+            server: s,
+            start_secs: 0.2,
+            end_secs: 0.8,
+            multiplier: 0.3,
+        });
+    }
+    let result = e.run().unwrap();
+    let no_adapt = result.mean_rct("DAS-noAdapt").unwrap();
+    let oracle = result.mean_rct("Oracle").unwrap();
+    assert!(
+        oracle <= no_adapt,
+        "oracle {oracle} should beat non-adaptive {no_adapt} under degradation"
+    );
+}
+
+#[test]
+fn estimate_noise_degrades_gracefully() {
+    let clean = {
+        let e = base(vec![PolicyKind::das()], 0.8);
+        e.run().unwrap().runs.remove(0)
+    };
+    let noisy = {
+        let mut e = base(vec![PolicyKind::das()], 0.8);
+        e.cluster.estimate_noise = 1.0;
+        e.run().unwrap().runs.remove(0)
+    };
+    assert_eq!(clean.completed, noisy.completed, "noise must not lose ops");
+    // Heavy noise costs something but must not collapse the policy.
+    assert!(
+        noisy.mean_rct() < clean.mean_rct() * 2.0,
+        "noisy {} vs clean {}",
+        noisy.mean_rct(),
+        clean.mean_rct()
+    );
+}
+
+#[test]
+fn more_workers_reduce_queueing() {
+    let one = base(vec![PolicyKind::Fcfs], 0.8)
+        .run()
+        .unwrap()
+        .runs
+        .remove(0);
+    let mut e = base(vec![PolicyKind::Fcfs], 0.8);
+    e.cluster.workers_per_server = 4;
+    // Same arrival rate, 4x capacity => load drops 4x; RCT must drop.
+    let four = e.run().unwrap().runs.remove(0);
+    assert!(
+        four.mean_rct() < one.mean_rct(),
+        "4 workers {} vs 1 worker {}",
+        four.mean_rct(),
+        one.mean_rct()
+    );
+}
+
+#[test]
+fn replication_balances_better_than_single_copy_under_hotspot() {
+    // One server permanently 4x slower; with R=3 least-loaded-replica
+    // reads, traffic routes around it.
+    let mk = |replication: u32| {
+        let mut e = base(vec![PolicyKind::das()], 0.8);
+        e.cluster.replication = replication;
+        e.cluster.perf_events.push(PerfEvent {
+            server: 0,
+            start_secs: 0.0,
+            end_secs: f64::INFINITY,
+            multiplier: 0.25,
+        });
+        e.run().unwrap().runs.remove(0)
+    };
+    let single = mk(1);
+    let replicated = mk(3);
+    assert!(
+        replicated.mean_rct() < single.mean_rct(),
+        "replicated {} vs single {}",
+        replicated.mean_rct(),
+        single.mean_rct()
+    );
+}
+
+#[test]
+fn hints_matter_only_for_multi_op_requests() {
+    // Single-key requests never produce progress hints (there is no
+    // sibling to hint about).
+    let mut e = base(vec![PolicyKind::das()], 0.4);
+    e.workload.fanout = das_repro::workload::spec::FanoutConfig::Constant { keys: 1 };
+    let result = e.run().unwrap();
+    use das_repro::net::accounting::TrafficClass;
+    assert_eq!(
+        result.runs[0].traffic.messages(TrafficClass::ProgressHint),
+        0
+    );
+}

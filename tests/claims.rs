@@ -1,0 +1,153 @@
+//! Shape assertions against the paper's claims. These use seeded, fixed
+//! scenarios with generous margins — they verify the *direction and rough
+//! magnitude* of the effects, not exact numbers.
+
+use das_repro::core::prelude::*;
+use das_repro::core::scenarios;
+use das_repro::sched::policy::PolicyKind;
+
+fn shrink(mut e: ExperimentConfig, horizon: f64) -> ExperimentConfig {
+    e.horizon_secs = horizon;
+    e.warmup_secs = (horizon * 0.1).min(0.5);
+    e
+}
+
+#[test]
+fn das_beats_fcfs_at_moderate_and_high_load() {
+    for rho in [0.5, 0.8] {
+        let mut e = shrink(scenarios::base_experiment("claim", rho), 1.5);
+        e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+        let result = e.run().unwrap();
+        let reduction = result.reduction_vs("DAS", "FCFS").unwrap();
+        assert!(
+            reduction > 5.0,
+            "rho={rho}: DAS reduction vs FCFS only {reduction:.1}%"
+        );
+    }
+}
+
+#[test]
+fn headline_band_at_reference_load() {
+    // The abstract: "reduces the mean request completion time by more than
+    // 15 ~ 50% compared to the default first come first served algorithm".
+    let mut e = shrink(scenarios::base_experiment("claim", 0.7), 2.0);
+    e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+    let result = e.run().unwrap();
+    let reduction = result.reduction_vs("DAS", "FCFS").unwrap();
+    assert!(
+        (10.0..60.0).contains(&reduction),
+        "reduction {reduction:.1}% outside the plausible band"
+    );
+}
+
+#[test]
+fn das_not_worse_than_rein_sbf() {
+    let mut e = shrink(scenarios::base_experiment("claim", 0.7), 2.0);
+    e.policies = vec![PolicyKind::ReinSbf, PolicyKind::das()];
+    let result = e.run().unwrap();
+    let das = result.mean_rct("DAS").unwrap();
+    let rein = result.mean_rct("Rein-SBF").unwrap();
+    assert!(
+        das <= rein * 1.01,
+        "DAS {das} should not trail Rein-SBF {rein}"
+    );
+}
+
+#[test]
+fn policies_converge_at_trivial_load() {
+    let mut e = shrink(scenarios::base_experiment("claim", 0.05), 1.0);
+    e.policies = PolicyKind::standard_set();
+    let result = e.run().unwrap();
+    let fcfs = result.mean_rct("FCFS").unwrap();
+    for run in &result.runs {
+        let rel = (run.mean_rct() - fcfs).abs() / fcfs;
+        assert!(
+            rel < 0.05,
+            "{} deviates {:.1}% from FCFS at near-zero load",
+            run.policy,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn das_adapts_to_degraded_servers_better_than_rein() {
+    let mut e = scenarios::server_degradation_experiment(0.6, 5, 4.0);
+    e.horizon_secs = 1.8;
+    e.cluster.perf_events.clear();
+    for s in 0..5 {
+        e.cluster.perf_events.push(PerfEvent {
+            server: s,
+            start_secs: 0.6,
+            end_secs: 1.2,
+            multiplier: 0.25,
+        });
+    }
+    e.policies = vec![PolicyKind::ReinSbf, PolicyKind::das()];
+    let result = e.run().unwrap();
+    let das = result.mean_rct("DAS").unwrap();
+    let rein = result.mean_rct("Rein-SBF").unwrap();
+    assert!(
+        das < rein,
+        "adaptivity claim: DAS {das} should beat static Rein-SBF {rein} under degradation"
+    );
+}
+
+#[test]
+fn das_handles_load_spike_at_least_as_well_as_rein() {
+    let mut e = scenarios::load_spike_experiment(0.3, 0.85);
+    e.horizon_secs = 1.8;
+    e.workload.arrival = match &e.workload.arrival {
+        das_repro::workload::spec::ArrivalConfig::Schedule { steps, .. } => {
+            // Re-time the three phases onto the shorter horizon.
+            das_repro::workload::spec::ArrivalConfig::Schedule {
+                steps: vec![(0.0, steps[0].1), (0.6, steps[1].1), (1.2, steps[2].1)],
+                period_secs: None,
+            }
+        }
+        other => other.clone(),
+    };
+    e.policies = vec![PolicyKind::Fcfs, PolicyKind::ReinSbf, PolicyKind::das()];
+    let result = e.run().unwrap();
+    let das = result.mean_rct("DAS").unwrap();
+    let rein = result.mean_rct("Rein-SBF").unwrap();
+    let fcfs = result.mean_rct("FCFS").unwrap();
+    assert!(das < fcfs, "DAS {das} vs FCFS {fcfs} under spike");
+    assert!(das <= rein * 1.02, "DAS {das} vs Rein {rein} under spike");
+}
+
+#[test]
+fn aging_bounds_starvation() {
+    // Without aging, the worst-case slowdown of wide requests explodes
+    // under sustained high load; with aging it stays bounded.
+    let mut e = shrink(scenarios::base_experiment("starve", 0.85), 1.5);
+    e.policies = vec![
+        PolicyKind::das(),
+        PolicyKind::Das {
+            config: das_repro::sched::das::DasConfig::without_aging(),
+        },
+    ];
+    let result = e.run().unwrap();
+    let with_aging = result.run("DAS").unwrap().slowdown.overall_max();
+    let without = result.run("DAS-noAging").unwrap().slowdown.overall_max();
+    assert!(
+        with_aging <= without * 1.05,
+        "aging should not worsen the worst case: {with_aging} vs {without}"
+    );
+}
+
+#[test]
+fn das_tail_not_worse_than_size_based_priorities() {
+    // SJF/SBF buy mean at the expense of the tail; DAS should keep p99
+    // no worse than theirs.
+    let mut e = shrink(scenarios::base_experiment("tail", 0.7), 2.0);
+    e.policies = vec![PolicyKind::Sjf, PolicyKind::ReinSbf, PolicyKind::das()];
+    let result = e.run().unwrap();
+    let das = result.run("DAS").unwrap().p99_rct();
+    let sjf = result.run("SJF").unwrap().p99_rct();
+    let rein = result.run("Rein-SBF").unwrap().p99_rct();
+    assert!(
+        das <= sjf.max(rein) * 1.05,
+        "DAS p99 {das} vs SJF {sjf} / Rein {rein}"
+    );
+}

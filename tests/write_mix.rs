@@ -1,0 +1,114 @@
+//! Mixed read/write workloads: the write path must compose with every
+//! scheduling policy without breaking the invariants.
+
+use das_repro::core::prelude::*;
+use das_repro::core::scenarios;
+use das_repro::sched::policy::PolicyKind;
+use das_repro::workload::trace::{read_trace, write_trace};
+
+fn write_mix_experiment(write_fraction: f64) -> ExperimentConfig {
+    let mut cluster = scenarios::base_cluster();
+    cluster.servers = 10;
+    let mut workload = scenarios::base_workload(0.6, &cluster);
+    workload.write_fraction = write_fraction;
+    let mut e = ExperimentConfig::new("write mix", workload, cluster);
+    e.horizon_secs = 0.5;
+    e.warmup_secs = 0.05;
+    e.policies = vec![PolicyKind::Fcfs, PolicyKind::ReinSbf, PolicyKind::das()];
+    e
+}
+
+#[test]
+fn writes_complete_under_every_policy() {
+    let result = write_mix_experiment(0.3).run().unwrap();
+    let counts: Vec<u64> = result.runs.iter().map(|r| r.completed).collect();
+    assert!(counts[0] > 100);
+    assert!(counts.iter().all(|&c| c == counts[0]));
+    for run in &result.runs {
+        assert!(
+            run.mean_rct() >= run.lower_bound_mean_rct * 0.999,
+            "{}",
+            run.policy
+        );
+    }
+}
+
+#[test]
+fn generator_emits_requested_write_fraction() {
+    let cluster = scenarios::base_cluster();
+    let mut workload = scenarios::base_workload(0.5, &cluster);
+    workload.write_fraction = 0.25;
+    let mut gen = WorkloadGenerator::new(&workload, &SeedFactory::new(5));
+    let mut keys = 0usize;
+    let mut writes = 0usize;
+    for _ in 0..2000 {
+        let r = gen.next_request().unwrap();
+        keys += r.keys.len();
+        writes += r.write_keys.len();
+        // write_keys is always a subset of keys.
+        assert!(r.write_keys.iter().all(|k| r.keys.contains(k)));
+    }
+    let frac = writes as f64 / keys as f64;
+    assert!((frac - 0.25).abs() < 0.03, "write fraction = {frac}");
+}
+
+#[test]
+fn pure_read_workload_is_unchanged_by_write_support() {
+    // write_fraction = 0 must be byte-identical to the historical
+    // read-only behaviour (wire sizes, service times, everything).
+    let a = write_mix_experiment(0.0).run().unwrap();
+    let b = write_mix_experiment(0.0).run().unwrap();
+    assert_eq!(
+        a.runs[0].mean_rct().to_bits(),
+        b.runs[0].mean_rct().to_bits()
+    );
+    for run in &a.runs {
+        assert_eq!(
+            run.traffic
+                .messages(das_repro::net::accounting::TrafficClass::OpRequest),
+            run.traffic
+                .messages(das_repro::net::accounting::TrafficClass::OpResponse),
+        );
+    }
+}
+
+#[test]
+fn writes_shift_bytes_from_responses_to_requests() {
+    let reads = write_mix_experiment(0.0).run().unwrap();
+    let mixed = write_mix_experiment(0.5).run().unwrap();
+    use das_repro::net::accounting::TrafficClass;
+    let rr = reads.runs[0].traffic;
+    let mm = mixed.runs[0].traffic;
+    // With half the accesses writing, request traffic grows and response
+    // traffic shrinks (the payload travels in only one direction).
+    assert!(
+        mm.bytes(TrafficClass::OpRequest) > rr.bytes(TrafficClass::OpRequest),
+        "writes must inflate request bytes"
+    );
+    let resp_per_req_reads =
+        rr.bytes(TrafficClass::OpResponse) as f64 / reads.runs[0].completed as f64;
+    let resp_per_req_mixed =
+        mm.bytes(TrafficClass::OpResponse) as f64 / mixed.runs[0].completed as f64;
+    assert!(
+        resp_per_req_mixed < resp_per_req_reads * 0.75,
+        "write acks must shrink response bytes: {resp_per_req_mixed} vs {resp_per_req_reads}"
+    );
+}
+
+#[test]
+fn write_traces_round_trip() {
+    let cluster = scenarios::base_cluster();
+    let mut workload = scenarios::base_workload(0.5, &cluster);
+    workload.write_fraction = 0.4;
+    let mut gen = WorkloadGenerator::new(&workload, &SeedFactory::new(9));
+    let trace = gen.take_until(SimTime::from_millis(50));
+    assert!(trace.iter().any(|r| !r.write_keys.is_empty()));
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    let back = read_trace(&buf[..]).unwrap();
+    assert_eq!(back, trace);
+    // Old read-only traces (no write_keys field) still parse.
+    let legacy = br#"{"id":0,"arrival":1000,"keys":[1,2]}"#;
+    let parsed = read_trace(&legacy[..]).unwrap();
+    assert!(parsed[0].write_keys.is_empty());
+}
