@@ -1,0 +1,6 @@
+//! Fig. 22: fault injection — crash-stop failures with coordinator retry.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig22(output::quick_mode()).emit();
+}

@@ -1,0 +1,6 @@
+//! Fig. 23: hedged reads under gray failure, swept over the hedge quantile.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig23(output::quick_mode()).emit();
+}

@@ -40,6 +40,12 @@ fn tune(mut e: ExperimentConfig, quick: bool) -> ExperimentConfig {
                 ev.end_secs *= scale;
             }
         }
+        for w in &mut e.faults.crashes.crashes {
+            w.down_secs *= scale;
+            if w.up_secs.is_finite() {
+                w.up_secs *= scale;
+            }
+        }
         if let das_workload::spec::ArrivalConfig::Schedule { steps, period_secs } =
             &mut e.workload.arrival
         {
@@ -666,6 +672,126 @@ pub fn fig21(quick: bool) -> FigureOutput {
     f
 }
 
+/// The policy set for the fault figures: the scheduling baselines the
+/// paper compares against, without the oracle (whose out-of-band hints
+/// would sidestep the failure model under test).
+fn fault_policies() -> Vec<PolicyKind> {
+    vec![PolicyKind::Fcfs, PolicyKind::ReinSbf, PolicyKind::das()]
+}
+
+/// Fig. 22 (extension): fault injection — crash-stop failures with
+/// coordinator-side retry, swept over the fraction of servers that fail.
+pub fn fig22(quick: bool) -> FigureOutput {
+    let fractions = if quick {
+        vec![0.0, 0.1]
+    } else {
+        vec![0.0, 0.04, 0.1, 0.2]
+    };
+    let results: Vec<(String, ExperimentResult)> = fractions
+        .into_iter()
+        .map(|frac| {
+            let mut e = tune(scenarios::fault_injection_experiment(0.7, frac), quick);
+            e.policies = fault_policies();
+            (
+                format!("crashed={:.0}%", frac * 100.0),
+                e.run().expect("valid fault-injection experiment"),
+            )
+        })
+        .collect();
+    let mut f = FigureOutput::new(
+        "fig22",
+        "Fault injection: crash-stop + retry (rho=0.7, R=2)",
+    );
+    f.tables
+        .push(cross_scenario_table("Mean RCT (ms)", &results, |r| {
+            r.mean_rct() * 1e3
+        }));
+    f.tables
+        .push(cross_scenario_table("Availability (%)", &results, |r| {
+            r.recovery.availability() * 100.0
+        }));
+    f.tables.push(cross_scenario_table(
+        "Retries per 1k requests",
+        &results,
+        |r| {
+            if r.recovery.accepted == 0 {
+                0.0
+            } else {
+                r.recovery.retries as f64 * 1e3 / r.recovery.accepted as f64
+            }
+        },
+    ));
+    f.tables
+        .push(cross_scenario_table("Wasted work (%)", &results, |r| {
+            r.recovery.wasted_fraction() * 100.0
+        }));
+    f.notes = "Crashes drop in-flight work; the retry path redispatches it to \
+               surviving replicas, so availability stays near 100% while mean \
+               RCT absorbs the redo cost. The policy ordering (DAS < Rein-SBF \
+               < FCFS) must survive the fault sweep: recovery traffic is \
+               scheduled like any other work."
+        .into();
+    f
+}
+
+/// Fig. 23 (extension): hedged reads under gray failure, swept over the
+/// hedge-delay quantile (`off` = no hedging).
+pub fn fig23(quick: bool) -> FigureOutput {
+    let quantiles = if quick {
+        vec![0.0, 0.95]
+    } else {
+        vec![0.0, 0.5, 0.9, 0.95, 0.99]
+    };
+    let results: Vec<(String, ExperimentResult)> = quantiles
+        .into_iter()
+        .map(|q| {
+            let mut e = tune(scenarios::hedging_experiment(0.5, q), quick);
+            e.policies = fault_policies();
+            let label = if q == 0.0 {
+                "off".to_string()
+            } else {
+                format!("p{:.0}", q * 100.0)
+            };
+            (label, e.run().expect("valid hedging experiment"))
+        })
+        .collect();
+    let mut f = FigureOutput::new(
+        "fig23",
+        "Hedged reads under gray failure (rho=0.5, R=3, 3 servers 50x slower)",
+    );
+    f.tables
+        .push(cross_scenario_table("Mean RCT (ms)", &results, |r| {
+            r.mean_rct() * 1e3
+        }));
+    f.tables
+        .push(cross_scenario_table("p99 RCT (ms)", &results, |r| {
+            r.p99_rct() * 1e3
+        }));
+    f.tables.push(cross_scenario_table(
+        "Hedges per 1k requests",
+        &results,
+        |r| {
+            if r.recovery.accepted == 0 {
+                0.0
+            } else {
+                r.recovery.hedges as f64 * 1e3 / r.recovery.accepted as f64
+            }
+        },
+    ));
+    f.tables
+        .push(cross_scenario_table("Wasted work (%)", &results, |r| {
+            r.recovery.wasted_fraction() * 100.0
+        }));
+    f.notes = "Gray servers answer, just 50x slower, so crash detection never \
+               fires; hedging a straggling read to another replica is the only \
+               defense. Aggressive quantiles (p50) hedge nearly everything and \
+               pay in wasted service; conservative ones (p99) fire rarely and \
+               trim only the deep tail. Load-aware policies need hedging less: \
+               their dispatch already steers around the slow replicas."
+        .into();
+    f
+}
+
 /// Table 2: headline mean-RCT reductions (the abstract's 15-50% claim).
 pub fn table2(sweep: &[(f64, ExperimentResult)]) -> FigureOutput {
     let mut f = FigureOutput::new("table2", "Headline reductions vs FCFS");
@@ -891,6 +1017,8 @@ pub fn all_figures() -> Vec<FigureOutput> {
         fig19(quick),
         fig20(quick),
         fig21(quick),
+        fig22(quick),
+        fig23(quick),
         table2(&sweep),
         table3(quick),
         table4(quick),

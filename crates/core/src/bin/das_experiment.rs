@@ -159,7 +159,7 @@ fn cmd_policies() -> Result<(), String> {
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("check: missing <config.json>")?;
     let config = load_config(path)?;
-    config.cluster.validate()?;
+    config.cluster.validate().map_err(|e| e.to_string())?;
     let w = &config.workload;
     let c = &config.cluster;
     let rate = w
@@ -259,6 +259,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             horizon_secs: config.horizon_secs,
             warmup_secs: config.warmup_secs,
             rct_timeseries_bin_secs: None,
+            faults: config.faults.clone(),
         };
         let requests = trace_to_requests(&trace, &config.workload, &seeds);
         let result = run_simulation(&sim, requests)?;

@@ -8,7 +8,7 @@ use das_net::accounting::TrafficClass;
 use das_sched::policy::PolicyKind;
 use das_sim::rng::SeedFactory;
 use das_sim::time::SimTime;
-use das_store::config::{ClusterConfig, SimulationConfig};
+use das_store::config::{ClusterConfig, FaultProfile, SimulationConfig};
 use das_store::engine::{run_simulation, RunResult};
 use das_workload::generator::WorkloadSpec;
 
@@ -36,6 +36,9 @@ pub struct ExperimentConfig {
     pub warmup_secs: f64,
     /// Bin width for RCT-over-time, seconds (`None` = skip).
     pub rct_timeseries_bin_secs: Option<f64>,
+    /// Fault injection and recovery policy (defaults to none).
+    #[serde(default)]
+    pub faults: FaultProfile,
 }
 
 impl ExperimentConfig {
@@ -51,6 +54,7 @@ impl ExperimentConfig {
             horizon_secs: 10.0,
             warmup_secs: 1.0,
             rct_timeseries_bin_secs: None,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -67,6 +71,7 @@ impl ExperimentConfig {
                 horizon_secs: self.horizon_secs,
                 warmup_secs: self.warmup_secs,
                 rct_timeseries_bin_secs: self.rct_timeseries_bin_secs,
+                faults: self.faults.clone(),
             };
             let stream = RequestStream::new(&self.workload, &seeds, horizon);
             runs.push(run_simulation(&sim, stream)?);
@@ -165,6 +170,28 @@ pub struct PolicySummary {
     pub mean_utilization: f64,
     /// Zero-queueing lower bound on mean RCT, seconds.
     pub lower_bound_mean_rct: f64,
+    /// Requests aborted after exhausting retries (0 in fault-free runs).
+    #[serde(default)]
+    pub aborted: u64,
+    /// Per-op deadline expiries.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Retry dispatches.
+    #[serde(default)]
+    pub retries: u64,
+    /// Hedge dispatches.
+    #[serde(default)]
+    pub hedges: u64,
+    /// Fraction of accepted requests that completed (1.0 when fault-free).
+    #[serde(default = "default_availability")]
+    pub availability: f64,
+    /// Fraction of service time spent on work that was thrown away.
+    #[serde(default)]
+    pub wasted_work_fraction: f64,
+}
+
+fn default_availability() -> f64 {
+    1.0
 }
 
 impl PolicySummary {
@@ -189,6 +216,12 @@ impl PolicySummary {
             hints_per_request: per_req(run.traffic.messages(TrafficClass::ProgressHint)),
             mean_utilization: run.mean_utilization,
             lower_bound_mean_rct: run.lower_bound_mean_rct,
+            aborted: run.recovery.aborted,
+            timeouts: run.recovery.timeouts,
+            retries: run.recovery.retries,
+            hedges: run.recovery.hedges,
+            availability: run.recovery.availability(),
+            wasted_work_fraction: run.recovery.wasted_fraction(),
         }
     }
 }

@@ -8,6 +8,7 @@
 //! dimension of it.
 
 use das_net::latency::{LatencyConfig, NetworkConfig};
+use das_sim::fault::CrashWindow;
 use das_sim::time::SimDuration;
 use das_store::config::{ClusterConfig, PerfEvent};
 use das_store::partition::PartitionerConfig;
@@ -243,6 +244,74 @@ pub fn estimate_noise_experiment(rho: f64, noise: f64) -> ExperimentConfig {
     e
 }
 
+/// Fig. 22's fault-injection scenario: a fraction of the servers
+/// crash-stop mid-run and recover, with replicated reads (R=2) and the
+/// coordinator's retry path enabled so dropped work is redispatched.
+///
+/// Crash starts are staggered across the middle half of the horizon so
+/// the cluster never loses more than one server at once at moderate
+/// fractions; each outage lasts 15% of the horizon.
+pub fn fault_injection_experiment(rho: f64, crash_fraction: f64) -> ExperimentConfig {
+    assert!((0.0..=1.0).contains(&crash_fraction));
+    let mut cluster = base_cluster();
+    cluster.replication = 2;
+    let workload = base_workload(rho, &cluster);
+    let mut e = ExperimentConfig::new(
+        format!("crash fraction {crash_fraction}"),
+        workload,
+        cluster,
+    );
+    e.horizon_secs = BASE_HORIZON_SECS;
+    e.warmup_secs = BASE_WARMUP_SECS;
+    let h = e.horizon_secs;
+    let n = (crash_fraction * e.cluster.servers as f64).round() as u32;
+    for i in 0..n {
+        let start = h * (0.25 + 0.5 * i as f64 / n as f64);
+        e.faults.crashes.crashes.push(CrashWindow {
+            server: i * e.cluster.servers / n.max(1),
+            down_secs: start,
+            up_secs: start + 0.15 * h,
+        });
+    }
+    // Retry on a ~20ms deadline: generous against the ~1ms RCT scale, tight
+    // against the 750ms outages.
+    e.faults.retry.deadline_secs = 0.02;
+    e.faults.retry.max_attempts = 4;
+    e
+}
+
+/// Fig. 23's hedging scenario: a few *gray* servers — up, but 50× slower
+/// for the whole run — with replicated reads (R=3) and hedged reads at
+/// the given delay quantile (`0` disables hedging: the baseline).
+///
+/// Gray failures are invisible to crash detection; the only defense is
+/// issuing a second copy of a straggling read to another replica.
+pub fn hedging_experiment(rho: f64, hedge_quantile: f64) -> ExperimentConfig {
+    let mut cluster = base_cluster();
+    cluster.replication = 3;
+    for s in 0..3 {
+        cluster.perf_events.push(PerfEvent {
+            server: s * (BASE_SERVERS / 3),
+            start_secs: 0.0,
+            end_secs: f64::INFINITY,
+            multiplier: 0.02,
+        });
+    }
+    let workload = base_workload(rho, &cluster);
+    let mut e = ExperimentConfig::new(
+        format!("hedge quantile {hedge_quantile}"),
+        workload,
+        cluster,
+    );
+    e.horizon_secs = BASE_HORIZON_SECS;
+    e.warmup_secs = BASE_WARMUP_SECS;
+    e.faults.hedge.quantile = hedge_quantile;
+    // ~2 network RTTs: low enough that the aggressive quantiles are not
+    // all clamped to the same floor.
+    e.faults.hedge.min_delay_secs = 1e-4;
+    e
+}
+
 /// A scaled variant of the base experiment with `servers` servers at the
 /// same per-server load (Fig. 13).
 pub fn cluster_size_experiment(rho: f64, servers: u32, horizon_secs: f64) -> ExperimentConfig {
@@ -303,6 +372,36 @@ mod tests {
         assert_eq!(e.cluster.perf_events.len(), 5);
         assert!((e.cluster.perf_events[0].multiplier - 0.25).abs() < 1e-12);
         assert_eq!(e.cluster.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fault_injection_places_staggered_crashes() {
+        let e = fault_injection_experiment(0.7, 0.2);
+        assert_eq!(e.faults.crashes.crashes.len(), 10);
+        assert!(e.faults.retry.enabled());
+        assert_eq!(e.faults.validate(e.cluster.servers), Ok(()));
+        // Distinct servers, staggered starts within the horizon.
+        let servers: std::collections::HashSet<u32> =
+            e.faults.crashes.crashes.iter().map(|w| w.server).collect();
+        assert_eq!(servers.len(), 10);
+        for w in &e.faults.crashes.crashes {
+            assert!(w.down_secs >= 0.25 * e.horizon_secs);
+            assert!(w.up_secs <= e.horizon_secs);
+        }
+        // Zero fraction: retry armed but nothing crashes.
+        let none = fault_injection_experiment(0.7, 0.0);
+        assert!(none.faults.crashes.crashes.is_empty());
+    }
+
+    #[test]
+    fn hedging_scenario_validates() {
+        let e = hedging_experiment(0.7, 0.95);
+        assert!(e.faults.hedge.enabled());
+        assert_eq!(e.cluster.perf_events.len(), 3);
+        assert_eq!(e.faults.validate(e.cluster.servers), Ok(()));
+        assert_eq!(e.cluster.validate(), Ok(()));
+        let off = hedging_experiment(0.7, 0.0);
+        assert!(!off.faults.is_active());
     }
 
     #[test]

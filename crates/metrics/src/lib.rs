@@ -13,6 +13,8 @@
 //! * [`slowdown`] — per-class slowdown tracking for the fairness table;
 //! * [`batch`] — batch-means confidence intervals for autocorrelated
 //!   simulation output;
+//! * [`recovery`] — fault-recovery accounting (goodput vs wasted work,
+//!   availability, fault-exposed RCT) for the fault-injection figures;
 //! * [`ascii`] — terminal sparklines and bar charts.
 //!
 //! ```
@@ -32,6 +34,7 @@ pub mod ascii;
 pub mod batch;
 pub mod histogram;
 pub mod quantile;
+pub mod recovery;
 pub mod slowdown;
 pub mod summary;
 pub mod timeseries;

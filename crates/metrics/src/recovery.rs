@@ -1,0 +1,131 @@
+//! Fault-recovery accounting: goodput vs wasted work, timeout/retry/hedge
+//! counts, availability, and RCT conditioned on fault exposure.
+//!
+//! One [`RecoveryStats`] is filled in by the engine per run. With all
+//! fault knobs at their zero defaults every counter stays zero, so the
+//! struct is cheap to carry unconditionally.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::LatencySummary;
+
+/// Everything measured about fault handling in one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Requests admitted by the coordinator (arrived inside the horizon).
+    pub accepted: u64,
+    /// Requests that completed (every op answered exactly once).
+    pub completed: u64,
+    /// Requests aborted after exhausting their retry budget.
+    pub aborted: u64,
+    /// Per-op deadline expirations.
+    pub timeouts: u64,
+    /// Re-dispatched attempts (excludes the first attempt of each op).
+    pub retries: u64,
+    /// Hedged (speculative duplicate) read attempts issued.
+    pub hedges: u64,
+    /// Responses discarded because their op was already complete, their
+    /// attempt had been closed, or the whole request was gone.
+    pub duplicate_responses: u64,
+    /// Ops lost to a server crash (queued or in service when it died).
+    pub crash_drops: u64,
+    /// Server-seconds of service that produced an accepted response.
+    pub goodput_service_secs: f64,
+    /// Server-seconds spent on work that was thrown away: losing hedge
+    /// attempts, responses past their attempt's closure, and partial
+    /// service truncated by a crash.
+    pub wasted_service_secs: f64,
+    /// RCT of completed requests that never touched a fault (measured
+    /// window only).
+    pub rct_clean: LatencySummary,
+    /// RCT of completed requests that saw at least one timeout, retry,
+    /// hedge, duplicate, or crash-drop (measured window only).
+    pub rct_fault_exposed: LatencySummary,
+}
+
+impl RecoveryStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completed / accepted, in `[0, 1]`; 1.0 for an idle run.
+    pub fn availability(&self) -> f64 {
+        if self.accepted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.accepted as f64
+        }
+    }
+
+    /// Wasted / (wasted + goodput) service seconds, in `[0, 1]`.
+    pub fn wasted_fraction(&self) -> f64 {
+        let total = self.goodput_service_secs + self.wasted_service_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.wasted_service_secs / total
+        }
+    }
+
+    /// True when any fault machinery fired during the run.
+    pub fn any_faults_seen(&self) -> bool {
+        self.aborted > 0
+            || self.timeouts > 0
+            || self.retries > 0
+            || self.hedges > 0
+            || self.duplicate_responses > 0
+            || self.crash_drops > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stats_are_benign() {
+        let s = RecoveryStats::new();
+        assert_eq!(s.availability(), 1.0);
+        assert_eq!(s.wasted_fraction(), 0.0);
+        assert!(!s.any_faults_seen());
+    }
+
+    #[test]
+    fn availability_ratio() {
+        let s = RecoveryStats {
+            accepted: 100,
+            completed: 97,
+            aborted: 3,
+            ..Default::default()
+        };
+        assert!((s.availability() - 0.97).abs() < 1e-12);
+        assert!(s.any_faults_seen());
+    }
+
+    #[test]
+    fn wasted_fraction_ratio() {
+        let s = RecoveryStats {
+            goodput_service_secs: 9.0,
+            wasted_service_secs: 1.0,
+            ..Default::default()
+        };
+        assert!((s.wasted_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = RecoveryStats::new();
+        s.accepted = 10;
+        s.completed = 9;
+        s.aborted = 1;
+        s.timeouts = 4;
+        s.rct_clean.record(0.002);
+        s.rct_fault_exposed.record(0.010);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RecoveryStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.accepted, 10);
+        assert_eq!(back.rct_clean.count(), 1);
+        assert_eq!(back.rct_fault_exposed.count(), 1);
+    }
+}

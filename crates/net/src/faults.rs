@@ -1,0 +1,184 @@
+//! Per-message link faults: loss, duplication, and extra delay.
+//!
+//! A [`LinkFaults`] describes what can happen to one message class (e.g.
+//! op requests, or op responses) in flight. [`LinkFaults::decide`] rolls
+//! the dice for one message and returns a [`MessageFate`]: how many copies
+//! actually arrive (0 = lost, 2 = duplicated) and any extra delay beyond
+//! the latency model's draw. Everything defaults to zero, in which case
+//! `decide` draws **no randomness at all** — fault-free runs stay
+//! bit-identical to builds that predate this module.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use das_sim::rng::open_unit;
+use das_sim::time::SimDuration;
+
+/// Fault knobs for one direction of one message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    #[serde(default)]
+    pub loss: f64,
+    /// Probability a message is delivered twice (loss wins if both fire).
+    #[serde(default)]
+    pub duplication: f64,
+    /// Probability a delivered message is delayed by `extra_delay_micros`
+    /// on top of the latency model's draw.
+    #[serde(default)]
+    pub extra_delay_prob: f64,
+    /// The extra delay applied when the previous probability fires.
+    #[serde(default)]
+    pub extra_delay_micros: f64,
+}
+
+/// What happens to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFate {
+    /// Delivered copies: 0 (lost), 1, or 2 (duplicated).
+    pub copies: u8,
+    /// Extra delay added to every delivered copy.
+    pub extra_delay: SimDuration,
+}
+
+impl MessageFate {
+    /// The fate of a message on a fault-free link.
+    pub const CLEAN: MessageFate = MessageFate {
+        copies: 1,
+        extra_delay: SimDuration::ZERO,
+    };
+}
+
+impl LinkFaults {
+    /// A fault-free link.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when any knob is non-zero (i.e. `decide` may draw randomness).
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || self.duplication > 0.0 || self.extra_delay_prob > 0.0
+    }
+
+    /// Rolls the fate of one message. Draws from `rng` only for the knobs
+    /// that are actually non-zero, so inactive links consume nothing.
+    pub fn decide(&self, rng: &mut dyn RngCore) -> MessageFate {
+        let mut fate = MessageFate::CLEAN;
+        if self.loss > 0.0 && open_unit(rng) <= self.loss {
+            fate.copies = 0;
+            return fate;
+        }
+        if self.duplication > 0.0 && open_unit(rng) <= self.duplication {
+            fate.copies = 2;
+        }
+        if self.extra_delay_prob > 0.0 && open_unit(rng) <= self.extra_delay_prob {
+            fate.extra_delay = SimDuration::from_secs_f64(self.extra_delay_micros * 1e-6);
+        }
+        fate
+    }
+
+    /// Human-readable description of the first invalid knob, if any.
+    pub fn first_invalid(&self) -> Option<&'static str> {
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !prob_ok(self.loss) {
+            Some("loss must be in [0, 1]")
+        } else if !prob_ok(self.duplication) {
+            Some("duplication must be in [0, 1]")
+        } else if !prob_ok(self.extra_delay_prob) {
+            Some("extra_delay_prob must be in [0, 1]")
+        } else if !(self.extra_delay_micros.is_finite() && self.extra_delay_micros >= 0.0) {
+            Some("extra_delay_micros must be finite and >= 0")
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_sim::rng::SeedFactory;
+
+    #[test]
+    fn inactive_link_is_clean_and_draws_nothing() {
+        let mut rng = SeedFactory::new(1).stream("faults", 0);
+        let mut twin = SeedFactory::new(1).stream("faults", 0);
+        let fate = LinkFaults::none().decide(&mut rng);
+        assert_eq!(fate, MessageFate::CLEAN);
+        // No randomness consumed: the next draw matches an untouched twin.
+        assert_eq!(rng.next_u64(), twin.next_u64());
+        assert!(!LinkFaults::none().is_active());
+    }
+
+    #[test]
+    fn certain_loss_drops_everything() {
+        let lf = LinkFaults {
+            loss: 1.0,
+            ..Default::default()
+        };
+        let mut rng = SeedFactory::new(2).stream("faults", 0);
+        for _ in 0..100 {
+            assert_eq!(lf.decide(&mut rng).copies, 0);
+        }
+    }
+
+    #[test]
+    fn duplication_and_delay_compose() {
+        let lf = LinkFaults {
+            loss: 0.0,
+            duplication: 1.0,
+            extra_delay_prob: 1.0,
+            extra_delay_micros: 250.0,
+        };
+        let mut rng = SeedFactory::new(3).stream("faults", 0);
+        let fate = lf.decide(&mut rng);
+        assert_eq!(fate.copies, 2);
+        assert_eq!(fate.extra_delay, SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn probabilistic_loss_rate_is_plausible() {
+        let lf = LinkFaults {
+            loss: 0.2,
+            ..Default::default()
+        };
+        let mut rng = SeedFactory::new(4).stream("faults", 0);
+        let lost = (0..20_000)
+            .filter(|_| lf.decide(&mut rng).copies == 0)
+            .count();
+        let rate = lost as f64 / 20_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn validation_catches_bad_knobs() {
+        assert!(LinkFaults::none().first_invalid().is_none());
+        let bad = LinkFaults {
+            loss: 1.5,
+            ..Default::default()
+        };
+        assert!(bad.first_invalid().unwrap().contains("loss"));
+        let bad = LinkFaults {
+            extra_delay_micros: f64::NAN,
+            extra_delay_prob: 0.5,
+            ..Default::default()
+        };
+        assert!(bad.first_invalid().unwrap().contains("extra_delay_micros"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let lf = LinkFaults {
+            loss: 0.01,
+            duplication: 0.02,
+            extra_delay_prob: 0.1,
+            extra_delay_micros: 500.0,
+        };
+        let json = serde_json::to_string(&lf).unwrap();
+        let back: LinkFaults = serde_json::from_str(&json).unwrap();
+        assert_eq!(lf, back);
+        // Missing fields default to zero.
+        let empty: LinkFaults = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, LinkFaults::none());
+    }
+}

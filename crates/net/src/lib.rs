@@ -6,7 +6,9 @@
 //!   producing per-message one-way delays (propagation distribution +
 //!   bandwidth serialization term);
 //! * [`accounting`] — per-class message/byte counters used to quantify
-//!   each scheduler's coordination overhead (Table 3 of the evaluation).
+//!   each scheduler's coordination overhead (Table 3 of the evaluation);
+//! * [`faults`] — per-message loss/duplication/extra-delay injection for
+//!   the fault-tolerance experiments.
 //!
 //! ```
 //! use das_net::latency::NetworkConfig;
@@ -22,7 +24,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accounting;
+pub mod faults;
 pub mod latency;
 
 pub use accounting::{TrafficAccounting, TrafficClass};
+pub use faults::{LinkFaults, MessageFate};
 pub use latency::{LatencyConfig, NetworkConfig, NetworkModel};

@@ -51,7 +51,38 @@ pub struct MultiGetResult {
     pub rct: Duration,
     /// Number of per-server operations the request fanned out into.
     pub ops: usize,
+    /// Resubmission rounds that were needed beyond the first (0 = clean).
+    pub retries: u32,
 }
+
+/// Why a [`RtCluster::try_multi_get`] gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiGetError {
+    /// Some per-server ops never replied within the attempt budget — the
+    /// owning server is dead, halted, or hopelessly backlogged.
+    TimedOut {
+        /// Ops still outstanding when the budget ran out.
+        missing: usize,
+        /// Attempt rounds used (each with its own timeout window).
+        attempts: u32,
+    },
+    /// Every reply sender vanished: the servers dropped the channel.
+    Disconnected,
+}
+
+impl std::fmt::Display for MultiGetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiGetError::TimedOut { missing, attempts } => write!(
+                f,
+                "multi-get timed out with {missing} ops outstanding after {attempts} attempts"
+            ),
+            MultiGetError::Disconnected => write!(f, "multi-get reply channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MultiGetError {}
 
 /// A running in-process cluster.
 pub struct RtCluster {
@@ -121,15 +152,35 @@ impl RtCluster {
     }
 
     /// Executes a multi-get across the cluster, blocking until every
-    /// per-server operation returns.
+    /// per-server operation returns. Panics if the cluster cannot answer
+    /// within 30 seconds — use [`try_multi_get`] for a fallible path.
+    ///
+    /// [`try_multi_get`]: RtCluster::try_multi_get
     pub fn multi_get(&self, keys: &[u64]) -> MultiGetResult {
+        self.try_multi_get(keys, Duration::from_secs(30), 1)
+            .expect("multi-get did not complete within 30s")
+    }
+
+    /// Executes a multi-get with a per-attempt `timeout` and up to
+    /// `attempts` rounds: when a round's window expires with ops still
+    /// outstanding, those ops are resubmitted to their servers (reads are
+    /// idempotent; a late original reply and a retry reply are
+    /// interchangeable and deduplicated). Returns an error instead of
+    /// hanging when a server has died.
+    pub fn try_multi_get(
+        &self,
+        keys: &[u64],
+        timeout: Duration,
+        attempts: u32,
+    ) -> Result<MultiGetResult, MultiGetError> {
         assert!(!keys.is_empty(), "multi-get needs at least one key");
+        assert!(attempts >= 1, "multi-get needs at least one attempt");
         let request = RequestId(
             self.next_request
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         );
         let start = Instant::now();
-        let now = self.now();
+        let arrival = self.now();
 
         // Group keys per server.
         let mut groups: Vec<(usize, Vec<u64>)> = Vec::new();
@@ -151,31 +202,36 @@ impl RtCluster {
         drop(index);
         let bottleneck = *demands.iter().max().expect("non-empty groups");
 
-        let (tx, rx) = bounded(groups.len());
-        for (idx, ((server, group_keys), demand)) in groups.iter().zip(demands.iter()).enumerate() {
+        // Room for every attempt's reply so a worker never blocks sending a
+        // late duplicate.
+        let (tx, rx) = bounded(groups.len() * attempts as usize);
+        let submit_group = |idx: usize| {
+            let now = self.now();
             let tag = OpTag {
                 op: OpId {
                     request,
                     index: idx as u32,
                 },
-                request_arrival: now,
+                request_arrival: arrival,
                 fanout,
-                local_estimate: SimDuration::from_nanos(*demand),
+                local_estimate: SimDuration::from_nanos(demands[idx]),
                 bottleneck_eta: now + SimDuration::from_nanos(bottleneck),
                 bottleneck_demand: SimDuration::from_nanos(bottleneck),
             };
-            self.servers[*server].submit(RtOp {
+            self.servers[groups[idx].0].submit(RtOp {
                 queued: QueuedOp {
                     tag,
                     local_estimate: tag.local_estimate,
                     enqueued_at: now,
                 },
-                keys: group_keys.clone(),
-                service_nanos: *demand,
+                keys: groups[idx].1.clone(),
+                service_nanos: demands[idx],
                 reply: tx.clone(),
             });
+        };
+        for idx in 0..groups.len() {
+            submit_group(idx);
         }
-        drop(tx);
 
         // Collect replies; keep the remaining-bottleneck view current and
         // hint pending servers when it changes.
@@ -183,39 +239,75 @@ impl RtCluster {
         let mut done = vec![false; groups.len()];
         let mut values: HashMap<u64, Option<Bytes>> = HashMap::with_capacity(keys.len());
         let mut current_bottleneck = bottleneck;
-        for _ in 0..groups.len() {
-            let reply = rx.recv().expect("server dropped reply channel");
-            let idx = reply.op.index as usize;
-            done[idx] = true;
-            for (key, value) in groups[idx].1.iter().zip(reply.values) {
-                values.insert(*key, value);
-            }
-            let remaining = demands
-                .iter()
-                .zip(&done)
-                .filter(|(_, d)| !**d)
-                .map(|(d, _)| *d)
-                .max();
-            if let Some(remaining) = remaining {
-                if wants_hints && remaining != current_bottleneck {
-                    current_bottleneck = remaining;
-                    let update = HintUpdate {
-                        bottleneck_eta: self.now() + SimDuration::from_nanos(remaining),
-                        remaining_demand: SimDuration::from_nanos(remaining),
-                    };
-                    for (i, (server, _)) in groups.iter().enumerate() {
-                        if !done[i] {
-                            self.servers[*server].hint(request, update);
+        let mut completed = 0usize;
+        let mut round = 1u32;
+        let mut deadline = Instant::now() + timeout;
+        while completed < groups.len() {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
+                Ok(reply) => {
+                    let idx = reply.op.index as usize;
+                    if done[idx] {
+                        continue; // late duplicate from an earlier round
+                    }
+                    done[idx] = true;
+                    completed += 1;
+                    for (key, value) in groups[idx].1.iter().zip(reply.values) {
+                        values.insert(*key, value);
+                    }
+                    let remaining = demands
+                        .iter()
+                        .zip(&done)
+                        .filter(|(_, d)| !**d)
+                        .map(|(d, _)| *d)
+                        .max();
+                    if let Some(remaining) = remaining {
+                        if wants_hints && remaining != current_bottleneck {
+                            current_bottleneck = remaining;
+                            let update = HintUpdate {
+                                bottleneck_eta: self.now() + SimDuration::from_nanos(remaining),
+                                remaining_demand: SimDuration::from_nanos(remaining),
+                            };
+                            for (i, (server, _)) in groups.iter().enumerate() {
+                                if !done[i] {
+                                    self.servers[*server].hint(request, update);
+                                }
+                            }
                         }
                     }
                 }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if round >= attempts {
+                        return Err(MultiGetError::TimedOut {
+                            missing: groups.len() - completed,
+                            attempts,
+                        });
+                    }
+                    round += 1;
+                    deadline = Instant::now() + timeout;
+                    for (idx, finished) in done.iter().enumerate() {
+                        if !finished {
+                            submit_group(idx);
+                        }
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(MultiGetError::Disconnected);
+                }
             }
         }
-        MultiGetResult {
+        Ok(MultiGetResult {
             values,
             rct: start.elapsed(),
             ops: groups.len(),
-        }
+            retries: round - 1,
+        })
+    }
+
+    /// Crash-stops one server (see [`RtServer::halt`]): its workers exit,
+    /// queued and future ops on it are never answered.
+    pub fn halt_server(&self, server: usize) {
+        self.servers[server].halt();
     }
 
     /// Total ops served across all servers.
@@ -328,6 +420,82 @@ mod tests {
         assert_eq!(summary.count(), 40);
         assert!(summary.mean() > 0.0);
         assert!(cluster.ops_served() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn try_multi_get_reports_zero_retries_on_clean_path() {
+        let cluster = small_cluster(PolicyKind::Fcfs);
+        let r = cluster
+            .try_multi_get(&[1, 2, 3], Duration::from_secs(5), 3)
+            .expect("healthy cluster answers");
+        assert_eq!(r.values.len(), 3);
+        assert_eq!(r.retries, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn halted_server_times_out_instead_of_hanging() {
+        let cluster = small_cluster(PolicyKind::Fcfs);
+        let key = 5u64;
+        let dead = cluster.owner_of(key).0 as usize;
+        cluster.halt_server(dead);
+        std::thread::sleep(Duration::from_millis(20));
+        let err = cluster
+            .try_multi_get(&[key], Duration::from_millis(50), 2)
+            .expect_err("dead server must time out");
+        assert_eq!(
+            err,
+            MultiGetError::TimedOut {
+                missing: 1,
+                attempts: 2
+            }
+        );
+        assert!(err.to_string().contains("timed out"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn retry_rides_out_a_transient_backlog() {
+        // One single-worker server pinned by a long op: the first attempt's
+        // window expires, retries resubmit, and the request completes once
+        // the blocker drains — with `retries > 0` and deduplicated replies.
+        let cluster = RtCluster::start(RtConfig {
+            servers: 1,
+            workers_per_server: 1,
+            policy: PolicyKind::Fcfs,
+            per_op_nanos: 1_000,
+            per_byte_nanos: 0.0,
+        });
+        cluster.load(1, Bytes::from_static(b"v"));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let tag = OpTag {
+            op: OpId {
+                request: RequestId(u64::MAX),
+                index: 0,
+            },
+            request_arrival: SimTime::ZERO,
+            fanout: 1,
+            local_estimate: SimDuration::from_micros(10),
+            bottleneck_eta: SimTime::from_micros(10),
+            bottleneck_demand: SimDuration::from_micros(10),
+        };
+        cluster.servers[0].submit(RtOp {
+            queued: QueuedOp {
+                tag,
+                local_estimate: tag.local_estimate,
+                enqueued_at: SimTime::ZERO,
+            },
+            keys: vec![1],
+            service_nanos: 100_000_000, // 100ms blocker
+            reply: tx,
+        });
+        let r = cluster
+            .try_multi_get(&[1], Duration::from_millis(30), 20)
+            .expect("request completes once the blocker drains");
+        assert!(r.retries > 0, "the blocked window must have expired");
+        assert_eq!(r.values[&1], Some(Bytes::from_static(b"v")));
+        let _ = rx.recv_timeout(Duration::from_secs(5));
         cluster.shutdown();
     }
 

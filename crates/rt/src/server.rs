@@ -139,12 +139,28 @@ impl RtServer {
         SimTime::from_nanos(self.inner.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// Stops the workers and joins them.
+    /// Simulates server death (crash-stop): workers stop serving and exit,
+    /// queued ops are never answered, but the process keeps running —
+    /// clients see the silence, not an error. Unlike [`shutdown`], `halt`
+    /// does not join the workers, so it can be called through a shared
+    /// reference mid-benchmark. A halted server still accepts submissions
+    /// (into the void), like a dead host behind a still-open TCP window.
+    ///
+    /// [`shutdown`]: RtServer::shutdown
+    pub fn halt(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+
+    /// Stops the workers and joins them. If a worker thread panicked, the
+    /// panic is re-raised here instead of being swallowed.
     pub fn shutdown(self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.cv.notify_all();
         for h in self.workers {
-            let _ = h.join();
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
         }
     }
 }
@@ -237,7 +253,9 @@ mod tests {
             server.submit(op(i, vec![1, 2, 99], tx.clone()));
         }
         for _ in 0..10 {
-            let reply = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            let reply = rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("worker did not reply within 5s");
             assert_eq!(reply.values[0], Some(Bytes::from_static(b"one")));
             assert_eq!(reply.values[1], Some(Bytes::from_static(b"two")));
             assert_eq!(reply.values[2], None);
@@ -308,17 +326,75 @@ mod tests {
         server.submit(mk(2, 10)); // small bottleneck, submitted second
 
         let timeout = std::time::Duration::from_secs(5);
-        let first = rx.recv_timeout(timeout).unwrap();
+        let first = rx
+            .recv_timeout(timeout)
+            .expect("blocker op did not finish within 5s");
         assert_eq!(first.op.request, RequestId(100), "blocker finishes first");
-        let second = rx.recv_timeout(timeout).unwrap();
+        let second = rx
+            .recv_timeout(timeout)
+            .expect("second reply did not arrive within 5s");
         assert_eq!(
             second.op.request,
             RequestId(2),
             "SBF must serve the small bottleneck first"
         );
-        let third = rx.recv_timeout(timeout).unwrap();
+        let third = rx
+            .recv_timeout(timeout)
+            .expect("third reply did not arrive within 5s");
         assert_eq!(third.op.request, RequestId(1));
         server.shutdown();
+    }
+
+    #[test]
+    fn halted_server_goes_silent() {
+        let server = RtServer::start(PolicyKind::Fcfs, 1, Instant::now());
+        server.load(1, Bytes::from_static(b"x"));
+        server.halt();
+        // Give the worker a moment to observe the flag and exit.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (tx, rx) = unbounded();
+        server.submit(op(1, vec![1], tx));
+        // Submission is accepted but never served: the client's only signal
+        // is the timeout.
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_millis(100))
+            .is_err());
+        assert_eq!(server.ops_served(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_panics_surface_on_shutdown() {
+        let server = RtServer::start(PolicyKind::Fcfs, 1, Instant::now());
+        let (tx, rx) = unbounded();
+        // Pin the single worker so both same-id ops are queued before
+        // either is dequeued: the payload table then holds one entry and
+        // the second dequeue finds none, panicking the worker. The blocker
+        // must outlast any scheduling hiccup between the two submits below,
+        // or the worker drains the first id-7 op (removing the payload)
+        // before the second re-inserts it and no panic fires.
+        let mut blocker = op(100, vec![1], tx.clone());
+        blocker.service_nanos = 200_000_000;
+        server.submit(blocker);
+        // Let the worker dequeue the blocker so the full service time is
+        // ahead of us, then enqueue the colliding pair back to back.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        server.submit(op(7, vec![1], tx.clone()));
+        server.submit(op(7, vec![1], tx));
+        let _ = rx.recv_timeout(std::time::Duration::from_secs(5));
+        let _ = rx.recv_timeout(std::time::Duration::from_secs(5));
+        // The second reply only proves the first id-7 op was served; the
+        // panicking dequeue happens on the worker's *next* loop turn. Wait
+        // for the thread to actually die before shutting down, or the
+        // shutdown flag can win the race and let the worker exit cleanly.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while !server.workers[0].is_finished() {
+            assert!(Instant::now() < deadline, "worker did not panic within 5s");
+            std::thread::yield_now();
+        }
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || server.shutdown()));
+        assert!(result.is_err(), "worker panic must propagate via shutdown");
     }
 
     #[test]

@@ -57,6 +57,18 @@ pub trait Scheduler: Send {
     /// Sum of `local_estimate` over all queued ops — the backlog the server
     /// advertises in its piggybacked reports.
     fn queued_work(&self) -> SimDuration;
+
+    /// Removes and returns *every* queued op (in dequeue order). Used when
+    /// a server crash-stops: the engine hands the drained ops back to the
+    /// coordinator so retry/abort bookkeeping stays exact. The default
+    /// repeatedly dequeues, which is correct for any discipline.
+    fn drain(&mut self, now: SimTime) -> Vec<QueuedOp> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(op) = self.dequeue(now) {
+            out.push(op);
+        }
+        out
+    }
 }
 
 /// A FIFO-stable priority queue keyed once at enqueue time: the workhorse
@@ -179,6 +191,24 @@ mod tests {
         assert_eq!(q.pop().unwrap().tag.op.request, RequestId(1));
         assert_eq!(q.pop().unwrap().tag.op.request, RequestId(3));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drain_empties_every_policy() {
+        let mut policies = crate::policy::PolicyKind::standard_set();
+        policies.push(crate::policy::PolicyKind::oracle());
+        for policy in policies {
+            let mut s = policy.build();
+            let t = SimTime::ZERO;
+            for i in 0..5 {
+                s.enqueue(op(i, 0, 10 * (i + 1), t), t);
+            }
+            let drained = s.drain(t);
+            assert_eq!(drained.len(), 5, "{}", s.name());
+            assert!(s.is_empty(), "{}", s.name());
+            assert_eq!(s.queued_work(), SimDuration::ZERO, "{}", s.name());
+            assert!(s.drain(t).is_empty());
+        }
     }
 
     #[test]

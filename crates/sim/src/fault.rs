@@ -1,0 +1,168 @@
+//! Crash-stop fault schedules.
+//!
+//! A [`FaultSchedule`] lists per-server crash windows: a server is *down*
+//! (crash-stop: it loses all queued and in-service work, accepts nothing)
+//! from `down_secs` until `up_secs`, when it recovers empty. Schedules are
+//! declarative serde data so experiments can describe fault scenarios the
+//! same way they describe workloads.
+//!
+//! Gray failures (a server still up but serving at a tiny fraction of its
+//! rate) are expressed through the existing per-server rate multipliers,
+//! not here — crash windows model the *detectable* loss of a server.
+
+use serde::{Deserialize, Serialize};
+
+/// One crash-stop window for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// Affected server index.
+    pub server: u32,
+    /// When the server crashes, seconds.
+    pub down_secs: f64,
+    /// When it recovers (empty), seconds (`f64::INFINITY` = never).
+    pub up_secs: f64,
+}
+
+impl CrashWindow {
+    /// True while the server is down under this window.
+    pub fn is_down_at(&self, t_secs: f64) -> bool {
+        t_secs >= self.down_secs && t_secs < self.up_secs
+    }
+}
+
+/// A full crash schedule: the union of per-server windows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Crash windows, in no particular order.
+    pub crashes: Vec<CrashWindow>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the schedule contains at least one window.
+    pub fn is_active(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// True if `server` is inside any crash window at `t_secs`.
+    pub fn is_down(&self, server: u32, t_secs: f64) -> bool {
+        self.crashes
+            .iter()
+            .any(|w| w.server == server && w.is_down_at(t_secs))
+    }
+
+    /// Every crash/recover transition as `(t_secs, server, goes_down)`,
+    /// sorted by time (recoveries at infinity are omitted — the server
+    /// never comes back).
+    pub fn transitions(&self) -> Vec<(f64, u32, bool)> {
+        let mut out = Vec::with_capacity(self.crashes.len() * 2);
+        for w in &self.crashes {
+            out.push((w.down_secs, w.server, true));
+            if w.up_secs.is_finite() {
+                out.push((w.up_secs, w.server, false));
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// First malformed window, if any: a window must have
+    /// `0 <= down < up` and target a server below `servers`.
+    pub fn first_invalid(&self, servers: u32) -> Option<&CrashWindow> {
+        self.crashes.iter().find(|w| {
+            w.server >= servers
+                || !w.down_secs.is_finite()
+                || w.down_secs < 0.0
+                || w.up_secs <= w.down_secs
+                || w.up_secs.is_nan()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_bound_downtime() {
+        let w = CrashWindow {
+            server: 2,
+            down_secs: 1.0,
+            up_secs: 3.0,
+        };
+        assert!(!w.is_down_at(0.999));
+        assert!(w.is_down_at(1.0));
+        assert!(w.is_down_at(2.999));
+        assert!(!w.is_down_at(3.0));
+    }
+
+    #[test]
+    fn schedule_queries_by_server() {
+        let s = FaultSchedule {
+            crashes: vec![
+                CrashWindow {
+                    server: 0,
+                    down_secs: 1.0,
+                    up_secs: 2.0,
+                },
+                CrashWindow {
+                    server: 0,
+                    down_secs: 4.0,
+                    up_secs: f64::INFINITY,
+                },
+            ],
+        };
+        assert!(s.is_active());
+        assert!(s.is_down(0, 1.5));
+        assert!(!s.is_down(0, 3.0));
+        assert!(s.is_down(0, 100.0)); // never recovers
+        assert!(!s.is_down(1, 1.5));
+    }
+
+    #[test]
+    fn transitions_sorted_and_skip_infinite_recovery() {
+        let s = FaultSchedule {
+            crashes: vec![
+                CrashWindow {
+                    server: 1,
+                    down_secs: 5.0,
+                    up_secs: f64::INFINITY,
+                },
+                CrashWindow {
+                    server: 0,
+                    down_secs: 1.0,
+                    up_secs: 2.0,
+                },
+            ],
+        };
+        let t = s.transitions();
+        assert_eq!(t, vec![(1.0, 0, true), (2.0, 0, false), (5.0, 1, true)]);
+    }
+
+    #[test]
+    fn validation_catches_bad_windows() {
+        let ok = FaultSchedule {
+            crashes: vec![CrashWindow {
+                server: 3,
+                down_secs: 0.0,
+                up_secs: 1.0,
+            }],
+        };
+        assert!(ok.first_invalid(4).is_none());
+        assert!(ok.first_invalid(3).is_some()); // server out of range
+        let backwards = FaultSchedule {
+            crashes: vec![CrashWindow {
+                server: 0,
+                down_secs: 2.0,
+                up_secs: 1.0,
+            }],
+        };
+        assert!(backwards.first_invalid(4).is_some());
+        assert!(FaultSchedule::none().first_invalid(0).is_none());
+        assert!(!FaultSchedule::none().is_active());
+    }
+}

@@ -12,6 +12,8 @@
 //!   approved dependency set;
 //! * [`process`] — Poisson / MMPP / schedule-modulated arrival processes for
 //!   time-varying-load experiments;
+//! * [`fault`] — declarative crash-stop schedules for the fault-injection
+//!   experiments;
 //! * [`stats`] — Welford accumulators and EWMAs used by the adaptive
 //!   scheduler.
 //!
@@ -39,6 +41,7 @@
 
 pub mod discrete;
 pub mod dist;
+pub mod fault;
 pub mod process;
 pub mod queue;
 pub mod rng;

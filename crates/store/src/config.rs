@@ -2,8 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use das_net::faults::LinkFaults;
 use das_net::latency::NetworkConfig;
 use das_sched::policy::PolicyKind;
+use das_sim::fault::FaultSchedule;
 use das_sim::time::SimDuration;
 
 use crate::partition::PartitionerConfig;
@@ -12,8 +14,203 @@ fn default_coordinators() -> u32 {
     1
 }
 
+/// A structured validation failure. Every invariant the configuration can
+/// break has its own variant, so callers can match on the cause instead of
+/// scraping strings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `servers` was zero.
+    ZeroServers,
+    /// `workers_per_server` was zero.
+    ZeroWorkers,
+    /// `base_rate_bytes_per_sec` was not finite and positive.
+    NonPositiveBaseRate,
+    /// `replication` was zero.
+    ZeroReplication,
+    /// `coordinators` was zero.
+    ZeroCoordinators,
+    /// `hint_loss` fell outside `[0, 1]`.
+    HintLossOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// `estimate_noise` was negative or non-finite.
+    NegativeEstimateNoise {
+        /// The offending value.
+        value: f64,
+    },
+    /// A perf event targeted a server index outside the cluster.
+    PerfEventUnknownServer {
+        /// The offending server index.
+        server: u32,
+    },
+    /// A perf event's multiplier was not finite and positive.
+    PerfEventNonPositiveMultiplier {
+        /// The offending multiplier.
+        multiplier: f64,
+    },
+    /// A perf event ended before it started.
+    PerfEventEndsBeforeStart {
+        /// The server it targeted.
+        server: u32,
+    },
+    /// `horizon_secs` was not finite and positive.
+    NonPositiveHorizon {
+        /// The offending value.
+        value: f64,
+    },
+    /// `warmup_secs` fell outside `[0, horizon)`.
+    WarmupOutsideHorizon {
+        /// The configured warmup.
+        warmup_secs: f64,
+        /// The configured horizon.
+        horizon_secs: f64,
+    },
+    /// A crash window was malformed (unknown server, negative start, or
+    /// recovery at or before the crash instant).
+    CrashWindowInvalid {
+        /// The server the window targeted.
+        server: u32,
+    },
+    /// A link-fault knob was out of range.
+    LinkFaultInvalid {
+        /// Which direction (`"request"` or `"response"`).
+        direction: &'static str,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Message loss was configured without retries: a lost op would hang
+    /// its request forever.
+    LossWithoutRetry,
+    /// The per-op deadline was negative or non-finite.
+    InvalidDeadline {
+        /// The offending value.
+        value: f64,
+    },
+    /// Retries were enabled with a zero attempt budget.
+    ZeroRetryAttempts,
+    /// The retry backoff base was not finite and positive.
+    NonPositiveBackoffBase {
+        /// The offending value.
+        value: f64,
+    },
+    /// The retry backoff multiplier was below one.
+    BackoffMultiplierBelowOne {
+        /// The offending value.
+        value: f64,
+    },
+    /// The retry jitter fraction fell outside `[0, 1]`.
+    JitterOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// The hedge quantile fell outside `(0, 1)`.
+    HedgeQuantileOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// The hedge delay floor was negative or non-finite.
+    NegativeHedgeDelayFloor {
+        /// The offending value.
+        value: f64,
+    },
+    /// The hedge warmup sample count was too small for the streaming
+    /// quantile estimator.
+    HedgeMinSamplesTooSmall {
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroServers => write!(f, "servers must be >= 1"),
+            ConfigError::ZeroWorkers => write!(f, "workers_per_server must be >= 1"),
+            ConfigError::NonPositiveBaseRate => {
+                write!(f, "base_rate_bytes_per_sec must be positive")
+            }
+            ConfigError::ZeroReplication => write!(f, "replication must be >= 1"),
+            ConfigError::ZeroCoordinators => write!(f, "coordinators must be >= 1"),
+            ConfigError::HintLossOutOfRange { value } => {
+                write!(f, "hint_loss must be in [0, 1], got {value}")
+            }
+            ConfigError::NegativeEstimateNoise { value } => {
+                write!(f, "estimate_noise must be >= 0, got {value}")
+            }
+            ConfigError::PerfEventUnknownServer { server } => {
+                write!(f, "perf event for nonexistent server {server}")
+            }
+            ConfigError::PerfEventNonPositiveMultiplier { multiplier } => {
+                write!(f, "perf multiplier must be positive, got {multiplier}")
+            }
+            ConfigError::PerfEventEndsBeforeStart { server } => {
+                write!(f, "perf event for server {server} ends before it starts")
+            }
+            ConfigError::NonPositiveHorizon { value } => {
+                write!(f, "horizon must be positive, got {value}")
+            }
+            ConfigError::WarmupOutsideHorizon {
+                warmup_secs,
+                horizon_secs,
+            } => write!(
+                f,
+                "warmup must be in [0, horizon): {warmup_secs} vs horizon {horizon_secs}"
+            ),
+            ConfigError::CrashWindowInvalid { server } => {
+                write!(f, "malformed crash window for server {server}")
+            }
+            ConfigError::LinkFaultInvalid { direction, reason } => {
+                write!(f, "{direction} link faults: {reason}")
+            }
+            ConfigError::LossWithoutRetry => write!(
+                f,
+                "message loss requires retries (a lost op would hang its request): \
+                 set faults.retry.deadline_secs > 0"
+            ),
+            ConfigError::InvalidDeadline { value } => {
+                write!(
+                    f,
+                    "retry deadline_secs must be finite and >= 0, got {value}"
+                )
+            }
+            ConfigError::ZeroRetryAttempts => {
+                write!(
+                    f,
+                    "retry max_attempts must be >= 1 when retries are enabled"
+                )
+            }
+            ConfigError::NonPositiveBackoffBase { value } => {
+                write!(f, "retry backoff_base_secs must be positive, got {value}")
+            }
+            ConfigError::BackoffMultiplierBelowOne { value } => {
+                write!(f, "retry backoff_multiplier must be >= 1, got {value}")
+            }
+            ConfigError::JitterOutOfRange { value } => {
+                write!(f, "retry jitter must be in [0, 1], got {value}")
+            }
+            ConfigError::HedgeQuantileOutOfRange { value } => {
+                write!(f, "hedge quantile must be in (0, 1), got {value}")
+            }
+            ConfigError::NegativeHedgeDelayFloor { value } => {
+                write!(
+                    f,
+                    "hedge min_delay_secs must be finite and >= 0, got {value}"
+                )
+            }
+            ConfigError::HedgeMinSamplesTooSmall { value } => {
+                write!(f, "hedge min_samples must be >= 5, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// A scheduled change to one server's performance — the substrate for the
-/// time-varying-server-performance experiments (Fig. 12).
+/// time-varying-server-performance experiments (Fig. 12) and, with
+/// near-zero multipliers, for gray failures (Fig. 23).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PerfEvent {
     /// Affected server index.
@@ -35,6 +232,215 @@ impl PerfEvent {
         } else {
             1.0
         }
+    }
+}
+
+fn default_retry_attempts() -> u32 {
+    3
+}
+
+fn default_backoff_base() -> f64 {
+    5e-4
+}
+
+fn default_backoff_multiplier() -> f64 {
+    2.0
+}
+
+/// Per-op timeout and retry policy at the coordinator.
+///
+/// Disabled by default (`deadline_secs == 0`): no timeout events are ever
+/// scheduled and fault-free runs are bit-identical to builds without this
+/// machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Per-attempt deadline, seconds; `0` disables timeouts and retries.
+    #[serde(default)]
+    pub deadline_secs: f64,
+    /// Total attempts per op, including the first (>= 1 when enabled).
+    #[serde(default = "default_retry_attempts")]
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, seconds.
+    #[serde(default = "default_backoff_base")]
+    pub backoff_base_secs: f64,
+    /// Backoff growth factor per further attempt (exponential backoff).
+    #[serde(default = "default_backoff_multiplier")]
+    pub backoff_multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by
+    /// `1 + jitter * U(0, 1)` to decorrelate retry storms.
+    #[serde(default)]
+    pub jitter: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            deadline_secs: 0.0,
+            max_attempts: default_retry_attempts(),
+            backoff_base_secs: default_backoff_base(),
+            backoff_multiplier: default_backoff_multiplier(),
+            jitter: 0.0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// True when per-op deadlines (and thus retries) are in effect.
+    pub fn enabled(&self) -> bool {
+        self.deadline_secs > 0.0
+    }
+
+    /// The backoff before attempt `attempt` (2-based: the first retry is
+    /// attempt 2), without jitter.
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(2);
+        self.backoff_base_secs * self.backoff_multiplier.powi(exp as i32)
+    }
+}
+
+fn default_hedge_min_delay() -> f64 {
+    5e-4
+}
+
+fn default_hedge_min_samples() -> u64 {
+    100
+}
+
+/// Hedged-read policy: after a delay set by an online latency quantile,
+/// read-only ops still outstanding are speculatively duplicated to their
+/// least-loaded other replica. Disabled by default (`quantile == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HedgeConfig {
+    /// The op-latency quantile that arms the hedge timer (e.g. `0.95`);
+    /// `0` disables hedging.
+    #[serde(default)]
+    pub quantile: f64,
+    /// Floor on the hedge delay, seconds (guards against hedging storms
+    /// while the quantile estimate is still tiny).
+    #[serde(default = "default_hedge_min_delay")]
+    pub min_delay_secs: f64,
+    /// Completed-attempt samples required before hedging arms.
+    #[serde(default = "default_hedge_min_samples")]
+    pub min_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            quantile: 0.0,
+            min_delay_secs: default_hedge_min_delay(),
+            min_samples: default_hedge_min_samples(),
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// True when hedged reads are in effect.
+    pub fn enabled(&self) -> bool {
+        self.quantile > 0.0
+    }
+}
+
+/// The complete fault model of one run: crash-stop schedule, per-message
+/// link faults in each direction, and the coordinator's recovery policy.
+/// Everything defaults to "off"; a default profile injects nothing,
+/// schedules nothing, and draws no randomness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Crash-stop windows per server.
+    #[serde(default)]
+    pub crashes: FaultSchedule,
+    /// Faults on coordinator→server op-request messages.
+    #[serde(default)]
+    pub request_faults: LinkFaults,
+    /// Faults on server→coordinator op-response messages.
+    #[serde(default)]
+    pub response_faults: LinkFaults,
+    /// Per-op deadline / retry policy.
+    #[serde(default)]
+    pub retry: RetryConfig,
+    /// Hedged-read policy.
+    #[serde(default)]
+    pub hedge: HedgeConfig,
+}
+
+impl FaultProfile {
+    /// A profile that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when any part of the fault machinery is switched on.
+    pub fn is_active(&self) -> bool {
+        self.crashes.is_active()
+            || self.request_faults.is_active()
+            || self.response_faults.is_active()
+            || self.retry.enabled()
+            || self.hedge.enabled()
+    }
+
+    /// Validates the profile against a cluster of `servers` servers.
+    pub fn validate(&self, servers: u32) -> Result<(), ConfigError> {
+        if let Some(w) = self.crashes.first_invalid(servers) {
+            return Err(ConfigError::CrashWindowInvalid { server: w.server });
+        }
+        if let Some(reason) = self.request_faults.first_invalid() {
+            return Err(ConfigError::LinkFaultInvalid {
+                direction: "request",
+                reason,
+            });
+        }
+        if let Some(reason) = self.response_faults.first_invalid() {
+            return Err(ConfigError::LinkFaultInvalid {
+                direction: "response",
+                reason,
+            });
+        }
+        let r = &self.retry;
+        if !(r.deadline_secs.is_finite() && r.deadline_secs >= 0.0) {
+            return Err(ConfigError::InvalidDeadline {
+                value: r.deadline_secs,
+            });
+        }
+        if r.enabled() {
+            if r.max_attempts == 0 {
+                return Err(ConfigError::ZeroRetryAttempts);
+            }
+            if !(r.backoff_base_secs.is_finite() && r.backoff_base_secs > 0.0) {
+                return Err(ConfigError::NonPositiveBackoffBase {
+                    value: r.backoff_base_secs,
+                });
+            }
+            if !(r.backoff_multiplier.is_finite() && r.backoff_multiplier >= 1.0) {
+                return Err(ConfigError::BackoffMultiplierBelowOne {
+                    value: r.backoff_multiplier,
+                });
+            }
+            if !(0.0..=1.0).contains(&r.jitter) {
+                return Err(ConfigError::JitterOutOfRange { value: r.jitter });
+            }
+        }
+        let h = &self.hedge;
+        if h.enabled() {
+            if !(h.quantile > 0.0 && h.quantile < 1.0) {
+                return Err(ConfigError::HedgeQuantileOutOfRange { value: h.quantile });
+            }
+            if !(h.min_delay_secs.is_finite() && h.min_delay_secs >= 0.0) {
+                return Err(ConfigError::NegativeHedgeDelayFloor {
+                    value: h.min_delay_secs,
+                });
+            }
+            if h.min_samples < 5 {
+                return Err(ConfigError::HedgeMinSamplesTooSmall {
+                    value: h.min_samples,
+                });
+            }
+        }
+        let lossy = self.request_faults.loss > 0.0 || self.response_faults.loss > 0.0;
+        if lossy && !r.enabled() {
+            return Err(ConfigError::LossWithoutRetry);
+        }
+        Ok(())
     }
 }
 
@@ -108,38 +514,44 @@ impl ClusterConfig {
         self.per_op_overhead.as_secs_f64() + bytes as f64 / self.base_rate_bytes_per_sec
     }
 
-    /// Validates invariants, returning a description of the first problem.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates invariants, returning the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.servers == 0 {
-            return Err("servers must be >= 1".into());
+            return Err(ConfigError::ZeroServers);
         }
         if self.workers_per_server == 0 {
-            return Err("workers_per_server must be >= 1".into());
+            return Err(ConfigError::ZeroWorkers);
         }
         if !(self.base_rate_bytes_per_sec.is_finite() && self.base_rate_bytes_per_sec > 0.0) {
-            return Err("base_rate_bytes_per_sec must be positive".into());
+            return Err(ConfigError::NonPositiveBaseRate);
         }
         if self.replication == 0 {
-            return Err("replication must be >= 1".into());
+            return Err(ConfigError::ZeroReplication);
         }
         if self.coordinators == 0 {
-            return Err("coordinators must be >= 1".into());
+            return Err(ConfigError::ZeroCoordinators);
         }
         if !(0.0..=1.0).contains(&self.hint_loss) {
-            return Err("hint_loss must be in [0, 1]".into());
+            return Err(ConfigError::HintLossOutOfRange {
+                value: self.hint_loss,
+            });
         }
         if !(self.estimate_noise.is_finite() && self.estimate_noise >= 0.0) {
-            return Err("estimate_noise must be >= 0".into());
+            return Err(ConfigError::NegativeEstimateNoise {
+                value: self.estimate_noise,
+            });
         }
         for e in &self.perf_events {
             if e.server >= self.servers {
-                return Err(format!("perf event for nonexistent server {}", e.server));
+                return Err(ConfigError::PerfEventUnknownServer { server: e.server });
             }
             if !(e.multiplier.is_finite() && e.multiplier > 0.0) {
-                return Err("perf multiplier must be positive".into());
+                return Err(ConfigError::PerfEventNonPositiveMultiplier {
+                    multiplier: e.multiplier,
+                });
             }
             if e.end_secs < e.start_secs {
-                return Err("perf event ends before it starts".into());
+                return Err(ConfigError::PerfEventEndsBeforeStart { server: e.server });
             }
         }
         Ok(())
@@ -161,6 +573,9 @@ pub struct SimulationConfig {
     pub warmup_secs: f64,
     /// Bin width for the RCT-over-time series, seconds (`None` = skip).
     pub rct_timeseries_bin_secs: Option<f64>,
+    /// Fault injection and recovery policy (defaults to none).
+    #[serde(default)]
+    pub faults: FaultProfile,
 }
 
 impl SimulationConfig {
@@ -173,17 +588,24 @@ impl SimulationConfig {
             horizon_secs,
             warmup_secs: (horizon_secs * 0.1).min(2.0),
             rct_timeseries_bin_secs: None,
+            faults: FaultProfile::none(),
         }
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.cluster.validate()?;
+        self.faults.validate(self.cluster.servers)?;
         if !(self.horizon_secs.is_finite() && self.horizon_secs > 0.0) {
-            return Err("horizon must be positive".into());
+            return Err(ConfigError::NonPositiveHorizon {
+                value: self.horizon_secs,
+            });
         }
         if self.warmup_secs < 0.0 || self.warmup_secs >= self.horizon_secs {
-            return Err("warmup must be in [0, horizon)".into());
+            return Err(ConfigError::WarmupOutsideHorizon {
+                warmup_secs: self.warmup_secs,
+                horizon_secs: self.horizon_secs,
+            });
         }
         Ok(())
     }
@@ -192,6 +614,7 @@ impl SimulationConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use das_sim::fault::CrashWindow;
 
     #[test]
     fn default_is_valid() {
@@ -256,7 +679,7 @@ mod tests {
             servers: 0,
             ..Default::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroServers));
 
         let mut c = ClusterConfig::default();
         c.perf_events.push(PerfEvent {
@@ -265,11 +688,22 @@ mod tests {
             end_secs: 1.0,
             multiplier: 0.5,
         });
-        assert!(c.validate().unwrap_err().contains("nonexistent"));
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::PerfEventUnknownServer { server: 1000 });
+        assert!(err.to_string().contains("nonexistent"));
 
         let mut s = SimulationConfig::new(PolicyKind::Fcfs, 10.0);
         s.warmup_secs = 20.0;
-        assert!(s.validate().is_err());
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::WarmupOutsideHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn config_error_implements_error() {
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroServers);
+        assert!(err.to_string().contains("servers"));
     }
 
     #[test]
@@ -281,9 +715,124 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let s = SimulationConfig::new(PolicyKind::das(), 5.0);
+        let mut s = SimulationConfig::new(PolicyKind::das(), 5.0);
+        s.faults.crashes.crashes.push(CrashWindow {
+            server: 1,
+            down_secs: 1.0,
+            up_secs: 2.0,
+        });
+        s.faults.retry.deadline_secs = 0.05;
+        s.faults.hedge.quantile = 0.95;
         let json = serde_json::to_string(&s).unwrap();
         let back: SimulationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn faults_field_defaults_when_missing() {
+        // Configs written before the fault layer still deserialize.
+        let s = SimulationConfig::new(PolicyKind::Fcfs, 5.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json.replace(
+            &format!(",\"faults\":{}", serde_json::to_string(&s.faults).unwrap()),
+            "",
+        );
+        assert_ne!(json, stripped, "faults field expected in serialized form");
+        let back: SimulationConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.faults, FaultProfile::none());
+        assert!(!back.faults.is_active());
+    }
+
+    #[test]
+    fn fault_profile_validation() {
+        let mut p = FaultProfile::none();
+        assert_eq!(p.validate(4), Ok(()));
+        assert!(!p.is_active());
+
+        // Crash window for a server outside the cluster.
+        p.crashes.crashes.push(CrashWindow {
+            server: 9,
+            down_secs: 0.0,
+            up_secs: 1.0,
+        });
+        assert_eq!(
+            p.validate(4),
+            Err(ConfigError::CrashWindowInvalid { server: 9 })
+        );
+        p.crashes.crashes.clear();
+
+        // Loss without retries must be rejected in either direction.
+        p.request_faults.loss = 0.01;
+        assert_eq!(p.validate(4), Err(ConfigError::LossWithoutRetry));
+        p.request_faults.loss = 0.0;
+        p.response_faults.loss = 0.01;
+        assert_eq!(p.validate(4), Err(ConfigError::LossWithoutRetry));
+        p.retry.deadline_secs = 0.05;
+        assert_eq!(p.validate(4), Ok(()));
+        assert!(p.is_active());
+
+        // Out-of-range link probability.
+        p.request_faults.duplication = 1.5;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::LinkFaultInvalid {
+                direction: "request",
+                ..
+            })
+        ));
+        p.request_faults.duplication = 0.0;
+
+        // Bad retry knobs.
+        p.retry.max_attempts = 0;
+        assert_eq!(p.validate(4), Err(ConfigError::ZeroRetryAttempts));
+        p.retry.max_attempts = 3;
+        p.retry.backoff_base_secs = 0.0;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::NonPositiveBackoffBase { .. })
+        ));
+        p.retry.backoff_base_secs = 1e-3;
+        p.retry.backoff_multiplier = 0.5;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::BackoffMultiplierBelowOne { .. })
+        ));
+        p.retry.backoff_multiplier = 2.0;
+        p.retry.jitter = 1.5;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::JitterOutOfRange { .. })
+        ));
+        p.retry.jitter = 0.3;
+
+        // Bad hedge knobs.
+        p.hedge.quantile = 1.0;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::HedgeQuantileOutOfRange { .. })
+        ));
+        p.hedge.quantile = 0.95;
+        p.hedge.min_samples = 2;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::HedgeMinSamplesTooSmall { .. })
+        ));
+        p.hedge.min_samples = 100;
+        assert_eq!(p.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let r = RetryConfig {
+            deadline_secs: 0.01,
+            max_attempts: 4,
+            backoff_base_secs: 1e-3,
+            backoff_multiplier: 2.0,
+            jitter: 0.0,
+        };
+        assert!(r.enabled());
+        assert!((r.backoff_secs(2) - 1e-3).abs() < 1e-15);
+        assert!((r.backoff_secs(3) - 2e-3).abs() < 1e-15);
+        assert!((r.backoff_secs(4) - 4e-3).abs() < 1e-15);
     }
 }

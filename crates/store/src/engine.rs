@@ -6,9 +6,11 @@
 //! one operation per target server, as real multi-get RPCs are. The engine
 //! is fully deterministic given the configuration seed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use das_metrics::batch::BatchMeans;
+use das_metrics::quantile::P2Quantile;
+use das_metrics::recovery::RecoveryStats;
 use das_metrics::slowdown::SlowdownTracker;
 use das_metrics::summary::LatencySummary;
 use das_metrics::timeseries::TimeSeries;
@@ -24,7 +26,7 @@ use das_sim::time::{SimDuration, SimTime};
 use crate::config::SimulationConfig;
 use crate::coordinator::{Coordinator, PendingOp, RequestState};
 use crate::partition::Partitioner;
-use crate::server::Server;
+use crate::server::{InServiceOp, Server};
 
 /// One multi-get request as the store sees it: keys with resolved value
 /// sizes.
@@ -107,6 +109,8 @@ pub struct RunResult {
     pub mean_ops_per_request: f64,
     /// Total simulated events processed (a cost/progress indicator).
     pub events_processed: u64,
+    /// Fault-recovery accounting (all zeros on a fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl RunResult {
@@ -142,9 +146,18 @@ enum Event {
         op: OpId,
         end: SimTime,
         bytes: u64,
+        /// True service duration (for goodput/wasted-work accounting).
+        service: SimDuration,
+        /// Server incarnation at dispatch; a crash in between makes this
+        /// stale and the completion is discarded.
+        incarnation: u64,
     },
     ResponseArrival {
         op: OpId,
+        /// Which server answered (attempt resolution under retries/hedges).
+        server: ServerId,
+        /// Service duration behind this response.
+        service: SimDuration,
         report: Option<ServerReport>,
     },
     Hint {
@@ -152,6 +165,83 @@ enum Event {
         request: RequestId,
         update: HintUpdate,
     },
+    /// Crash-stop of one server (fault schedules only).
+    ServerCrash {
+        server: ServerId,
+    },
+    /// Recovery (empty) of one crashed server.
+    ServerRecover {
+        server: ServerId,
+    },
+    /// Per-attempt deadline expiry at the coordinator.
+    OpTimeout {
+        op: OpId,
+        attempt: u32,
+    },
+    /// Hedge timer: speculatively duplicate a still-pending read.
+    HedgeFire {
+        op: OpId,
+    },
+    /// Backoff expired: re-dispatch a failed op.
+    RetryDispatch {
+        op: OpId,
+    },
+}
+
+/// One dispatched attempt of one op, as the coordinator tracks it.
+#[derive(Debug)]
+struct Attempt {
+    server: ServerId,
+    /// Outstanding-work charge to release when the attempt resolves.
+    estimate: f64,
+    dispatched: SimTime,
+    /// True until a response is accepted, the deadline expires, or the
+    /// server crashes. Responses for closed attempts are discarded.
+    open: bool,
+}
+
+/// Engine-side recovery state for one in-flight op (fault mode only).
+#[derive(Debug)]
+struct OpRuntime {
+    /// Servers that can serve every key of this op (retry/hedge targets).
+    candidates: Vec<ServerId>,
+    /// Key count and written bytes (wire accounting for re-dispatches).
+    keys: u32,
+    written: u64,
+    attempts: Vec<Attempt>,
+    /// Sequential (non-hedge) dispatches so far, bounded by
+    /// `retry.max_attempts`.
+    seq_attempts: u32,
+    /// A hedge was scheduled or fired (at most one per op).
+    hedged: bool,
+    /// A `RetryDispatch` is already queued.
+    retry_pending: bool,
+}
+
+impl OpRuntime {
+    fn open_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| a.open).count()
+    }
+}
+
+/// Everything the engine tracks only when the fault layer is active. Kept
+/// behind an `Option` so fault-free runs take none of these code paths and
+/// stay bit-identical to builds without fault injection.
+#[derive(Debug)]
+struct FaultRuntime {
+    /// Dedicated stream: fault randomness never perturbs the net/noise
+    /// streams.
+    rng: SimRng,
+    ops: HashMap<OpId, OpRuntime>,
+    /// Requests that saw at least one timeout/retry/hedge/crash/duplicate.
+    exposed: HashSet<RequestId>,
+    /// Online op-latency quantile that sets the hedge delay.
+    latency: P2Quantile,
+    stats: RecoveryStats,
+    /// Server-seconds of service performed (including partial service cut
+    /// short by crashes). `wasted = total - goodput` at the end of the run.
+    total_service_secs: f64,
+    goodput_service_secs: f64,
 }
 
 /// Runs one simulation over `requests` (which must arrive in
@@ -160,7 +250,7 @@ pub fn run_simulation<I>(config: &SimulationConfig, requests: I) -> Result<RunRe
 where
     I: IntoIterator<Item = StoreRequest>,
 {
-    config.validate()?;
+    config.validate().map_err(|e| e.to_string())?;
     Engine::new(config)?.run(requests.into_iter())
 }
 
@@ -199,6 +289,11 @@ struct Engine<'a> {
     measured: u64,
     events_processed: u64,
     pending_next: Option<StoreRequest>,
+    /// Requests admitted (dispatched) this run.
+    accepted: u64,
+    /// Present iff any fault knob is active; `None` keeps every hot path
+    /// identical to a fault-free build.
+    fault: Option<FaultRuntime>,
 }
 
 impl<'a> Engine<'a> {
@@ -246,6 +341,20 @@ impl<'a> Engine<'a> {
             measured: 0,
             events_processed: 0,
             pending_next: None,
+            accepted: 0,
+            fault: config.faults.is_active().then(|| FaultRuntime {
+                rng: seeds.stream("engine-fault", 0),
+                ops: HashMap::new(),
+                exposed: HashSet::new(),
+                latency: P2Quantile::new(if config.faults.hedge.enabled() {
+                    config.faults.hedge.quantile
+                } else {
+                    0.5
+                }),
+                stats: RecoveryStats::new(),
+                total_service_secs: 0.0,
+                goodput_service_secs: 0.0,
+            }),
             servers,
             config,
         })
@@ -315,6 +424,19 @@ impl<'a> Engine<'a> {
         mut self,
         mut requests: impl Iterator<Item = StoreRequest>,
     ) -> Result<RunResult, String> {
+        // Schedule crash/recovery transitions first so a crash at an
+        // arrival instant is seen before that arrival.
+        if self.fault.is_some() {
+            for (t_secs, server, goes_down) in self.config.faults.crashes.transitions() {
+                let server = ServerId(server);
+                let ev = if goes_down {
+                    Event::ServerCrash { server }
+                } else {
+                    Event::ServerRecover { server }
+                };
+                self.queue.schedule(SimTime::from_secs_f64(t_secs), ev);
+            }
+        }
         // Prime the arrival stream.
         self.pending_next = requests.next();
         if let Some(r) = &self.pending_next {
@@ -349,24 +471,46 @@ impl<'a> Engine<'a> {
                     self.handle_request(req, now);
                 }
                 Event::OpArrival { server, op } => {
-                    self.servers[server.0 as usize].enqueue(op, now);
-                    self.kick(server, now);
+                    if self.fault.is_some() && !self.servers[server.0 as usize].is_up() {
+                        // Crash-stop server: the op is lost on arrival and
+                        // the (ideal) failure detector tells the
+                        // coordinator immediately.
+                        self.fail_attempt_at(op.tag.op, server, now);
+                    } else {
+                        self.servers[server.0 as usize].enqueue(op, now);
+                        self.kick(server, now);
+                    }
                 }
                 Event::ServiceDone {
                     server,
                     op,
                     end,
                     bytes,
+                    service,
+                    incarnation,
                 } => {
+                    if self.servers[server.0 as usize].incarnation() != incarnation {
+                        // The server crashed after this service started;
+                        // the work died with it (accounted at crash time).
+                        continue;
+                    }
                     self.servers[server.0 as usize].complete_service(end, bytes);
+                    if let Some(fr) = &mut self.fault {
+                        fr.total_service_secs += service.as_secs_f64();
+                    }
                     self.kick(server, now);
-                    self.send_response(server, op, bytes, now);
+                    self.send_response(server, op, bytes, service, now);
                 }
-                Event::ResponseArrival { op, report } => {
+                Event::ResponseArrival {
+                    op,
+                    server,
+                    service,
+                    report,
+                } => {
                     if let Some(r) = &report {
                         self.coord_mut(op.request).absorb_report(r, now);
                     }
-                    self.handle_op_done(op, now);
+                    self.handle_op_done(op, server, service, now);
                 }
                 Event::Hint {
                     server,
@@ -374,6 +518,21 @@ impl<'a> Engine<'a> {
                     update,
                 } => {
                     self.servers[server.0 as usize].hint(request, update, now);
+                }
+                Event::ServerCrash { server } => {
+                    self.handle_server_crash(server, now);
+                }
+                Event::ServerRecover { server } => {
+                    self.servers[server.0 as usize].recover();
+                }
+                Event::OpTimeout { op, attempt } => {
+                    self.handle_op_timeout(op, attempt, now);
+                }
+                Event::HedgeFire { op } => {
+                    self.handle_hedge_fire(op, now);
+                }
+                Event::RetryDispatch { op } => {
+                    self.handle_retry_dispatch(op, now);
                 }
             }
         }
@@ -386,6 +545,27 @@ impl<'a> Engine<'a> {
         let mean_utilization = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
         let max_utilization = utils.iter().copied().fold(0.0, f64::max);
         let per_server_utilization = utils;
+        let recovery = match self.fault {
+            Some(fr) => {
+                let mut s = fr.stats;
+                s.accepted = self.accepted;
+                s.completed = self.completed;
+                s.goodput_service_secs = fr.goodput_service_secs;
+                s.wasted_service_secs = (fr.total_service_secs - fr.goodput_service_secs).max(0.0);
+                debug_assert_eq!(
+                    s.accepted,
+                    s.completed + s.aborted,
+                    "every accepted request must complete or abort exactly once"
+                );
+                debug_assert!(fr.ops.is_empty(), "op runtimes leaked past the run");
+                s
+            }
+            None => RecoveryStats {
+                accepted: self.accepted,
+                completed: self.completed,
+                ..RecoveryStats::new()
+            },
+        };
         Ok(RunResult {
             policy: self.config.policy.name().to_string(),
             completed: self.completed,
@@ -401,6 +581,7 @@ impl<'a> Engine<'a> {
             lower_bound_mean_rct: self.ideal_stats.mean(),
             mean_ops_per_request: self.ops_per_request.mean(),
             events_processed: self.events_processed,
+            recovery,
         })
     }
 
@@ -412,6 +593,9 @@ impl<'a> Engine<'a> {
         // coalesce per server.
         // (server, total bytes, key count, bytes written)
         let mut per_server: Vec<(ServerId, u64, u32, u64)> = Vec::new();
+        // Fault mode only: per target server, the servers that hold *every*
+        // key coalesced onto it — the viable retry/hedge targets.
+        let mut candidate_sets: Vec<(ServerId, Vec<ServerId>)> = Vec::new();
         let request_id = RequestId(req.id);
         for read in &req.reads {
             // Writes go to the primary (single-copy write model); reads may
@@ -421,11 +605,30 @@ impl<'a> Engine<'a> {
             } else {
                 self.partitioner.replicas(read.key, c.replication)
             };
-            let server = if replicas.len() == 1 {
-                replicas[0]
+            // In fault mode the (ideal) failure detector lets the
+            // coordinator skip servers known down; if every replica is
+            // down, dispatch anyway and let retries wait out the outage.
+            let mut up_pool = Vec::new();
+            let pool: &[ServerId] = if self.fault.is_some() {
+                up_pool.extend(
+                    replicas
+                        .iter()
+                        .copied()
+                        .filter(|s| self.servers[s.0 as usize].is_up()),
+                );
+                if up_pool.is_empty() {
+                    &replicas
+                } else {
+                    &up_pool
+                }
+            } else {
+                &replicas
+            };
+            let server = if pool.len() == 1 {
+                pool[0]
             } else {
                 let coord = self.coord(request_id);
-                *replicas
+                *pool
                     .iter()
                     .min_by(|&&a, &&b| {
                         let ea = self.estimate_wait(request_id, a, now)
@@ -436,6 +639,12 @@ impl<'a> Engine<'a> {
                     })
                     .expect("non-empty replica set")
             };
+            if self.fault.is_some() {
+                match candidate_sets.iter_mut().find(|(s, _)| *s == server) {
+                    Some((_, set)) => set.retain(|s| replicas.contains(s)),
+                    None => candidate_sets.push((server, replicas.clone())),
+                }
+            }
             let written = if read.write { read.bytes as u64 } else { 0 };
             match per_server.iter_mut().find(|(s, _, _, _)| *s == server) {
                 Some(entry) => {
@@ -502,15 +711,34 @@ impl<'a> Engine<'a> {
                     response: bytes - written,
                 },
             );
-            let delay = self.net.delay(req_bytes, &mut self.net_rng);
-            let op = QueuedOp {
-                tag,
-                local_estimate: tag.local_estimate,
-                // Stamped on arrival at the server (see OpArrival).
-                enqueued_at: now + delay,
-            };
-            self.queue
-                .schedule(now + delay, Event::OpArrival { server, op });
+            if self.fault.is_some() {
+                let candidates = candidate_sets
+                    .iter()
+                    .find(|(s, _)| *s == server)
+                    .map(|(_, set)| set.clone())
+                    .filter(|set| !set.is_empty())
+                    .unwrap_or_else(|| vec![server]);
+                self.dispatch_first_attempt(
+                    tag,
+                    server,
+                    candidates,
+                    keys,
+                    written,
+                    service_est,
+                    req_bytes,
+                    now,
+                );
+            } else {
+                let delay = self.net.delay(req_bytes, &mut self.net_rng);
+                let op = QueuedOp {
+                    tag,
+                    local_estimate: tag.local_estimate,
+                    // Stamped on arrival at the server (see OpArrival).
+                    enqueued_at: now + delay,
+                };
+                self.queue
+                    .schedule(now + delay, Event::OpArrival { server, op });
+            }
             ops.push(PendingOp {
                 server,
                 eta,
@@ -533,6 +761,171 @@ impl<'a> Engine<'a> {
                 measured,
             },
         );
+        self.accepted += 1;
+    }
+
+    /// Fault-mode initial dispatch of one op: delivery by link fate,
+    /// attempt tracking, deadline, and (for hedgeable reads) the hedge
+    /// timer. The wire/coordinator charges were already applied by
+    /// `handle_request`.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_first_attempt(
+        &mut self,
+        tag: OpTag,
+        server: ServerId,
+        candidates: Vec<ServerId>,
+        keys: u32,
+        written: u64,
+        service_est: f64,
+        req_bytes: u64,
+        now: SimTime,
+    ) {
+        let mut fr = self.fault.take().expect("fault mode");
+        let op_id = tag.op;
+        let fate = self.config.faults.request_faults.decide(&mut fr.rng);
+        for _ in 0..fate.copies {
+            let delay = self.net.delay(req_bytes, &mut self.net_rng) + fate.extra_delay;
+            let op = QueuedOp {
+                tag,
+                local_estimate: tag.local_estimate,
+                enqueued_at: now + delay,
+            };
+            self.queue
+                .schedule(now + delay, Event::OpArrival { server, op });
+        }
+        let mut rt = OpRuntime {
+            candidates,
+            keys,
+            written,
+            attempts: vec![Attempt {
+                server,
+                estimate: service_est,
+                dispatched: now,
+                open: true,
+            }],
+            seq_attempts: 1,
+            hedged: false,
+            retry_pending: false,
+        };
+        let retry = &self.config.faults.retry;
+        if retry.enabled() {
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(retry.deadline_secs),
+                Event::OpTimeout {
+                    op: op_id,
+                    attempt: 0,
+                },
+            );
+        }
+        let hedge = &self.config.faults.hedge;
+        if hedge.enabled()
+            && written == 0
+            && rt.candidates.len() >= 2
+            && fr.latency.count() as u64 >= hedge.min_samples
+        {
+            if let Some(q) = fr.latency.estimate() {
+                let delay = q.max(hedge.min_delay_secs);
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(delay),
+                    Event::HedgeFire { op: op_id },
+                );
+                rt.hedged = true;
+            }
+        }
+        fr.ops.insert(op_id, rt);
+        self.fault = Some(fr);
+    }
+
+    /// Re-dispatch (retry) or speculative duplicate (hedge) of one op to
+    /// `server`: recomputes estimates, applies the wire and outstanding
+    /// charges, refreshes the coordinator's per-op view, and delivers by
+    /// link fate.
+    fn dispatch_attempt(
+        &mut self,
+        fr: &mut FaultRuntime,
+        op_id: OpId,
+        server: ServerId,
+        is_hedge: bool,
+        now: SimTime,
+    ) {
+        let request = op_id.request;
+        let bytes = self.op_bytes.get(&op_id).map_or(0, |b| b.service);
+        let (keys, written) = {
+            let rt = fr.ops.get(&op_id).expect("dispatch for live op");
+            (rt.keys, rt.written)
+        };
+        let service_est = self.estimate_service(request, server, bytes, now);
+        let wait_est = self.estimate_wait(request, server, now);
+        let eta = now + SimDuration::from_secs_f64(self.net_mean_secs + wait_est + service_est);
+        let req_bytes = wire::MSG_HEADER_BYTES + 16 * keys as u64 + written;
+        self.traffic.charge(TrafficClass::OpRequest, req_bytes);
+        if self.metadata_bytes > 0 {
+            self.traffic
+                .charge_bytes(TrafficClass::SchedulingMetadata, self.metadata_bytes);
+        }
+        self.coord_mut(request)
+            .estimate_mut(server)
+            .charge_dispatch(service_est);
+        // Refresh the coordinator's per-op record so later hints reflect
+        // the new placement and estimate.
+        let (arrival, fanout, bneck_eta, bneck_demand) = {
+            let state = self
+                .coord_mut(request)
+                .request_mut(request)
+                .expect("attempt dispatched for a live request");
+            let p = &mut state.ops[op_id.index as usize];
+            p.server = server;
+            p.eta = eta;
+            p.demand_est = SimDuration::from_secs_f64(service_est);
+            (
+                state.arrival,
+                state.ops.len() as u32,
+                state.bottleneck_eta,
+                state.bottleneck_demand,
+            )
+        };
+        let tag = OpTag {
+            op: op_id,
+            request_arrival: arrival,
+            fanout,
+            local_estimate: SimDuration::from_secs_f64(service_est),
+            bottleneck_eta: bneck_eta,
+            bottleneck_demand: bneck_demand,
+        };
+        let attempt_index = {
+            let rt = fr.ops.get_mut(&op_id).expect("dispatch for live op");
+            rt.attempts.push(Attempt {
+                server,
+                estimate: service_est,
+                dispatched: now,
+                open: true,
+            });
+            if !is_hedge {
+                rt.seq_attempts += 1;
+            }
+            (rt.attempts.len() - 1) as u32
+        };
+        let fate = self.config.faults.request_faults.decide(&mut fr.rng);
+        for _ in 0..fate.copies {
+            let delay = self.net.delay(req_bytes, &mut self.net_rng) + fate.extra_delay;
+            let op = QueuedOp {
+                tag,
+                local_estimate: tag.local_estimate,
+                enqueued_at: now + delay,
+            };
+            self.queue
+                .schedule(now + delay, Event::OpArrival { server, op });
+        }
+        let retry = &self.config.faults.retry;
+        if retry.enabled() {
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(retry.deadline_secs),
+                Event::OpTimeout {
+                    op: op_id,
+                    attempt: attempt_index,
+                },
+            );
+        }
     }
 
     /// Starts service on `server` while it has idle workers and queued ops.
@@ -565,6 +958,7 @@ impl<'a> Engine<'a> {
             });
             match started {
                 Some((op, end)) => {
+                    let incarnation = self.servers[server.0 as usize].incarnation();
                     self.queue.schedule(
                         end,
                         Event::ServiceDone {
@@ -572,6 +966,8 @@ impl<'a> Engine<'a> {
                             op: op.tag.op,
                             end,
                             bytes: served.response,
+                            service: end.saturating_since(now),
+                            incarnation,
                         },
                     );
                 }
@@ -581,7 +977,14 @@ impl<'a> Engine<'a> {
     }
 
     /// Ships the value (and a piggybacked report) back to the coordinator.
-    fn send_response(&mut self, server: ServerId, op: OpId, bytes: u64, now: SimTime) {
+    fn send_response(
+        &mut self,
+        server: ServerId,
+        op: OpId,
+        bytes: u64,
+        service: SimDuration,
+        now: SimTime,
+    ) {
         let resp_bytes = wire::MSG_HEADER_BYTES + bytes;
         self.traffic.charge(TrafficClass::OpResponse, resp_bytes);
         let report = if self.wants_piggyback {
@@ -601,15 +1004,47 @@ impl<'a> Engine<'a> {
         } else {
             None
         };
-        let delay = self.net.delay(resp_bytes, &mut self.net_rng);
-        self.queue
-            .schedule(now + delay, Event::ResponseArrival { op, report });
+        if let Some(mut fr) = self.fault.take() {
+            let fate = self.config.faults.response_faults.decide(&mut fr.rng);
+            for _ in 0..fate.copies {
+                let delay = self.net.delay(resp_bytes, &mut self.net_rng) + fate.extra_delay;
+                self.queue.schedule(
+                    now + delay,
+                    Event::ResponseArrival {
+                        op,
+                        server,
+                        service,
+                        report,
+                    },
+                );
+            }
+            self.fault = Some(fr);
+        } else {
+            let delay = self.net.delay(resp_bytes, &mut self.net_rng);
+            self.queue.schedule(
+                now + delay,
+                Event::ResponseArrival {
+                    op,
+                    server,
+                    service,
+                    report,
+                },
+            );
+        }
     }
 
     /// Processes an op response at the coordinator: progress tracking,
     /// hints, and (possibly) request completion.
-    fn handle_op_done(&mut self, op: OpId, now: SimTime) {
-        self.op_bytes.remove(&op);
+    fn handle_op_done(&mut self, op: OpId, server: ServerId, service: SimDuration, now: SimTime) {
+        if let Some(mut fr) = self.fault.take() {
+            let accepted = self.accept_response(&mut fr, op, server, service, now);
+            self.fault = Some(fr);
+            if !accepted {
+                return;
+            }
+        } else {
+            self.op_bytes.remove(&op);
+        }
         let wants_hints = self.wants_hints;
         // Phase 1: update the owning coordinator's request state and
         // extract everything the later phases need, so the coordinator
@@ -655,9 +1090,13 @@ impl<'a> Engine<'a> {
                 outcome,
             )
         };
-        self.coord_mut(op.request)
-            .estimate_mut(op_server)
-            .complete_dispatch(op_demand_est);
+        if self.fault.is_none() {
+            // In fault mode the outstanding charge was already released
+            // per attempt by `accept_response`.
+            self.coord_mut(op.request)
+                .estimate_mut(op_server)
+                .complete_dispatch(op_demand_est);
+        }
         match outcome {
             Outcome::NoHint => {}
             Outcome::Hint(update, targets) => {
@@ -704,8 +1143,292 @@ impl<'a> Engine<'a> {
                     self.slowdown
                         .record(state.ops.len(), rct, state.ideal.as_secs_f64());
                 }
+                if let Some(fr) = &mut self.fault {
+                    let exposed = fr.exposed.remove(&op.request);
+                    if state.measured {
+                        if exposed {
+                            fr.stats.rct_fault_exposed.record(rct);
+                        } else {
+                            fr.stats.rct_clean.record(rct);
+                        }
+                    }
+                }
             }
         }
+    }
+
+    /// Fault-mode response filter: accepts the response iff its op is
+    /// still live and it answers an open attempt at `server`. Closes the
+    /// winning attempt (plus any losing hedge attempts), releases the
+    /// outstanding charges, and feeds the hedge latency estimator.
+    fn accept_response(
+        &mut self,
+        fr: &mut FaultRuntime,
+        op: OpId,
+        server: ServerId,
+        service: SimDuration,
+        now: SimTime,
+    ) -> bool {
+        let Some(rt) = fr.ops.get_mut(&op) else {
+            // The op already completed or its request aborted: a duplicate
+            // delivery or a straggler past its closure. Real service,
+            // wasted.
+            fr.stats.duplicate_responses += 1;
+            return false;
+        };
+        let Some(a) = rt
+            .attempts
+            .iter_mut()
+            .find(|a| a.open && a.server == server)
+        else {
+            // The attempt was closed (timeout or crash) before this
+            // response arrived, or a duplicated message answered twice.
+            fr.stats.duplicate_responses += 1;
+            fr.exposed.insert(op.request);
+            return false;
+        };
+        a.open = false;
+        let est = a.estimate;
+        let latency = now.saturating_since(a.dispatched).as_secs_f64();
+        // Close the losing attempts (hedges, straggling retries): any
+        // response they still produce is discarded above.
+        let losers: Vec<(ServerId, f64)> = rt
+            .attempts
+            .iter_mut()
+            .filter(|a| a.open)
+            .map(|a| {
+                a.open = false;
+                (a.server, a.estimate)
+            })
+            .collect();
+        fr.ops.remove(&op);
+        fr.latency.record(latency);
+        fr.goodput_service_secs += service.as_secs_f64();
+        self.coord_mut(op.request)
+            .estimate_mut(server)
+            .complete_dispatch(est);
+        for (s, e) in losers {
+            self.coord_mut(op.request)
+                .estimate_mut(s)
+                .complete_dispatch(e);
+        }
+        true
+    }
+
+    /// An op arrived at a crash-stopped server: the (ideal) failure
+    /// detector closes the attempt immediately and the retry machinery
+    /// takes over.
+    fn fail_attempt_at(&mut self, op: OpId, server: ServerId, now: SimTime) {
+        let mut fr = self.fault.take().expect("fault mode");
+        if let Some(rt) = fr.ops.get_mut(&op) {
+            if let Some(a) = rt
+                .attempts
+                .iter_mut()
+                .find(|a| a.open && a.server == server)
+            {
+                a.open = false;
+                let est = a.estimate;
+                fr.stats.crash_drops += 1;
+                fr.exposed.insert(op.request);
+                self.coord_mut(op.request)
+                    .estimate_mut(server)
+                    .complete_dispatch(est);
+                self.resolve_op_failure(&mut fr, op, now);
+            }
+        }
+        self.fault = Some(fr);
+    }
+
+    /// Crash-stops `server`: drained and cut-short ops are handed back to
+    /// the coordinator, which instantly closes the affected attempts
+    /// (ideal failure detection) and retries or aborts.
+    fn handle_server_crash(&mut self, server: ServerId, now: SimTime) {
+        let (queued, in_service) = self.servers[server.0 as usize].crash(now);
+        let mut fr = self.fault.take().expect("fault mode");
+        for e in &in_service {
+            // Partial service performed before the crash was spent for
+            // nothing.
+            fr.total_service_secs += now.saturating_since(e.started).as_secs_f64();
+        }
+        let mut affected: Vec<OpId> = Vec::new();
+        let dropped = queued
+            .iter()
+            .map(|q| q.tag.op)
+            .chain(in_service.iter().map(|e: &InServiceOp| e.op));
+        for op in dropped {
+            let Some(rt) = fr.ops.get_mut(&op) else {
+                continue;
+            };
+            // Duplicated deliveries can drop two copies of one attempt;
+            // only the first closure counts.
+            if let Some(a) = rt
+                .attempts
+                .iter_mut()
+                .find(|a| a.open && a.server == server)
+            {
+                a.open = false;
+                let est = a.estimate;
+                fr.stats.crash_drops += 1;
+                fr.exposed.insert(op.request);
+                self.coord_mut(op.request)
+                    .estimate_mut(server)
+                    .complete_dispatch(est);
+                affected.push(op);
+            }
+        }
+        for op in affected {
+            self.resolve_op_failure(&mut fr, op, now);
+        }
+        self.fault = Some(fr);
+    }
+
+    /// Per-attempt deadline expired: close the attempt if still open and
+    /// retry or abort.
+    fn handle_op_timeout(&mut self, op: OpId, attempt: u32, now: SimTime) {
+        let mut fr = self.fault.take().expect("fault mode");
+        if let Some(rt) = fr.ops.get_mut(&op) {
+            let a = &mut rt.attempts[attempt as usize];
+            if a.open {
+                a.open = false;
+                let (server, est) = (a.server, a.estimate);
+                fr.stats.timeouts += 1;
+                fr.exposed.insert(op.request);
+                self.coord_mut(op.request)
+                    .estimate_mut(server)
+                    .complete_dispatch(est);
+                self.resolve_op_failure(&mut fr, op, now);
+            }
+        }
+        self.fault = Some(fr);
+    }
+
+    /// Called when an attempt just closed unsuccessfully: schedules a
+    /// backed-off retry if budget remains, else aborts the whole request.
+    fn resolve_op_failure(&mut self, fr: &mut FaultRuntime, op: OpId, now: SimTime) {
+        let retry = &self.config.faults.retry;
+        let Some(rt) = fr.ops.get_mut(&op) else {
+            return;
+        };
+        if rt.open_attempts() > 0 || rt.retry_pending {
+            return;
+        }
+        if retry.enabled() && rt.seq_attempts < retry.max_attempts {
+            let mut backoff = retry.backoff_secs(rt.seq_attempts + 1);
+            if retry.jitter > 0.0 {
+                backoff *= 1.0 + retry.jitter * das_sim::rng::open_unit(&mut fr.rng);
+            }
+            rt.retry_pending = true;
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(backoff),
+                Event::RetryDispatch { op },
+            );
+        } else {
+            self.abort_request(fr, op.request, now);
+        }
+    }
+
+    /// Abandons a request after an op exhausted its attempts: the request
+    /// leaves the coordinator's table, every sibling op's open attempts
+    /// are closed (their charges released), and their runtimes removed so
+    /// late responses and pending timers become no-ops.
+    fn abort_request(&mut self, fr: &mut FaultRuntime, request: RequestId, _now: SimTime) {
+        let Some(state) = self.coord_mut(request).finish(request) else {
+            return;
+        };
+        fr.stats.aborted += 1;
+        fr.exposed.remove(&request);
+        for index in 0..state.ops.len() {
+            let op_id = OpId {
+                request,
+                index: index as u32,
+            };
+            if let Some(rt) = fr.ops.remove(&op_id) {
+                for a in rt.attempts.iter().filter(|a| a.open) {
+                    self.coord_mut(request)
+                        .estimate_mut(a.server)
+                        .complete_dispatch(a.estimate);
+                }
+            }
+        }
+    }
+
+    /// Backoff expired: re-dispatch the op to the best live candidate.
+    fn handle_retry_dispatch(&mut self, op: OpId, now: SimTime) {
+        let mut fr = self.fault.take().expect("fault mode");
+        let target = match fr.ops.get_mut(&op) {
+            Some(rt) => {
+                rt.retry_pending = false;
+                debug_assert_eq!(rt.open_attempts(), 0);
+                let bytes = self.op_bytes.get(&op).map_or(0, |b| b.service);
+                self.pick_target(&rt.candidates, &[], op.request, bytes, now)
+            }
+            // The request completed or aborted while the backoff ran.
+            None => None,
+        };
+        if let Some(server) = target {
+            fr.stats.retries += 1;
+            fr.exposed.insert(op.request);
+            self.dispatch_attempt(&mut fr, op, server, false, now);
+        }
+        self.fault = Some(fr);
+    }
+
+    /// Hedge timer fired: if the op is still waiting on an open attempt,
+    /// speculatively duplicate it to its best other replica.
+    fn handle_hedge_fire(&mut self, op: OpId, now: SimTime) {
+        let mut fr = self.fault.take().expect("fault mode");
+        let target = match fr.ops.get(&op) {
+            Some(rt) if rt.open_attempts() > 0 => {
+                let exclude: Vec<ServerId> = rt
+                    .attempts
+                    .iter()
+                    .filter(|a| a.open)
+                    .map(|a| a.server)
+                    .collect();
+                let bytes = self.op_bytes.get(&op).map_or(0, |b| b.service);
+                self.pick_target(&rt.candidates, &exclude, op.request, bytes, now)
+            }
+            // Already answered, or mid-retry (no open attempt to hedge).
+            _ => None,
+        };
+        if let Some(server) = target {
+            fr.stats.hedges += 1;
+            fr.exposed.insert(op.request);
+            self.dispatch_attempt(&mut fr, op, server, true, now);
+        }
+        self.fault = Some(fr);
+    }
+
+    /// Least-estimated-completion candidate that is up and not excluded;
+    /// falls back to down-but-not-excluded servers when everything viable
+    /// is down (the retry will wait out the outage), and `None` when the
+    /// exclusions leave nothing.
+    fn pick_target(
+        &self,
+        candidates: &[ServerId],
+        exclude: &[ServerId],
+        request: RequestId,
+        bytes: u64,
+        now: SimTime,
+    ) -> Option<ServerId> {
+        let viable = |s: &ServerId| !exclude.contains(s);
+        let up: Vec<ServerId> = candidates
+            .iter()
+            .copied()
+            .filter(viable)
+            .filter(|s| self.servers[s.0 as usize].is_up())
+            .collect();
+        let pool = if up.is_empty() {
+            candidates.iter().copied().filter(viable).collect()
+        } else {
+            up
+        };
+        pool.into_iter().min_by(|&a, &b| {
+            let coord = self.coord(request);
+            let ea = self.estimate_wait(request, a, now) + bytes as f64 / coord.estimate(a).rate();
+            let eb = self.estimate_wait(request, b, now) + bytes as f64 / coord.estimate(b).rate();
+            ea.total_cmp(&eb)
+        })
     }
 }
 
@@ -916,5 +1639,169 @@ mod tests {
         assert!(result.mean_utilization > 0.0);
         assert!(result.max_utilization >= result.mean_utilization);
         assert!(result.max_utilization <= 1.5, "{}", result.max_utilization);
+    }
+
+    #[test]
+    fn fault_free_recovery_stats_are_benign() {
+        let cfg = quick_config(PolicyKind::Fcfs);
+        let result = run_simulation(&cfg, requests(100, 100, 4)).unwrap();
+        let r = &result.recovery;
+        assert_eq!(r.accepted, 100);
+        assert_eq!(r.completed, 100);
+        assert_eq!(r.aborted, 0);
+        assert!(!r.any_faults_seen());
+        assert_eq!(r.availability(), 1.0);
+    }
+
+    #[test]
+    fn generous_deadline_without_faults_changes_nothing() {
+        // Retry machinery armed but never triggered: timeout events all
+        // fire after their ops completed, so the measured RCT must be
+        // bit-identical to the fault-free run.
+        let plain = quick_config(PolicyKind::das());
+        let mut armed = plain.clone();
+        armed.faults.retry.deadline_secs = 10.0;
+        let a = run_simulation(&plain, requests(300, 60, 4)).unwrap();
+        let b = run_simulation(&armed, requests(300, 60, 4)).unwrap();
+        assert_eq!(a.mean_rct().to_bits(), b.mean_rct().to_bits());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(b.recovery.timeouts, 0);
+        assert_eq!(b.recovery.retries, 0);
+        assert_eq!(b.recovery.aborted, 0);
+    }
+
+    #[test]
+    fn crash_with_retry_recovers() {
+        use das_sim::fault::CrashWindow;
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 2;
+        // Requests span [0, 0.1s); both crash windows sit inside that span.
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 0,
+            down_secs: 0.02,
+            up_secs: 0.05,
+        });
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 3,
+            down_secs: 0.04,
+            up_secs: 0.08,
+        });
+        cfg.faults.retry.deadline_secs = 0.05;
+        cfg.faults.retry.max_attempts = 4;
+        let result = run_simulation(&cfg, requests(2000, 50, 4)).unwrap();
+        let r = &result.recovery;
+        assert_eq!(r.accepted, 2000);
+        assert_eq!(r.accepted, r.completed + r.aborted, "exactly-once violated");
+        assert!(r.crash_drops > 0, "crashes should drop work");
+        assert!(r.retries > 0, "drops should trigger retries");
+        assert!(
+            r.availability() > 0.9,
+            "availability = {}",
+            r.availability()
+        );
+        // Completed-and-measured requests split between the clean and
+        // fault-exposed RCT summaries.
+        assert_eq!(
+            r.rct_clean.count() + r.rct_fault_exposed.count(),
+            result.measured
+        );
+        assert!(r.rct_fault_exposed.count() > 0);
+    }
+
+    #[test]
+    fn crash_without_retry_aborts_stranded_requests() {
+        use das_sim::fault::CrashWindow;
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 1,
+            down_secs: 0.05,
+            up_secs: f64::INFINITY,
+        });
+        let result = run_simulation(&cfg, requests(800, 100, 4)).unwrap();
+        let r = &result.recovery;
+        assert_eq!(r.accepted, r.completed + r.aborted);
+        assert!(r.aborted > 0, "no retries: dropped ops must abort");
+        assert!(r.availability() < 1.0);
+        assert!(r.wasted_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn loss_with_retries_still_completes_everything() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.faults.request_faults.loss = 0.05;
+        cfg.faults.response_faults.loss = 0.05;
+        cfg.faults.retry.deadline_secs = 0.05;
+        cfg.faults.retry.max_attempts = 10;
+        cfg.faults.retry.jitter = 0.3;
+        let result = run_simulation(&cfg, requests(600, 100, 4)).unwrap();
+        let r = &result.recovery;
+        assert_eq!(r.accepted, r.completed + r.aborted);
+        assert!(r.timeouts > 0, "lost messages must time out");
+        assert!(r.retries > 0);
+        // With a 10-attempt budget virtually everything survives 5% loss.
+        assert!(
+            r.availability() > 0.99,
+            "availability = {}",
+            r.availability()
+        );
+    }
+
+    #[test]
+    fn duplication_is_detected_and_discarded() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.faults.response_faults.duplication = 1.0;
+        let result = run_simulation(&cfg, requests(200, 200, 3)).unwrap();
+        let r = &result.recovery;
+        assert_eq!(r.completed, 200, "duplicates must not double-complete");
+        assert!(r.duplicate_responses > 0);
+        assert_eq!(r.aborted, 0);
+    }
+
+    #[test]
+    fn hedging_fires_on_slow_reads() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 3;
+        // One gray server: up, but 50x slower — the case hedging exists for.
+        cfg.cluster.perf_events.push(crate::config::PerfEvent {
+            server: 2,
+            start_secs: 0.0,
+            end_secs: f64::INFINITY,
+            multiplier: 0.02,
+        });
+        cfg.faults.hedge.quantile = 0.9;
+        cfg.faults.hedge.min_samples = 20;
+        cfg.faults.hedge.min_delay_secs = 1e-4;
+        let result = run_simulation(&cfg, requests(1500, 60, 2)).unwrap();
+        let r = &result.recovery;
+        assert_eq!(r.accepted, r.completed + r.aborted);
+        assert_eq!(r.aborted, 0, "hedging alone never aborts");
+        assert!(r.hedges > 0, "gray server should trip the hedge timer");
+        assert!(r.wasted_service_secs >= 0.0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use das_sim::fault::CrashWindow;
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 2;
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 2,
+            down_secs: 0.1,
+            up_secs: 0.5,
+        });
+        cfg.faults.request_faults.loss = 0.02;
+        cfg.faults.response_faults.duplication = 0.05;
+        cfg.faults.retry.deadline_secs = 0.05;
+        cfg.faults.retry.jitter = 0.5;
+        cfg.faults.hedge.quantile = 0.95;
+        cfg.faults.hedge.min_samples = 50;
+        let a = run_simulation(&cfg, requests(800, 80, 4)).unwrap();
+        let b = run_simulation(&cfg, requests(800, 80, 4)).unwrap();
+        assert_eq!(a.mean_rct().to_bits(), b.mean_rct().to_bits());
+        assert_eq!(a.recovery.timeouts, b.recovery.timeouts);
+        assert_eq!(a.recovery.retries, b.recovery.retries);
+        assert_eq!(a.recovery.hedges, b.recovery.hedges);
+        assert_eq!(a.recovery.aborted, b.recovery.aborted);
+        assert_eq!(a.events_processed, b.events_processed);
     }
 }

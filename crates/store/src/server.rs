@@ -2,8 +2,19 @@
 //! one or more workers and a (possibly time-varying) service rate.
 
 use das_sched::scheduler::Scheduler;
-use das_sched::types::{QueuedOp, ServerId};
+use das_sched::types::{OpId, QueuedOp, ServerId};
 use das_sim::time::{SimDuration, SimTime};
+
+/// One op currently occupying a worker.
+#[derive(Debug, Clone, Copy)]
+pub struct InServiceOp {
+    /// The op being served.
+    pub op: OpId,
+    /// When service completes.
+    pub end: SimTime,
+    /// When service started (for partial-work accounting on a crash).
+    pub started: SimTime,
+}
 
 /// One storage server.
 pub struct Server {
@@ -11,12 +22,17 @@ pub struct Server {
     scheduler: Box<dyn Scheduler>,
     workers: u32,
     busy_workers: u32,
-    /// Completion instants of ops currently in service (for exact backlog).
-    in_service_ends: Vec<SimTime>,
+    /// Ops currently in service (for exact backlog and crash accounting).
+    in_service: Vec<InServiceOp>,
     /// Accumulated busy time across all workers.
     busy_time: SimDuration,
     ops_served: u64,
     bytes_served: u64,
+    /// False while crash-stopped.
+    up: bool,
+    /// Bumped on every crash; stale service completions carry the old
+    /// value and are discarded by the engine.
+    incarnation: u64,
 }
 
 impl std::fmt::Debug for Server {
@@ -39,10 +55,12 @@ impl Server {
             scheduler,
             workers,
             busy_workers: 0,
-            in_service_ends: Vec::new(),
+            in_service: Vec::new(),
             busy_time: SimDuration::ZERO,
             ops_served: 0,
             bytes_served: 0,
+            up: true,
+            incarnation: 0,
         }
     }
 
@@ -91,7 +109,11 @@ impl Server {
         let service = service_of(&op);
         let end = now + service;
         self.busy_workers += 1;
-        self.in_service_ends.push(end);
+        self.in_service.push(InServiceOp {
+            op: op.tag.op,
+            end,
+            started: now,
+        });
         self.busy_time += service;
         Some((op, end))
     }
@@ -99,12 +121,46 @@ impl Server {
     /// Marks the op that completes at `end` as done, freeing its worker.
     pub fn complete_service(&mut self, end: SimTime, bytes: u64) {
         debug_assert!(self.busy_workers > 0);
-        if let Some(pos) = self.in_service_ends.iter().position(|&e| e == end) {
-            self.in_service_ends.swap_remove(pos);
+        if let Some(pos) = self.in_service.iter().position(|e| e.end == end) {
+            self.in_service.swap_remove(pos);
         }
         self.busy_workers = self.busy_workers.saturating_sub(1);
         self.ops_served += 1;
         self.bytes_served += bytes;
+    }
+
+    /// Crash-stops the server at `now`: every queued op is drained, every
+    /// in-service op is cut short, all workers free, and the incarnation
+    /// counter advances so stale completion events can be recognized.
+    /// Returns the dropped work for the coordinator's recovery bookkeeping.
+    /// Busy-time accounting keeps only the service actually performed
+    /// before the crash.
+    pub fn crash(&mut self, now: SimTime) -> (Vec<QueuedOp>, Vec<InServiceOp>) {
+        self.up = false;
+        self.incarnation += 1;
+        let queued = self.scheduler.drain(now);
+        let in_service = std::mem::take(&mut self.in_service);
+        for e in &in_service {
+            self.busy_time = self.busy_time.saturating_sub(e.end.saturating_since(now));
+        }
+        self.busy_workers = 0;
+        (queued, in_service)
+    }
+
+    /// Brings a crashed server back, empty.
+    pub fn recover(&mut self) {
+        self.up = true;
+    }
+
+    /// False while crash-stopped.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Crash count; completion events stamped with an older incarnation
+    /// refer to work that died with a previous life of this server.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     /// Expected seconds of work at this server as of `now`: remaining
@@ -112,9 +168,9 @@ impl Server {
     /// what the server piggybacks on responses.
     pub fn backlog_secs(&self, now: SimTime) -> f64 {
         let in_service: f64 = self
-            .in_service_ends
+            .in_service
             .iter()
-            .map(|&e| e.saturating_since(now).as_secs_f64())
+            .map(|e| e.end.saturating_since(now).as_secs_f64())
             .sum();
         in_service + self.scheduler.queued_work().as_secs_f64()
     }
@@ -254,6 +310,40 @@ mod tests {
             .unwrap();
         s.complete_service(end, 1);
         assert_eq!(s.busy_time(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn crash_drops_everything_and_advances_incarnation() {
+        let mut s = server(1);
+        let now = SimTime::ZERO;
+        assert!(s.is_up());
+        assert_eq!(s.incarnation(), 0);
+        s.enqueue(op(1, 100), now);
+        s.enqueue(op(2, 100), now);
+        let (_, _end) = s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        // Crash halfway through service: 50us of real work was done.
+        let crash_at = SimTime::from_micros(50);
+        let (queued, in_service) = s.crash(crash_at);
+        assert_eq!(queued.len(), 1);
+        assert_eq!(queued[0].tag.op.request, RequestId(2));
+        assert_eq!(in_service.len(), 1);
+        assert_eq!(in_service[0].op.request, RequestId(1));
+        assert_eq!(in_service[0].started, now);
+        assert!(!s.is_up());
+        assert_eq!(s.incarnation(), 1);
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.has_idle_worker());
+        assert_eq!(s.busy_time(), SimDuration::from_micros(50));
+        assert_eq!(s.backlog_secs(crash_at), 0.0);
+        // Recovery brings it back, empty and serving.
+        s.recover();
+        assert!(s.is_up());
+        s.enqueue(op(3, 100), crash_at);
+        assert!(s
+            .try_start_service(crash_at, |_| SimDuration::from_micros(10))
+            .is_some());
     }
 
     #[test]

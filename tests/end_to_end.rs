@@ -32,6 +32,7 @@ fn trace_replay_equals_streaming() {
         horizon_secs: 0.3,
         warmup_secs: 0.0,
         rct_timeseries_bin_secs: None,
+        faults: Default::default(),
     };
     let streamed = run_simulation(&sim, RequestStream::new(&workload, &seeds, horizon)).unwrap();
 

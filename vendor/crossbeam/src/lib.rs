@@ -1,0 +1,332 @@
+//! Vendored offline shim for the subset of `crossbeam` this workspace
+//! uses: `crossbeam::channel::{bounded, unbounded}` MPMC channels with
+//! cloneable senders *and* receivers, blocking `send`/`recv`, and
+//! `recv_timeout`. Implemented over a `Mutex<VecDeque>` + two `Condvar`s —
+//! not as fast as the real crate, but semantically equivalent for the
+//! prototype's moderate message rates.
+
+// Vendored shim: style lints are not worth churning this stand-in code over.
+#![allow(clippy::all)]
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        /// Capacity for bounded channels (`None` = unbounded).
+        capacity: Option<usize>,
+        /// Signaled when an item is pushed or all senders disconnect.
+        not_empty: Condvar,
+        /// Signaled when an item is popped or all receivers disconnect.
+        not_full: Condvar,
+    }
+
+    fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`]: channel empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel empty and all senders disconnected.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "channel is empty and disconnected")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable (MPMC, as in crossbeam).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.inner).senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.inner).receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.inner);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full. Errors when all
+        /// receivers have disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.inner);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self
+                            .inner
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a message arrives or every sender is
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .inner
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receives with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.inner);
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Creates a bounded MPMC channel.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(capacity))
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).expect("receiver alive");
+            tx.send(2).expect("receiver alive");
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded(4);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let h = std::thread::spawn(move || tx.send(9).expect("receiver alive"));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+            h.join().expect("sender thread");
+        }
+
+        #[test]
+        fn cross_thread_fanin() {
+            let (tx, rx) = bounded(64);
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for j in 0..16 {
+                            tx.send(i * 100 + j).expect("receiver alive");
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got.len(), 64);
+            for h in handles {
+                h.join().expect("producer thread");
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Vendored offline shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde's visitor-based data model is replaced by a concrete
+//! [`Value`] tree: `Serialize` renders into a `Value`, `Deserialize` reads
+//! back out of one, and the vendored `serde_json` converts between `Value`
+//! and JSON text with the same formatting rules as the real crate (so the
+//! committed `results/*.json` stay byte-identical).
+//!
+//! Supported surface (checked against every use in the workspace):
+//! structs with named fields, single-field newtype structs, internally
+//! tagged enums (`#[serde(tag = "...", rename_all = "snake_case")]`),
+//! plain unit-variant enums, `#[serde(default)]`, `#[serde(default =
+//! "path")]`, and `#[serde(skip_serializing_if = "path")]`.
+
+// Vendored shim: style lints are not worth churning this stand-in code over.
+#![allow(clippy::all)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The concrete data-model tree every type serializes into.
+///
+/// Object keys keep insertion order (declaration order under derive), which
+/// is what makes the JSON output match the real serde's field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error (wrapped by `serde_json::Error`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type renderable into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Called for fields absent from the input that carry no
+    /// `#[serde(default)]`. Only `Option<T>` accepts this (as the real
+    /// serde does via its missing-field deserializer).
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+/// `Deserialize` with no borrowed data (all our types are owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code (not part of the public API of
+// the real serde; namespaced to make that clear).
+// ---------------------------------------------------------------------------
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Resolves a missing field through `from_missing`, letting type
+    /// inference at the struct-literal construction site pick `T`.
+    pub fn missing<'de, T: Deserialize<'de>>(field: &str) -> Result<T, DeError> {
+        T::from_missing(field)
+    }
+
+    /// Extracts the named-field list of an object, with a typed error.
+    pub fn as_object<'v>(
+        value: &'v Value,
+        type_name: &str,
+    ) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected struct {type_name}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Reads the internal tag of an enum object.
+    pub fn tag<'v>(value: &'v Value, tag: &str, type_name: &str) -> Result<&'v str, DeError> {
+        let fields = as_object(value, type_name)?;
+        match fields.iter().find(|(k, _)| k == tag) {
+            Some((_, Value::Str(s))) => Ok(s),
+            Some(_) => Err(DeError(format!("tag `{tag}` of {type_name} must be a string"))),
+            None => Err(DeError(format!("missing tag `{tag}` for enum {type_name}"))),
+        }
+    }
+
+    /// Reads a plain-string enum (unit variants only).
+    pub fn as_variant_str<'v>(value: &'v Value, type_name: &str) -> Result<&'v str, DeError> {
+        match value {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected enum {type_name} as a string",
+                other.type_name()
+            ))),
+        }
+    }
+
+    pub fn unknown_variant(variant: &str, type_name: &str) -> DeError {
+        DeError(format!("unknown variant `{variant}` of enum {type_name}"))
+    }
+
+    pub fn field<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected a boolean",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => {
+                        return Err(DeError(format!(
+                            "invalid type: {}, expected an unsigned integer",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range for i64")))?,
+                    other => {
+                        return Err(DeError(format!(
+                            "invalid type: {}, expected an integer",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(DeError(format!(
+                        "invalid type: {}, expected a number",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected a string",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected a sequence",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected an array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal: $($name:ident $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError(format!(
+                        "invalid type: {}, expected a tuple of length {}",
+                        other.type_name(),
+                        $len
+                    ))),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(2: A 0, B 1);
+impl_tuple!(3: A 0, B 1, C 2);
+impl_tuple!(4: A 0, B 1, C 2, D 3);
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected a map",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S>
+{
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys like real serde_json's
+        // "preserve_order"-off HashMap path does not — but a BTreeMap view
+        // keeps results stable across runs, which the repo requires.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "invalid type: {}, expected a map",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let missing: Option<u64> = __private::missing("x").unwrap();
+        assert_eq!(missing, None);
+        assert!(__private::missing::<u64>("x").is_err());
+    }
+
+    #[test]
+    fn numbers_cross_deserialize() {
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(u32::from_value(&Value::U64(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(i64::from_value(&Value::U64(9)).unwrap(), 9);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a = [1u64, 2, 3];
+        let v = a.to_value();
+        let back: [u64; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(a, back);
+        assert!(<[u64; 2]>::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! Vendored offline shim of `serde_derive` for the vendored value-based
+//! `serde`. Written against raw `proc_macro` (no `syn`/`quote` available in
+//! the offline build environment).
+//!
+//! Supported item shapes — exactly the ones the workspace uses:
+//! - structs with named fields,
+//! - single-field tuple ("newtype") structs,
+//! - enums with unit variants (serialized as plain strings),
+//! - internally tagged enums (`#[serde(tag = "...")]`) with unit and
+//!   struct variants.
+//!
+//! Supported attributes: `tag`, `rename_all = "snake_case"`, `default`,
+//! `default = "path"`, `skip_serializing_if = "path"`.
+
+// Vendored shim: style lints are not worth churning this stand-in code over.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    /// `Some(None)` = bare `default`; `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit variant; `Some(fields)` = struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive shim: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn literal_str(tok: &TokenTree) -> String {
+    let s = tok.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Consumes leading attributes, folding any `#[serde(...)]` into `attrs`.
+fn take_attrs(c: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while c.eat_punct('#') {
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive shim: malformed attribute, got {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if inner.eat_ident("serde") {
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => panic!("serde derive shim: malformed #[serde] attribute: {other:?}"),
+            };
+            parse_serde_args(args, &mut attrs);
+        }
+        // Non-serde attributes (doc comments, other derives' helpers) are
+        // skipped.
+    }
+    attrs
+}
+
+fn parse_serde_args(args: Group, attrs: &mut SerdeAttrs) {
+    let mut c = Cursor::new(args.stream());
+    while c.peek().is_some() {
+        let key = c.expect_ident();
+        let value = if c.eat_punct('=') {
+            Some(literal_str(&c.next().expect("serde attribute value")))
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("default", v) => attrs.default = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            (other, _) => panic!("serde derive shim: unsupported serde attribute `{other}`"),
+        }
+        c.eat_punct(',');
+    }
+}
+
+/// Skips a type expression up to a top-level comma (angle-bracket aware:
+/// `Vec<(f64, f64)>` contains commas that must not split the field).
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = c.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    c.next();
+                    return;
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        c.next();
+    }
+}
+
+fn skip_visibility(c: &mut Cursor) {
+    if c.eat_ident("pub") {
+        // `pub(crate)` etc.
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                c.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: Group) -> Vec<Field> {
+    let mut c = Cursor::new(group.stream());
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = take_attrs(&mut c);
+        skip_visibility(&mut c);
+        let name = c.expect_ident();
+        assert!(c.eat_punct(':'), "serde derive shim: expected `:` after field `{name}`");
+        skip_type(&mut c);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(group: Group) -> Vec<Variant> {
+    let mut c = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _attrs = take_attrs(&mut c);
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                c.next();
+                Some(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive shim: tuple enum variants are not supported")
+            }
+            _ => None,
+        };
+        c.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let attrs = take_attrs(&mut c);
+    skip_visibility(&mut c);
+    let item = if c.eat_ident("struct") {
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                attrs,
+                shape: Shape::NamedStruct(parse_named_fields(g)),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = inner
+                    .iter()
+                    .filter(
+                        |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',' ),
+                    )
+                    .count();
+                assert!(
+                    commas == 0 || (commas == 1 && matches!(inner.last(), Some(TokenTree::Punct(_)))),
+                    "serde derive shim: only single-field tuple structs are supported"
+                );
+                Item {
+                    name,
+                    attrs,
+                    shape: Shape::NewtypeStruct,
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive shim: generic types are not supported")
+            }
+            other => panic!("serde derive shim: unsupported struct shape: {other:?}"),
+        }
+    } else if c.eat_ident("enum") {
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                attrs,
+                shape: Shape::Enum(parse_variants(g)),
+            },
+            other => panic!("serde derive shim: unsupported enum shape: {other:?}"),
+        }
+    } else {
+        panic!("serde derive shim: expected `struct` or `enum`")
+    };
+    item
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+/// serde's `RenameRule::SnakeCase` for variant names.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if i > 0 && ch.is_uppercase() {
+            out.push('_');
+        }
+        out.push(ch.to_ascii_lowercase());
+    }
+    out
+}
+
+fn variant_wire_name(item: &Item, variant: &str) -> String {
+    match item.attrs.rename_all.as_deref() {
+        Some("snake_case") => snake_case(variant),
+        Some(other) => panic!("serde derive shim: unsupported rename_all rule `{other}`"),
+        None => variant.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `fields.push(...)` statements for one set of named fields; `access` maps
+/// a field name to the expression holding a reference to it.
+fn gen_push_fields(out: &mut String, fields: &[Field], access: impl Fn(&str) -> String) {
+    for f in fields {
+        let expr = access(&f.name);
+        let push = format!(
+            "fields.push((\"{n}\".to_string(), serde::Serialize::to_value({e})));",
+            n = f.name,
+            e = expr
+        );
+        if let Some(skip) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{skip}({e}) {{ {push} }}", e = expr));
+        } else {
+            out.push_str(&push);
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str("let mut fields: Vec<(String, serde::Value)> = Vec::new();");
+            gen_push_fields(&mut body, fields, |f| format!("&self.{f}"));
+            body.push_str("serde::Value::Object(fields)");
+        }
+        Shape::NewtypeStruct => {
+            body.push_str("serde::Serialize::to_value(&self.0)");
+        }
+        Shape::Enum(variants) => {
+            let tag = item.attrs.tag.as_deref();
+            body.push_str("match self {");
+            for v in variants {
+                let wire = variant_wire_name(item, &v.name);
+                match (&v.fields, tag) {
+                    (None, None) => {
+                        body.push_str(&format!(
+                            "{name}::{v} => serde::Value::Str(\"{wire}\".to_string()),",
+                            v = v.name
+                        ));
+                    }
+                    (None, Some(tag)) => {
+                        body.push_str(&format!(
+                            "{name}::{v} => serde::Value::Object(vec![(\"{tag}\".to_string(), serde::Value::Str(\"{wire}\".to_string()))]),",
+                            v = v.name
+                        ));
+                    }
+                    (Some(fields), Some(tag)) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut fields: Vec<(String, serde::Value)> = vec![(\"{tag}\".to_string(), serde::Value::Str(\"{wire}\".to_string()))];",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                        gen_push_fields(&mut body, fields, |f| f.to_string());
+                        body.push_str("serde::Value::Object(fields) },");
+                    }
+                    (Some(_), None) => panic!(
+                        "serde derive shim: struct variants require #[serde(tag = \"...\")]"
+                    ),
+                }
+            }
+            body.push_str("}");
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+/// The expression deserializing one named field out of `fields`.
+fn gen_field_expr(f: &Field) -> String {
+    let missing = match &f.attrs.default {
+        Some(None) => "Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!("serde::__private::missing(\"{}\")?", f.name),
+    };
+    format!(
+        "match serde::__private::field(fields, \"{n}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => {missing} }}",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let fields = serde::__private::as_object(value, \"{name}\")?; Ok({name} {{"
+            ));
+            for f in fields {
+                body.push_str(&format!("{n}: {e},", n = f.name, e = gen_field_expr(f)));
+            }
+            body.push_str("})");
+        }
+        Shape::NewtypeStruct => {
+            body.push_str(&format!(
+                "Ok({name}(serde::Deserialize::from_value(value)?))"
+            ));
+        }
+        Shape::Enum(variants) => {
+            match item.attrs.tag.as_deref() {
+                Some(tag) => {
+                    body.push_str(&format!(
+                        "let tag = serde::__private::tag(value, \"{tag}\", \"{name}\")?; \
+                         let fields = serde::__private::as_object(value, \"{name}\")?; \
+                         let _ = fields; match tag {{"
+                    ));
+                    for v in variants {
+                        let wire = variant_wire_name(item, &v.name);
+                        match &v.fields {
+                            None => body.push_str(&format!(
+                                "\"{wire}\" => Ok({name}::{v}),",
+                                v = v.name
+                            )),
+                            Some(fields) => {
+                                body.push_str(&format!(
+                                    "\"{wire}\" => Ok({name}::{v} {{",
+                                    v = v.name
+                                ));
+                                for f in fields {
+                                    body.push_str(&format!(
+                                        "{n}: {e},",
+                                        n = f.name,
+                                        e = gen_field_expr(f)
+                                    ));
+                                }
+                                body.push_str("}),");
+                            }
+                        }
+                    }
+                    body.push_str(&format!(
+                        "other => Err(serde::__private::unknown_variant(other, \"{name}\")), }}"
+                    ));
+                }
+                None => {
+                    body.push_str(&format!(
+                        "match serde::__private::as_variant_str(value, \"{name}\")? {{"
+                    ));
+                    for v in variants {
+                        assert!(
+                            v.fields.is_none(),
+                            "serde derive shim: struct variants require #[serde(tag = \"...\")]"
+                        );
+                        let wire = variant_wire_name(item, &v.name);
+                        body.push_str(&format!("\"{wire}\" => Ok({name}::{v}),", v = v.name));
+                    }
+                    body.push_str(&format!(
+                        "other => Err(serde::__private::unknown_variant(other, \"{name}\")), }}"
+                    ));
+                }
+            }
+        }
+    }
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{ \
+         fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }} }}"
+    )
+}

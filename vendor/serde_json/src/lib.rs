@@ -1,0 +1,486 @@
+//! Vendored offline shim for the subset of `serde_json` this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], and [`Error`].
+//!
+//! The writer reproduces the real crate's output byte-for-byte for the
+//! values this repo emits: 2-space pretty indentation, ryu-style float
+//! formatting (integral floats get a trailing `.0`; values outside
+//! `[1e-5, 1e16)` switch to scientific notation; non-finite floats become
+//! `null`), and insertion-ordered object keys. This is what keeps the
+//! committed `results/*.json` stable across the vendored rebuild.
+
+// Vendored shim: style lints are not worth churning this stand-in code over.
+#![allow(clippy::all)]
+
+use serde::{DeserializeOwned, Serialize, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.0)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(v) => write_f64(out, *v),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// ryu-compatible float formatting (see module docs).
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // serde_json emits null for NaN/infinity.
+        out.push_str("null");
+        return;
+    }
+    let abs = v.abs();
+    if abs != 0.0 && !(1e-5..1e16).contains(&abs) {
+        write_f64_scientific(out, v);
+        return;
+    }
+    // Rust's `{}` produces the same shortest round-trip digits as ryu in
+    // the plain-notation range; it only omits the `.0` on integral values.
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains('.') {
+        out.push_str(".0");
+    }
+}
+
+/// Converts the plain shortest-digits rendering into ryu's scientific form
+/// (`1.234e19`, `-5e-7`): mantissa digits with one leading digit, no `+`.
+fn write_f64_scientific(out: &mut String, v: f64) {
+    let plain = format!("{}", v.abs());
+    let (int_part, frac_part) = match plain.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (plain.as_str(), ""),
+    };
+    // Significant digits and the decimal exponent of the leading digit.
+    let digits: String;
+    let exp: i64;
+    if int_part != "0" {
+        digits = format!("{int_part}{frac_part}");
+        exp = int_part.len() as i64 - 1;
+    } else {
+        let leading_zeros = frac_part.len() - frac_part.trim_start_matches('0').len();
+        digits = frac_part[leading_zeros..].to_string();
+        exp = -(leading_zeros as i64) - 1;
+    }
+    let digits = digits.trim_end_matches('0');
+    let digits = if digits.is_empty() { "0" } else { digits };
+    if v < 0.0 {
+        out.push('-');
+    }
+    out.push_str(&digits[..1]);
+    if digits.len() > 1 {
+        out.push('.');
+        out.push_str(&digits[1..]);
+    }
+    out.push('e');
+    out.push_str(&exp.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(Error::new(format!("unexpected token at offset {}", self.pos))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by this repo's
+                            // data; map lone surrogates to the replacement
+                            // character rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting_matches_serde_json() {
+        let mut s = String::new();
+        for (v, expect) in [
+            (1.0, "1.0"),
+            (0.5001895157202182, "0.5001895157202182"),
+            (-2.5, "-2.5"),
+            (0.00001, "0.00001"),
+            (0.000001, "1e-6"),
+            (1e16, "1e16"),
+            (1.25e9, "1250000000.0"),
+            (1234000000000000000.0, "1.234e18"),
+            (-0.0000004, "-4e-7"),
+            (f64::NAN, "null"),
+        ] {
+            s.clear();
+            write_f64(&mut s, v);
+            assert_eq!(s, expect, "formatting {v}");
+        }
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_style() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::U64(1), Value::U64(2)])),
+            ("c".into(), Value::Object(vec![])),
+            ("d".into(), Value::Array(vec![])),
+        ]);
+        let mut out = String::new();
+        write_value(&mut out, &v, Some("  "), 0);
+        assert_eq!(
+            out,
+            "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ],\n  \"c\": {},\n  \"d\": []\n}"
+        );
+        let mut compact = String::new();
+        write_value(&mut compact, &v, None, 0);
+        assert_eq!(compact, "{\"a\":1,\"b\":[1,2],\"c\":{},\"d\":[]}");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"kind":"das","x":[1,-2,3.5],"s":"a\"b","none":null,"t":true}"#;
+        let v = parse_value(text).unwrap();
+        assert_eq!(v.get("kind"), Some(&Value::Str("das".into())));
+        assert_eq!(
+            v.get("x"),
+            Some(&Value::Array(vec![
+                Value::U64(1),
+                Value::I64(-2),
+                Value::F64(3.5)
+            ]))
+        );
+        assert_eq!(v.get("s"), Some(&Value::Str("a\"b".into())));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        let reparsed = parse_value(&out).unwrap();
+        assert_eq!(v, reparsed);
+    }
+}
