@@ -1,0 +1,7 @@
+//! Table 7 (extension): RCT critical-path blame per policy, from the
+//! structured event trace.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table7(output::quick_mode()).emit();
+}

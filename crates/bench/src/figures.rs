@@ -930,6 +930,53 @@ pub fn table6(quick: bool) -> FigureOutput {
     f
 }
 
+/// Table 7 (extension): RCT critical-path blame at rho=0.7 — for each
+/// policy, which pipeline stage (coordinator stall, request network,
+/// queueing, service, response network) the *last-finishing* op of each
+/// traced request spent its RCT in, reconstructed from the structured
+/// event trace. Also writes the DAS run's Chrome `trace_event` file
+/// (loadable in Perfetto) next to the table.
+pub fn table7(quick: bool) -> FigureOutput {
+    let mut e = tune(scenarios::base_experiment("rho=0.7", 0.7), quick);
+    e.trace = das_trace::TraceConfig::enabled();
+    if !quick {
+        // Full runs see far more requests than the ring can hold; a
+        // deterministic per-request sample keeps whole request chains.
+        e.trace.sample = 0.25;
+    }
+    let result = e.run().expect("valid base experiment");
+    let mut f = FigureOutput::new("table7_rct_breakdown", "RCT critical-path blame (rho=0.7)");
+    f.tables
+        .push(report::blame_table(&result).expect("tracing was enabled"));
+    let mut notes = String::from(
+        "Where the completion time actually goes: the five segments follow \
+         the last-finishing op of each traced request and sum exactly to \
+         its RCT. Queue share is what scheduling can attack — DAS trades a \
+         slice of bottleneck-op queueing for shorter requests overall.",
+    );
+    if let Some(chart) = das_metrics::ascii::stacked_bars(&report::blame_rows(&result), 40) {
+        notes.push_str("\n\nmean RCT blame per policy (ms):\n");
+        notes.push_str(&chart);
+    }
+    f.notes = notes;
+    if let Some(das) = result.run("DAS").and_then(|r| r.trace.as_ref()) {
+        let dir = crate::output::results_dir();
+        let path = dir.join("table7_das.chrome.json");
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let file = std::fs::File::create(&path)?;
+            let mut w = std::io::BufWriter::new(file);
+            das_trace::export::write_chrome(das, &mut w)?;
+            std::io::Write::flush(&mut w)
+        };
+        match write() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("note: could not persist chrome trace: {e}"),
+        }
+    }
+    f
+}
+
 /// Builds a policies×scenarios table from named experiment results.
 fn cross_scenario_table(
     title: &str,
@@ -1024,5 +1071,6 @@ pub fn all_figures() -> Vec<FigureOutput> {
         table4(quick),
         table5(quick),
         table6(quick),
+        table7(quick),
     ]
 }

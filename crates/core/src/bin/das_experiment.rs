@@ -1,12 +1,19 @@
 //! `das-experiment` — run DAS reproduction experiments from JSON configs.
 //!
 //! ```text
-//! das_experiment run <config.json> [--out <dir>]   run an experiment, print tables
+//! das_experiment run <config.json> [--out <dir>] [--trace <base>] [--trace-sample <rate>]
+//!                                                  run an experiment, print tables
 //! das_experiment template [rho]                    print a ready-to-edit config
 //! das_experiment policies                          list available policies
 //! das_experiment trace <config.json> <out.jsonl>   record the workload as a trace
 //! das_experiment replay <config.json> <trace.jsonl>  replay a recorded trace
 //! ```
+//!
+//! `--trace <base>` enables structured event tracing and writes, per
+//! policy, `<base>-<policy>.jsonl` (one event per line) and
+//! `<base>-<policy>.chrome.json` (Chrome `trace_event` format, loadable in
+//! Perfetto / `chrome://tracing`), plus the critical-path blame table.
+//! `--trace-sample <rate>` traces that fraction of requests (default 1).
 //!
 //! Configs are [`das_core::ExperimentConfig`] JSON — `template` prints one.
 
@@ -54,7 +61,7 @@ fn print_usage() {
     println!(
         "das-experiment — run DAS reproduction experiments from JSON configs\n\n\
          USAGE:\n  \
-         das_experiment run <config.json> [--out <dir>]\n  \
+         das_experiment run <config.json> [--out <dir>] [--trace <base>] [--trace-sample <rate>]\n  \
          das_experiment template [rho]\n  \
          das_experiment policies\n  \
          das_experiment check <config.json>\n  \
@@ -72,12 +79,36 @@ fn load_config(path: &str) -> Result<ExperimentConfig, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run: missing <config.json>")?;
-    let out_dir = match args.get(1).map(String::as_str) {
-        Some("--out") => Some(args.get(2).ok_or("--out: missing directory")?.clone()),
-        Some(other) => return Err(format!("run: unexpected argument `{other}`")),
-        None => None,
-    };
-    let config = load_config(path)?;
+    let mut out_dir: Option<String> = None;
+    let mut trace_base: Option<String> = None;
+    let mut trace_sample: Option<f64> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--out" => out_dir = Some(rest.next().ok_or("--out: missing directory")?.clone()),
+            "--trace" => {
+                trace_base = Some(rest.next().ok_or("--trace: missing output path")?.clone());
+            }
+            "--trace-sample" => {
+                let s = rest.next().ok_or("--trace-sample: missing rate")?;
+                let rate: f64 = s
+                    .parse()
+                    .map_err(|_| format!("--trace-sample: `{s}` is not a number"))?;
+                trace_sample = Some(rate);
+            }
+            other => return Err(format!("run: unexpected argument `{other}`")),
+        }
+    }
+    if trace_sample.is_some() && trace_base.is_none() {
+        return Err("--trace-sample requires --trace <path>".into());
+    }
+    let mut config = load_config(path)?;
+    if trace_base.is_some() {
+        config.trace.enabled = true;
+        if let Some(rate) = trace_sample {
+            config.trace.sample = rate;
+        }
+    }
     eprintln!(
         "running `{}`: {} servers, {} policies, {}s horizon...",
         config.name,
@@ -94,6 +125,34 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("{}", report::fairness_table(&result).to_markdown());
     if let Some(t) = report::timeseries_table(&result, "Mean RCT over time (ms)") {
         println!("{}", t.to_markdown());
+    }
+    if let Some(t) = report::blame_table(&result) {
+        println!("{}", t.to_markdown());
+        let rows = report::blame_rows(&result);
+        if let Some(chart) = das_metrics::ascii::stacked_bars(&rows, 40) {
+            println!("mean RCT blame per policy (ms)\n{chart}");
+        }
+    }
+    if let Some(base) = trace_base {
+        for run in &result.runs {
+            let Some(log) = &run.trace else { continue };
+            let policy = sanitize(&run.policy);
+            let jsonl = format!("{base}-{policy}.jsonl");
+            let f = fs::File::create(&jsonl).map_err(|e| format!("creating {jsonl}: {e}"))?;
+            let mut w = std::io::BufWriter::new(f);
+            das_trace::export::write_jsonl(log, &mut w).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+            let chrome = format!("{base}-{policy}.chrome.json");
+            let f = fs::File::create(&chrome).map_err(|e| format!("creating {chrome}: {e}"))?;
+            let mut w = std::io::BufWriter::new(f);
+            das_trace::export::write_chrome(log, &mut w).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} events ({} dropped) to {jsonl} and {chrome}",
+                log.events.len(),
+                log.dropped
+            );
+        }
     }
     if let Some(dir) = out_dir {
         let dir = Path::new(&dir);
@@ -260,6 +319,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             warmup_secs: config.warmup_secs,
             rct_timeseries_bin_secs: None,
             faults: config.faults.clone(),
+            trace: config.trace,
         };
         let requests = trace_to_requests(&trace, &config.workload, &seeds);
         let result = run_simulation(&sim, requests)?;

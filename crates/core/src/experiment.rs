@@ -9,6 +9,7 @@ use das_sched::policy::PolicyKind;
 use das_sim::rng::SeedFactory;
 use das_sim::time::SimTime;
 use das_store::config::{ClusterConfig, FaultProfile, SimulationConfig};
+use das_trace::TraceConfig;
 use das_store::engine::{run_simulation, RunResult};
 use das_workload::generator::WorkloadSpec;
 
@@ -39,6 +40,10 @@ pub struct ExperimentConfig {
     /// Fault injection and recovery policy (defaults to none).
     #[serde(default)]
     pub faults: FaultProfile,
+    /// Structured event tracing, applied to every policy's run (defaults
+    /// to off).
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl ExperimentConfig {
@@ -55,6 +60,7 @@ impl ExperimentConfig {
             warmup_secs: 1.0,
             rct_timeseries_bin_secs: None,
             faults: FaultProfile::none(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -72,6 +78,7 @@ impl ExperimentConfig {
                 warmup_secs: self.warmup_secs,
                 rct_timeseries_bin_secs: self.rct_timeseries_bin_secs,
                 faults: self.faults.clone(),
+                trace: self.trace,
             };
             let stream = RequestStream::new(&self.workload, &seeds, horizon);
             runs.push(run_simulation(&sim, stream)?);

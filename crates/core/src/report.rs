@@ -3,6 +3,7 @@
 
 use das_metrics::summary::ComparisonTable;
 use das_net::accounting::TrafficClass;
+use das_trace::BlameBreakdown;
 
 use crate::experiment::ExperimentResult;
 
@@ -115,6 +116,64 @@ pub fn timeseries_table(result: &ExperimentResult, title: &str) -> Option<Compar
     Some(t)
 }
 
+/// Per-policy critical-path blame, reconstructed from each run's trace.
+/// Policies whose run carried no trace (or no completed traced request)
+/// are skipped; `None` when nothing was traced at all.
+fn blames(result: &ExperimentResult) -> Vec<(&str, BlameBreakdown)> {
+    result
+        .runs
+        .iter()
+        .filter_map(|r| {
+            let log = r.trace.as_ref()?;
+            let b = BlameBreakdown::from_log(log);
+            (b.requests > 0).then_some((r.policy.as_str(), b))
+        })
+        .collect()
+}
+
+/// Builds the RCT blame table (Table 7): mean traced RCT plus the share of
+/// it each critical-path segment is responsible for, one row per policy.
+///
+/// Returns `None` unless at least one run was traced.
+pub fn blame_table(result: &ExperimentResult) -> Option<ComparisonTable> {
+    let blames = blames(result);
+    if blames.is_empty() {
+        return None;
+    }
+    let mut t = ComparisonTable::new(
+        format!("{} — RCT critical-path blame", result.name),
+        vec![
+            "traced reqs".into(),
+            "mean RCT (ms)".into(),
+            "stall (%)".into(),
+            "net req (%)".into(),
+            "queue (%)".into(),
+            "service (%)".into(),
+            "net resp (%)".into(),
+        ],
+    );
+    for (policy, b) in blames {
+        let mut values = vec![b.requests as f64, b.mean_rct_secs * 1e3];
+        values.extend(b.segments().iter().map(|&(_, v)| b.percent_of_rct(v)));
+        t.push_row(policy, values);
+    }
+    Some(t)
+}
+
+/// Per-policy stacked-bar rows (label + mean per-segment milliseconds) for
+/// [`das_metrics::ascii::stacked_bars`].
+pub fn blame_rows(result: &ExperimentResult) -> Vec<(String, Vec<(&'static str, f64)>)> {
+    blames(result)
+        .into_iter()
+        .map(|(policy, b)| {
+            (
+                policy.to_string(),
+                b.segments().iter().map(|&(n, v)| (n, v * 1e3)).collect(),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +205,48 @@ mod tests {
             e.rct_timeseries_bin_secs = Some(0.1);
         }
         e.run().unwrap()
+    }
+
+    fn traced_result() -> ExperimentResult {
+        let cluster = ClusterConfig {
+            servers: 4,
+            ..Default::default()
+        };
+        let workload = WorkloadSpec {
+            n_keys: 1000,
+            arrival: ArrivalConfig::Poisson { rate: 500.0 },
+            fanout: FanoutConfig::Uniform { min: 1, max: 4 },
+            sizes: SizeConfig::Fixed { bytes: 10_000 },
+            popularity: PopularityConfig::Uniform,
+            hot_key_size_cap: None,
+            write_fraction: 0.0,
+        };
+        let mut e = ExperimentConfig::new("traced", workload, cluster);
+        e.horizon_secs = 0.5;
+        e.warmup_secs = 0.0;
+        e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+        e.trace = das_trace::TraceConfig::enabled();
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn blame_table_needs_a_trace() {
+        assert!(blame_table(&tiny_result(false)).is_none());
+        assert!(blame_rows(&tiny_result(false)).is_empty());
+        let r = traced_result();
+        let t = blame_table(&r).unwrap();
+        assert_eq!(t.rows().len(), 2);
+        // The five segment percentages account for the whole RCT.
+        for policy in ["FCFS", "DAS"] {
+            let total: f64 = ["stall (%)", "net req (%)", "queue (%)", "service (%)", "net resp (%)"]
+                .iter()
+                .map(|c| t.value(policy, c).unwrap())
+                .sum();
+            assert!((total - 100.0).abs() < 1e-6, "{policy}: {total}");
+        }
+        let rows = blame_rows(&r);
+        assert_eq!(rows.len(), 2);
+        assert!(das_metrics::ascii::stacked_bars(&rows, 40).is_some());
     }
 
     #[test]

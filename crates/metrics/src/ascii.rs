@@ -78,6 +78,71 @@ pub fn bar_chart(table: &ComparisonTable, column: &str, width: usize) -> Option<
     Some(out)
 }
 
+/// Fill characters for [`stacked_bars`] segments, cycled when a bar has
+/// more segments than glyphs.
+const SEGMENT_FILLS: [char; 6] = ['█', '▓', '▒', '░', '▚', '▖'];
+
+/// Renders one horizontal stacked bar per row: each row is a label plus
+/// ordered `(segment name, value)` pairs, every bar sharing one scale so
+/// totals are comparable across rows. A legend maps fill characters to
+/// segment names. Used for the per-policy RCT blame breakdown.
+///
+/// Returns `None` when there are no rows or no positive finite totals.
+pub fn stacked_bars(rows: &[(String, Vec<(&str, f64)>)], width: usize) -> Option<String> {
+    let totals: Vec<f64> = rows
+        .iter()
+        .map(|(_, segs)| {
+            segs.iter()
+                .map(|&(_, v)| if v.is_finite() && v > 0.0 { v } else { 0.0 })
+                .sum()
+        })
+        .collect();
+    let max = totals.iter().cloned().fold(0.0f64, f64::max);
+    if rows.is_empty() || max <= 0.0 {
+        return None;
+    }
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut legend: Vec<(&str, char)> = Vec::new();
+    let mut out = String::new();
+    for ((label, segs), total) in rows.iter().zip(&totals) {
+        let mut bar = String::new();
+        for (i, &(name, v)) in segs.iter().enumerate() {
+            let fill = SEGMENT_FILLS[i % SEGMENT_FILLS.len()];
+            if !legend.iter().any(|&(n, _)| n == name) {
+                legend.push((name, fill));
+            }
+            if !(v.is_finite() && v > 0.0) {
+                continue;
+            }
+            // Round each segment independently; a nonzero segment always
+            // shows at least one cell so rare-but-real contributors (e.g.
+            // retry stalls) stay visible.
+            let cells = ((v / max) * width as f64).round().max(1.0) as usize;
+            for _ in 0..cells {
+                bar.push(fill);
+            }
+        }
+        out.push_str(&format!(
+            "{label:<label_width$} | {bar} {}\n",
+            crate::summary::format_value_pub(*total),
+        ));
+    }
+    let legend_line: Vec<String> = legend
+        .iter()
+        .map(|&(name, fill)| format!("{fill} {name}"))
+        .collect();
+    out.push_str(&format!(
+        "{:<label_width$}   {}\n",
+        "",
+        legend_line.join("  ")
+    ));
+    Some(out)
+}
+
 /// Renders labelled series as stacked sparklines with a shared scale —
 /// handy for "RCT over time, one line per policy".
 pub fn sparkline_panel(series: &[(&str, Vec<f64>)]) -> String {
@@ -166,6 +231,53 @@ mod tests {
         let mut t = ComparisonTable::new("T", vec!["a".into()]);
         t.push_row("x", vec![f64::NAN]);
         assert!(bar_chart(&t, "a", 10).is_none());
+    }
+
+    #[test]
+    fn stacked_bars_share_scale_and_legend() {
+        let rows = vec![
+            (
+                "FCFS".to_string(),
+                vec![("queue", 6.0), ("service", 4.0)],
+            ),
+            (
+                "DAS".to_string(),
+                vec![("queue", 2.0), ("service", 3.0)],
+            ),
+        ];
+        let chart = stacked_bars(&rows, 20).unwrap();
+        let fcfs = chart.lines().find(|l| l.starts_with("FCFS")).unwrap();
+        let das = chart.lines().find(|l| l.starts_with("DAS")).unwrap();
+        // FCFS total (10) is at full width; DAS (5) at half.
+        let cells = |l: &str| l.chars().filter(|c| SEGMENT_FILLS.contains(c)).count();
+        assert_eq!(cells(fcfs), 20);
+        assert_eq!(cells(das), 10);
+        // Segments use distinct fills and the legend names both.
+        assert!(fcfs.contains('█') && fcfs.contains('▓'));
+        let legend = chart.lines().last().unwrap();
+        assert!(legend.contains("█ queue") && legend.contains("▓ service"));
+    }
+
+    #[test]
+    fn stacked_bars_keep_small_segments_visible() {
+        let rows = vec![(
+            "x".to_string(),
+            vec![("big", 1000.0), ("tiny", 0.001), ("zero", 0.0)],
+        )];
+        let chart = stacked_bars(&rows, 10).unwrap();
+        let bar = chart.lines().next().unwrap();
+        // The tiny-but-nonzero segment still gets one cell; zero gets none.
+        assert!(bar.contains('▓'));
+        assert!(!bar.contains('▒'));
+        // But the legend still names every segment.
+        assert!(chart.lines().last().unwrap().contains("▒ zero"));
+    }
+
+    #[test]
+    fn stacked_bars_reject_empty_and_nonpositive() {
+        assert!(stacked_bars(&[], 10).is_none());
+        let rows = vec![("x".to_string(), vec![("a", 0.0), ("b", f64::NAN)])];
+        assert!(stacked_bars(&rows, 10).is_none());
     }
 
     #[test]

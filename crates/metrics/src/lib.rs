@@ -15,7 +15,7 @@
 //!   simulation output;
 //! * [`recovery`] — fault-recovery accounting (goodput vs wasted work,
 //!   availability, fault-exposed RCT) for the fault-injection figures;
-//! * [`ascii`] — terminal sparklines and bar charts.
+//! * [`ascii`] — terminal sparklines, bar charts, and stacked bars.
 //!
 //! ```
 //! use das_metrics::summary::LatencySummary;

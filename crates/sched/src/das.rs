@@ -49,7 +49,7 @@ use serde::{Deserialize, Serialize};
 use das_sim::time::{SimDuration, SimTime};
 
 use crate::baselines::das_net_tag_bytes;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{DequeueDecision, DequeueRule, Scheduler};
 use crate::types::{HintUpdate, QueuedOp, RequestId};
 
 /// Tuning knobs for [`Das`]. The defaults reproduce the paper's behaviour;
@@ -201,6 +201,63 @@ impl Das {
             _ => self.config.aging,
         }
     }
+
+    /// Picks the next op to serve: its index in `queue` plus the rule that
+    /// chose it. Shared by [`Scheduler::dequeue`] and
+    /// [`Scheduler::dequeue_explained`] so the two can never diverge.
+    fn select(&self, now: SimTime) -> Option<(usize, DequeueRule)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let oldest = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.seq)
+            .map(|(i, _)| i)?;
+        if self.queue.len() <= self.config.fcfs_fallback_len {
+            // Low load: FCFS (earliest seq).
+            return Some((oldest, DequeueRule::FcfsFallback));
+        }
+        if self.starving(&self.queue[oldest].op, now) {
+            // Adaptive starvation guard: the oldest op has waited far past
+            // the current norm — serve it regardless of rank.
+            return Some((oldest, DequeueRule::StarvationGuard));
+        }
+        // Scan for the minimum rank (lower = served first); the rank
+        // is max(local, remaining bottleneck demand) − slope · wait,
+        // with `bottleneck_demand` kept current by progress hints.
+        // Ties go to the earliest arrival.
+        let slope = self.aging_slope();
+        let mut best = 0usize;
+        let mut best_rank = f64::INFINITY;
+        let mut best_seq = u64::MAX;
+        for (i, slot) in self.queue.iter().enumerate() {
+            let local = slot.op.local_estimate.as_secs_f64();
+            let remaining = if self.config.use_remaining_bottleneck {
+                local.max(slot.op.tag.bottleneck_demand.as_secs_f64())
+            } else {
+                local
+            };
+            let r = remaining - slope * slot.op.wait_at(now).as_secs_f64();
+            if r < best_rank || (r == best_rank && slot.seq < best_seq) {
+                best = i;
+                best_rank = r;
+                best_seq = slot.seq;
+            }
+        }
+        Some((best, DequeueRule::MinRank))
+    }
+
+    /// Removes the op at `idx` and updates the dispensed-wait/demand EWMAs.
+    fn take(&mut self, idx: usize, now: SimTime) -> QueuedOp {
+        let slot = self.queue.swap_remove(idx);
+        self.queued_work = self.queued_work.saturating_sub(slot.op.local_estimate);
+        self.wait_ewma.record(slot.op.wait_at(now).as_secs_f64());
+        self.demand_ewma
+            .record(slot.op.local_estimate.as_secs_f64());
+        slot.op
+    }
 }
 
 impl Scheduler for Das {
@@ -226,53 +283,25 @@ impl Scheduler for Das {
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<QueuedOp> {
-        if self.queue.is_empty() {
-            return None;
-        }
-        let oldest = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.seq)
-            .map(|(i, _)| i)?;
-        let idx = if self.queue.len() <= self.config.fcfs_fallback_len {
-            // Low load: FCFS (earliest seq).
-            oldest
-        } else if self.starving(&self.queue[oldest].op, now) {
-            // Adaptive starvation guard: the oldest op has waited far past
-            // the current norm — serve it regardless of rank.
-            oldest
-        } else {
-            // Scan for the minimum rank (lower = served first); the rank
-            // is max(local, remaining bottleneck demand) − slope · wait,
-            // with `bottleneck_demand` kept current by progress hints.
-            // Ties go to the earliest arrival.
-            let slope = self.aging_slope();
-            let mut best = 0usize;
-            let mut best_rank = f64::INFINITY;
-            let mut best_seq = u64::MAX;
-            for (i, slot) in self.queue.iter().enumerate() {
-                let local = slot.op.local_estimate.as_secs_f64();
-                let remaining = if self.config.use_remaining_bottleneck {
-                    local.max(slot.op.tag.bottleneck_demand.as_secs_f64())
-                } else {
-                    local
-                };
-                let r = remaining - slope * slot.op.wait_at(now).as_secs_f64();
-                if r < best_rank || (r == best_rank && slot.seq < best_seq) {
-                    best = i;
-                    best_rank = r;
-                    best_seq = slot.seq;
-                }
-            }
-            best
-        };
-        let slot = self.queue.swap_remove(idx);
-        self.queued_work = self.queued_work.saturating_sub(slot.op.local_estimate);
-        self.wait_ewma.record(slot.op.wait_at(now).as_secs_f64());
-        self.demand_ewma
-            .record(slot.op.local_estimate.as_secs_f64());
-        Some(slot.op)
+        let (idx, _) = self.select(now)?;
+        Some(self.take(idx, now))
+    }
+
+    fn dequeue_explained(&mut self, now: SimTime) -> Option<(QueuedOp, DequeueDecision)> {
+        let (idx, rule) = self.select(now)?;
+        let picked_seq = self.queue[idx].seq;
+        // Arrival-order rank of the pick: how many queued ops are older.
+        let position = self.queue.iter().filter(|s| s.seq < picked_seq).count() as u32;
+        let queue_len = self.queue.len() as u32;
+        let op = self.take(idx, now);
+        Some((
+            op,
+            DequeueDecision {
+                rule,
+                position,
+                queue_len,
+            },
+        ))
     }
 
     fn len(&self) -> usize {
@@ -532,6 +561,79 @@ mod tests {
         assert!(s.wants_piggyback());
         assert_eq!(s.metadata_bytes(), 0);
         assert!(Das::new(DasConfig::default()).metadata_bytes() > 0);
+    }
+
+    #[test]
+    fn explained_dequeue_matches_dequeue_and_names_the_rule() {
+        // Same fill, two schedulers: the explained variant must pick the
+        // identical op sequence and label each pick with the rule in force.
+        let config = no_fallback(DasConfig::default());
+        let mut plain = Das::new(config);
+        let mut explained = Das::new(config);
+        let now = SimTime::ZERO;
+        for (req, local, bott) in [(1, 10, 5_000), (2, 10, 100), (3, 10, 1_000)] {
+            plain.enqueue(op(req, local, bott, 0), now);
+            explained.enqueue(op(req, local, bott, 0), now);
+        }
+        let mut rules = Vec::new();
+        loop {
+            let a = plain.dequeue(now);
+            let b = explained.dequeue_explained(now);
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some((b, d))) => {
+                    assert_eq!(a.tag.op, b.tag.op);
+                    rules.push((d.rule, d.position, d.queue_len));
+                }
+                other => panic!("diverged: {other:?}"),
+            }
+        }
+        // First pick: request 2 (arrival position 1) out of 3 by min-rank;
+        // last pick is a 1-deep queue but fallback is off, so still
+        // min-rank at position 0.
+        assert_eq!(
+            rules,
+            vec![
+                (DequeueRule::MinRank, 1, 3),
+                (DequeueRule::MinRank, 1, 2),
+                (DequeueRule::MinRank, 0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn explained_dequeue_reports_fallback_and_guard() {
+        let mut s = Das::new(DasConfig {
+            fcfs_fallback_len: 2,
+            ..Default::default()
+        });
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100, 10_000, 0), now);
+        s.enqueue(op(2, 1, 10, 0), now);
+        let (o, d) = s.dequeue_explained(now).unwrap();
+        assert_eq!(o.tag.op.request, RequestId(1));
+        assert_eq!(d.rule, DequeueRule::FcfsFallback);
+        assert_eq!((d.position, d.queue_len), (0, 2));
+
+        // Starvation guard: prime the wait EWMA, then age one op way out.
+        let mut s = Das::new(DasConfig {
+            starvation_factor: 4.0,
+            fcfs_fallback_len: 0,
+            ..Default::default()
+        });
+        for i in 0..100 {
+            let t = SimTime::from_millis(10 * i);
+            s.enqueue(op(1000 + i, 100, 100, t.as_nanos() / 1000), t);
+            assert!(s.dequeue(t + SimDuration::from_millis(1)).is_some());
+        }
+        let t0 = SimTime::from_secs(100);
+        s.enqueue(op(1, 50_000, 50_000, t0.as_nanos() / 1000), t0);
+        let later = t0 + SimDuration::from_millis(100);
+        s.enqueue(op(2, 10, 10, later.as_nanos() / 1000), later);
+        let (o, d) = s.dequeue_explained(later).unwrap();
+        assert_eq!(o.tag.op.request, RequestId(1));
+        assert_eq!(d.rule, DequeueRule::StarvationGuard);
+        assert_eq!(d.position, 0);
     }
 
     #[test]

@@ -11,6 +11,47 @@ use das_sim::time::{SimDuration, SimTime};
 
 use crate::types::{HintUpdate, QueuedOp, RequestId};
 
+/// Which selection rule produced a dequeue decision.
+///
+/// Used by the tracing layer to explain *why* a scheduler picked the op it
+/// did. Disciplines that always serve their own head-of-queue report
+/// [`DequeueRule::PolicyOrder`]; DAS distinguishes its three rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeueRule {
+    /// The policy served the head of its own ordering (FCFS, SJF, EDF, …).
+    PolicyOrder,
+    /// DAS: queue at or below the FCFS-fallback threshold, oldest op served.
+    FcfsFallback,
+    /// DAS: the oldest op exceeded the starvation guard and was promoted.
+    StarvationGuard,
+    /// DAS: minimum remaining-demand-minus-aging rank won the scan.
+    MinRank,
+}
+
+impl DequeueRule {
+    /// Short machine-readable name (used as the trace `rule` field).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DequeueRule::PolicyOrder => "policy-order",
+            DequeueRule::FcfsFallback => "fcfs-fallback",
+            DequeueRule::StarvationGuard => "starvation-guard",
+            DequeueRule::MinRank => "min-rank",
+        }
+    }
+}
+
+/// Why and from where a dequeue picked its op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeueDecision {
+    /// The rule that fired.
+    pub rule: DequeueRule,
+    /// Arrival-order position of the picked op before removal (0 = the
+    /// oldest waiting op; > 0 means the policy reordered the queue).
+    pub position: u32,
+    /// Queue length before the removal.
+    pub queue_len: u32,
+}
+
 /// A per-server, non-preemptive queue discipline.
 pub trait Scheduler: Send {
     /// Stable machine-readable name (used as the row label in every table).
@@ -22,6 +63,28 @@ pub trait Scheduler: Send {
     /// Removes and returns the next operation to serve, or `None` if the
     /// queue is empty.
     fn dequeue(&mut self, now: SimTime) -> Option<QueuedOp>;
+
+    /// [`Scheduler::dequeue`] plus an explanation of the decision, for the
+    /// tracing layer. Must pick **exactly** the op `dequeue` would have
+    /// picked — the engine switches between the two based on whether
+    /// tracing is on, and simulation results must not change.
+    ///
+    /// The default delegates to `dequeue` and reports
+    /// [`DequeueRule::PolicyOrder`] with position 0 (head-of-own-ordering
+    /// disciplines don't track arrival-order positions). DAS overrides it
+    /// to report which of its rules fired and where the op sat.
+    fn dequeue_explained(&mut self, now: SimTime) -> Option<(QueuedOp, DequeueDecision)> {
+        let queue_len = self.len() as u32;
+        let op = self.dequeue(now)?;
+        Some((
+            op,
+            DequeueDecision {
+                rule: DequeueRule::PolicyOrder,
+                position: 0,
+                queue_len,
+            },
+        ))
+    }
 
     /// Number of queued operations.
     fn len(&self) -> usize;

@@ -67,7 +67,11 @@ impl SeedFactory {
 }
 
 /// SplitMix64 finalizer; good avalanche properties for seed derivation.
-fn splitmix64(mut z: u64) -> u64 {
+///
+/// Public so other crates (e.g. `das-trace` sampling) can hash identifiers
+/// with the same mixer the seed derivation uses, without drawing from any
+/// simulation RNG stream.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -7,6 +7,7 @@ use das_net::latency::NetworkConfig;
 use das_sched::policy::PolicyKind;
 use das_sim::fault::FaultSchedule;
 use das_sim::time::SimDuration;
+use das_trace::TraceConfig;
 
 use crate::partition::PartitionerConfig;
 
@@ -121,6 +122,13 @@ pub enum ConfigError {
         /// The offending value.
         value: u64,
     },
+    /// The trace sampling rate fell outside `(0, 1]`.
+    TraceSampleOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// Tracing was enabled with a zero-capacity ring buffer.
+    ZeroTraceCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -201,6 +209,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::HedgeMinSamplesTooSmall { value } => {
                 write!(f, "hedge min_samples must be >= 5, got {value}")
+            }
+            ConfigError::TraceSampleOutOfRange { value } => {
+                write!(f, "trace sample must be in (0, 1], got {value}")
+            }
+            ConfigError::ZeroTraceCapacity => {
+                write!(f, "trace capacity must be >= 1 when tracing is enabled")
             }
         }
     }
@@ -576,6 +590,10 @@ pub struct SimulationConfig {
     /// Fault injection and recovery policy (defaults to none).
     #[serde(default)]
     pub faults: FaultProfile,
+    /// Structured event tracing (defaults to off; off keeps every result
+    /// bit-identical to a build without the trace layer).
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl SimulationConfig {
@@ -589,6 +607,7 @@ impl SimulationConfig {
             warmup_secs: (horizon_secs * 0.1).min(2.0),
             rct_timeseries_bin_secs: None,
             faults: FaultProfile::none(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -606,6 +625,19 @@ impl SimulationConfig {
                 warmup_secs: self.warmup_secs,
                 horizon_secs: self.horizon_secs,
             });
+        }
+        if self.trace.enabled {
+            if !(self.trace.sample.is_finite()
+                && self.trace.sample > 0.0
+                && self.trace.sample <= 1.0)
+            {
+                return Err(ConfigError::TraceSampleOutOfRange {
+                    value: self.trace.sample,
+                });
+            }
+            if self.trace.capacity == 0 {
+                return Err(ConfigError::ZeroTraceCapacity);
+            }
         }
         Ok(())
     }
@@ -741,6 +773,44 @@ mod tests {
         let back: SimulationConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.faults, FaultProfile::none());
         assert!(!back.faults.is_active());
+    }
+
+    #[test]
+    fn trace_field_defaults_when_missing() {
+        // Configs written before the trace layer still deserialize.
+        let s = SimulationConfig::new(PolicyKind::Fcfs, 5.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json.replace(
+            &format!(",\"trace\":{}", serde_json::to_string(&s.trace).unwrap()),
+            "",
+        );
+        assert_ne!(json, stripped, "trace field expected in serialized form");
+        let back: SimulationConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.trace, TraceConfig::default());
+        assert!(!back.trace.enabled);
+    }
+
+    #[test]
+    fn trace_validation() {
+        let mut s = SimulationConfig::new(PolicyKind::Fcfs, 5.0);
+        s.trace = TraceConfig::enabled();
+        assert_eq!(s.validate(), Ok(()));
+        s.trace.sample = 0.0;
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::TraceSampleOutOfRange { .. })
+        ));
+        s.trace.sample = 1.5;
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::TraceSampleOutOfRange { .. })
+        ));
+        s.trace.sample = 0.5;
+        s.trace.capacity = 0;
+        assert_eq!(s.validate(), Err(ConfigError::ZeroTraceCapacity));
+        // Disabled tracing skips the knob checks entirely.
+        s.trace.enabled = false;
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]

@@ -16,12 +16,14 @@ use das_metrics::summary::LatencySummary;
 use das_metrics::timeseries::TimeSeries;
 use das_net::accounting::{wire, TrafficAccounting, TrafficClass};
 use das_net::latency::NetworkModel;
+use das_sched::scheduler::DequeueDecision;
 use das_sched::types::{HintUpdate, OpId, OpTag, QueuedOp, RequestId, ServerId, ServerReport};
 use das_sim::dist::{Lognormal, Sample};
 use das_sim::queue::EventQueue;
 use das_sim::rng::{SeedFactory, SimRng};
 use das_sim::stats::OnlineStats;
 use das_sim::time::{SimDuration, SimTime};
+use das_trace::{DispatchKind, TraceEvent, TraceLog, TraceRecorder};
 
 use crate::config::SimulationConfig;
 use crate::coordinator::{Coordinator, PendingOp, RequestState};
@@ -111,6 +113,8 @@ pub struct RunResult {
     pub events_processed: u64,
     /// Fault-recovery accounting (all zeros on a fault-free run).
     pub recovery: RecoveryStats,
+    /// Structured event log (`None` unless tracing was enabled).
+    pub trace: Option<TraceLog>,
 }
 
 impl RunResult {
@@ -144,7 +148,6 @@ enum Event {
     ServiceDone {
         server: ServerId,
         op: OpId,
-        end: SimTime,
         bytes: u64,
         /// True service duration (for goodput/wasted-work accounting).
         service: SimDuration,
@@ -294,6 +297,11 @@ struct Engine<'a> {
     /// Present iff any fault knob is active; `None` keeps every hot path
     /// identical to a fault-free build.
     fault: Option<FaultRuntime>,
+    /// Present iff tracing is enabled; `None` keeps untraced runs at a
+    /// single `Option` check per would-be event. The recorder never draws
+    /// randomness and never schedules events, so a traced run's simulation
+    /// results are bit-identical to an untraced run's.
+    trace: Option<TraceRecorder>,
 }
 
 impl<'a> Engine<'a> {
@@ -355,9 +363,27 @@ impl<'a> Engine<'a> {
                 total_service_secs: 0.0,
                 goodput_service_secs: 0.0,
             }),
+            trace: config
+                .trace
+                .enabled
+                .then(|| TraceRecorder::new(&config.trace, config.seed)),
             servers,
             config,
         })
+    }
+
+    /// True when tracing is on *and* `request` falls in the sample.
+    fn traced(&self, request: RequestId) -> bool {
+        self.trace.as_ref().is_some_and(|t| t.is_sampled(request.0))
+    }
+
+    /// Records `ev` if tracing is on. Callers gate on [`Engine::traced`]
+    /// first so untraced runs pay only an `Option` check and sampled-out
+    /// requests don't even construct the event.
+    fn trace_event(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.record(ev);
+        }
     }
 
     /// The coordinator owning request `id`.
@@ -477,14 +503,35 @@ impl<'a> Engine<'a> {
                         // coordinator immediately.
                         self.fail_attempt_at(op.tag.op, server, now);
                     } else {
+                        let op_id = op.tag.op;
                         self.servers[server.0 as usize].enqueue(op, now);
+                        if self.traced(op_id.request) {
+                            let s = &self.servers[server.0 as usize];
+                            let queue_len = s.queue_len() as u32;
+                            let backlog_ns =
+                                SimDuration::from_secs_f64(s.backlog_secs(now)).as_nanos();
+                            self.trace_event(TraceEvent::OpEnqueue {
+                                t_ns: now.as_nanos(),
+                                request: op_id.request.0,
+                                op: op_id.index,
+                                server: server.0,
+                                queue_len,
+                            });
+                            // Piggyback a load sample on each sampled
+                            // enqueue: queue depth and advertised backlog.
+                            self.trace_event(TraceEvent::QueueSample {
+                                t_ns: now.as_nanos(),
+                                server: server.0,
+                                queue_len,
+                                backlog_ns,
+                            });
+                        }
                         self.kick(server, now);
                     }
                 }
                 Event::ServiceDone {
                     server,
                     op,
-                    end,
                     bytes,
                     service,
                     incarnation,
@@ -494,7 +541,20 @@ impl<'a> Engine<'a> {
                         // the work died with it (accounted at crash time).
                         continue;
                     }
-                    self.servers[server.0 as usize].complete_service(end, bytes);
+                    // `now` is the single authoritative completion instant:
+                    // the event fires exactly when service ends, so the
+                    // duplicate `end` timestamp the event used to carry is
+                    // gone.
+                    self.servers[server.0 as usize].complete_service(now, bytes);
+                    if self.traced(op.request) {
+                        self.trace_event(TraceEvent::ServiceEnd {
+                            t_ns: now.as_nanos(),
+                            request: op.request.0,
+                            op: op.index,
+                            server: server.0,
+                            service_ns: service.as_nanos(),
+                        });
+                    }
                     if let Some(fr) = &mut self.fault {
                         fr.total_service_secs += service.as_secs_f64();
                     }
@@ -520,9 +580,21 @@ impl<'a> Engine<'a> {
                     self.servers[server.0 as usize].hint(request, update, now);
                 }
                 Event::ServerCrash { server } => {
+                    if self.trace.is_some() {
+                        self.trace_event(TraceEvent::ServerCrash {
+                            t_ns: now.as_nanos(),
+                            server: server.0,
+                        });
+                    }
                     self.handle_server_crash(server, now);
                 }
                 Event::ServerRecover { server } => {
+                    if self.trace.is_some() {
+                        self.trace_event(TraceEvent::ServerRecover {
+                            t_ns: now.as_nanos(),
+                            server: server.0,
+                        });
+                    }
                     self.servers[server.0 as usize].recover();
                 }
                 Event::OpTimeout { op, attempt } => {
@@ -582,6 +654,7 @@ impl<'a> Engine<'a> {
             mean_ops_per_request: self.ops_per_request.mean(),
             events_processed: self.events_processed,
             recovery,
+            trace: self.trace.map(TraceRecorder::finish),
         })
     }
 
@@ -657,6 +730,14 @@ impl<'a> Engine<'a> {
         }
         let fanout = per_server.len() as u32;
         self.ops_per_request.record(fanout as f64);
+        if self.traced(request_id) {
+            self.trace_event(TraceEvent::RequestArrive {
+                t_ns: now.as_nanos(),
+                request: req.id,
+                keys: req.reads.len() as u32,
+                fanout,
+            });
+        }
 
         // Per-op estimates.
         let mut etas = Vec::with_capacity(per_server.len());
@@ -711,6 +792,18 @@ impl<'a> Engine<'a> {
                     response: bytes - written,
                 },
             );
+            if self.traced(request_id) {
+                self.trace_event(TraceEvent::OpDispatch {
+                    t_ns: now.as_nanos(),
+                    request: req.id,
+                    op: index as u32,
+                    server: server.0,
+                    attempt: 0,
+                    kind: DispatchKind::First,
+                    est_ns: SimDuration::from_secs_f64(service_est).as_nanos(),
+                    bytes: req_bytes,
+                });
+            }
             if self.fault.is_some() {
                 let candidates = candidate_sets
                     .iter()
@@ -905,6 +998,22 @@ impl<'a> Engine<'a> {
             }
             (rt.attempts.len() - 1) as u32
         };
+        if self.traced(request) {
+            self.trace_event(TraceEvent::OpDispatch {
+                t_ns: now.as_nanos(),
+                request: request.0,
+                op: op_id.index,
+                server: server.0,
+                attempt: attempt_index,
+                kind: if is_hedge {
+                    DispatchKind::Hedge
+                } else {
+                    DispatchKind::Retry
+                },
+                est_ns: SimDuration::from_secs_f64(service_est).as_nanos(),
+                bytes: req_bytes,
+            });
+        }
         let fate = self.config.faults.request_faults.decide(&mut fr.rng);
         for _ in 0..fate.copies {
             let delay = self.net.delay(req_bytes, &mut self.net_rng) + fate.extra_delay;
@@ -943,7 +1052,7 @@ impl<'a> Engine<'a> {
                 service: 0,
                 response: 0,
             };
-            let started = s.try_start_service(now, |op| {
+            let service_of = |op: &QueuedOp| {
                 let bytes = op_bytes.get(&op.tag.op).copied().unwrap_or(OpBytes {
                     service: 0,
                     response: 0,
@@ -955,21 +1064,42 @@ impl<'a> Engine<'a> {
                 SimDuration::from_secs_f64(
                     cluster.per_op_overhead.as_secs_f64() + bytes as f64 / rate,
                 )
-            });
+            };
+            // The explained variant picks the exact same op; the decision
+            // record exists only when tracing wants it.
+            let started: Option<(QueuedOp, SimTime, Option<DequeueDecision>)> =
+                if self.trace.is_some() {
+                    s.try_start_service_explained(now, service_of)
+                        .map(|(op, end, d)| (op, end, Some(d)))
+                } else {
+                    s.try_start_service(now, service_of).map(|(op, end)| (op, end, None))
+                };
             match started {
-                Some((op, end)) => {
+                Some((op, end, decision)) => {
                     let incarnation = self.servers[server.0 as usize].incarnation();
                     self.queue.schedule(
                         end,
                         Event::ServiceDone {
                             server,
                             op: op.tag.op,
-                            end,
                             bytes: served.response,
                             service: end.saturating_since(now),
                             incarnation,
                         },
                     );
+                    if let Some(d) = decision {
+                        if self.traced(op.tag.op.request) {
+                            self.trace_event(TraceEvent::SchedDecision {
+                                t_ns: now.as_nanos(),
+                                request: op.tag.op.request.0,
+                                op: op.tag.op.index,
+                                server: server.0,
+                                rule: d.rule.as_str().to_string(),
+                                position: d.position,
+                                queue_len: d.queue_len,
+                            });
+                        }
+                    }
                 }
                 None => return,
             }
@@ -1039,11 +1169,29 @@ impl<'a> Engine<'a> {
         if let Some(mut fr) = self.fault.take() {
             let accepted = self.accept_response(&mut fr, op, server, service, now);
             self.fault = Some(fr);
+            if self.traced(op.request) {
+                self.trace_event(TraceEvent::OpResponse {
+                    t_ns: now.as_nanos(),
+                    request: op.request.0,
+                    op: op.index,
+                    server: server.0,
+                    accepted,
+                });
+            }
             if !accepted {
                 return;
             }
         } else {
             self.op_bytes.remove(&op);
+            if self.traced(op.request) {
+                self.trace_event(TraceEvent::OpResponse {
+                    t_ns: now.as_nanos(),
+                    request: op.request.0,
+                    op: op.index,
+                    server: server.0,
+                    accepted: true,
+                });
+            }
         }
         let wants_hints = self.wants_hints;
         // Phase 1: update the owning coordinator's request state and
@@ -1132,6 +1280,13 @@ impl<'a> Engine<'a> {
                     .finish(op.request)
                     .expect("state present: we just touched it");
                 let rct = now.saturating_since(state.arrival).as_secs_f64();
+                if self.traced(op.request) {
+                    self.trace_event(TraceEvent::RequestComplete {
+                        t_ns: now.as_nanos(),
+                        request: op.request.0,
+                        rct_ns: now.saturating_since(state.arrival).as_nanos(),
+                    });
+                }
                 self.completed += 1;
                 if let Some(ts) = &mut self.rct_over_time {
                     ts.record(state.arrival.as_secs_f64(), rct);
@@ -1230,6 +1385,14 @@ impl<'a> Engine<'a> {
                 let est = a.estimate;
                 fr.stats.crash_drops += 1;
                 fr.exposed.insert(op.request);
+                if self.traced(op.request) {
+                    self.trace_event(TraceEvent::CrashDrop {
+                        t_ns: now.as_nanos(),
+                        request: op.request.0,
+                        op: op.index,
+                        server: server.0,
+                    });
+                }
                 self.coord_mut(op.request)
                     .estimate_mut(server)
                     .complete_dispatch(est);
@@ -1270,6 +1433,14 @@ impl<'a> Engine<'a> {
                 let est = a.estimate;
                 fr.stats.crash_drops += 1;
                 fr.exposed.insert(op.request);
+                if self.traced(op.request) {
+                    self.trace_event(TraceEvent::CrashDrop {
+                        t_ns: now.as_nanos(),
+                        request: op.request.0,
+                        op: op.index,
+                        server: server.0,
+                    });
+                }
                 self.coord_mut(op.request)
                     .estimate_mut(server)
                     .complete_dispatch(est);
@@ -1293,6 +1464,14 @@ impl<'a> Engine<'a> {
                 let (server, est) = (a.server, a.estimate);
                 fr.stats.timeouts += 1;
                 fr.exposed.insert(op.request);
+                if self.traced(op.request) {
+                    self.trace_event(TraceEvent::OpTimeout {
+                        t_ns: now.as_nanos(),
+                        request: op.request.0,
+                        op: op.index,
+                        attempt,
+                    });
+                }
                 self.coord_mut(op.request)
                     .estimate_mut(server)
                     .complete_dispatch(est);
@@ -1331,12 +1510,18 @@ impl<'a> Engine<'a> {
     /// leaves the coordinator's table, every sibling op's open attempts
     /// are closed (their charges released), and their runtimes removed so
     /// late responses and pending timers become no-ops.
-    fn abort_request(&mut self, fr: &mut FaultRuntime, request: RequestId, _now: SimTime) {
+    fn abort_request(&mut self, fr: &mut FaultRuntime, request: RequestId, now: SimTime) {
         let Some(state) = self.coord_mut(request).finish(request) else {
             return;
         };
         fr.stats.aborted += 1;
         fr.exposed.remove(&request);
+        if self.traced(request) {
+            self.trace_event(TraceEvent::RequestAbort {
+                t_ns: now.as_nanos(),
+                request: request.0,
+            });
+        }
         for index in 0..state.ops.len() {
             let op_id = OpId {
                 request,
@@ -1454,6 +1639,79 @@ mod tests {
         cfg.cluster.servers = 8;
         cfg.warmup_secs = 0.0;
         cfg
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        // The whole point of the trace layer: enabling it must leave every
+        // simulation result bit-identical, for every policy.
+        for policy in PolicyKind::standard_set() {
+            let plain = quick_config(policy);
+            let mut traced = plain.clone();
+            traced.trace = das_trace::TraceConfig::enabled();
+            let a = run_simulation(&plain, requests(300, 80, 4)).unwrap();
+            let b = run_simulation(&traced, requests(300, 80, 4)).unwrap();
+            assert!(a.trace.is_none());
+            assert!(b.trace.is_some(), "{}", b.policy);
+            assert_eq!(
+                a.mean_rct().to_bits(),
+                b.mean_rct().to_bits(),
+                "{}",
+                b.policy
+            );
+            assert_eq!(a.p99_rct().to_bits(), b.p99_rct().to_bits(), "{}", b.policy);
+            assert_eq!(a.events_processed, b.events_processed, "{}", b.policy);
+            assert_eq!(a.traffic, b.traffic, "{}", b.policy);
+        }
+    }
+
+    #[test]
+    fn trace_covers_every_request_at_full_sampling() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.trace = das_trace::TraceConfig::enabled();
+        let n = 200;
+        let result = run_simulation(&cfg, requests(n, 80, 4)).unwrap();
+        let log = result.trace.unwrap();
+        assert_eq!(log.dropped, 0);
+        let arrivals = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestArrive { .. }))
+            .count() as u64;
+        let completes = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestComplete { .. }))
+            .count() as u64;
+        assert_eq!(arrivals, n);
+        assert_eq!(completes, result.completed);
+        // Every completed request reconstructs a full critical path whose
+        // segments telescope exactly to its RCT.
+        let paths = das_trace::critical_paths(&log);
+        assert_eq!(paths.len() as u64, result.completed);
+        for p in &paths {
+            assert_eq!(p.sum_ns(), p.rct_ns, "request {}", p.request);
+        }
+    }
+
+    #[test]
+    fn trace_sampling_subsets_the_request_space() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.trace = das_trace::TraceConfig::enabled();
+        cfg.trace.sample = 0.25;
+        let result = run_simulation(&cfg, requests(400, 80, 2)).unwrap();
+        let log = result.trace.unwrap();
+        let arrivals = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestArrive { .. }))
+            .count();
+        assert!(arrivals > 0 && arrivals < 400, "arrivals = {arrivals}");
+        // Sampling is per request: each traced request still has a full
+        // event chain.
+        for p in das_trace::critical_paths(&log) {
+            assert_eq!(p.sum_ns(), p.rct_ns);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The simulated storage server: a scheduler-fronted service station with
 //! one or more workers and a (possibly time-varying) service rate.
 
-use das_sched::scheduler::Scheduler;
+use das_sched::scheduler::{DequeueDecision, Scheduler};
 use das_sched::types::{OpId, QueuedOp, ServerId};
 use das_sim::time::{SimDuration, SimTime};
 
@@ -106,6 +106,34 @@ impl Server {
             return None;
         }
         let op = self.scheduler.dequeue(now)?;
+        Some(self.start(op, now, service_of))
+    }
+
+    /// [`Server::try_start_service`] plus the scheduler's explanation of
+    /// *why* it picked the op — used by the engine only while tracing.
+    /// Picks the identical op (see
+    /// [`Scheduler::dequeue_explained`]), so traced and untraced runs
+    /// cannot diverge.
+    pub fn try_start_service_explained(
+        &mut self,
+        now: SimTime,
+        service_of: impl FnOnce(&QueuedOp) -> SimDuration,
+    ) -> Option<(QueuedOp, SimTime, DequeueDecision)> {
+        if !self.has_idle_worker() {
+            return None;
+        }
+        let (op, decision) = self.scheduler.dequeue_explained(now)?;
+        let (op, end) = self.start(op, now, service_of);
+        Some((op, end, decision))
+    }
+
+    /// Occupies a worker with `op` and books its service time.
+    fn start(
+        &mut self,
+        op: QueuedOp,
+        now: SimTime,
+        service_of: impl FnOnce(&QueuedOp) -> SimDuration,
+    ) -> (QueuedOp, SimTime) {
         let service = service_of(&op);
         let end = now + service;
         self.busy_workers += 1;
@@ -115,7 +143,7 @@ impl Server {
             started: now,
         });
         self.busy_time += service;
-        Some((op, end))
+        (op, end)
     }
 
     /// Marks the op that completes at `end` as done, freeing its worker.
@@ -344,6 +372,32 @@ mod tests {
         assert!(s
             .try_start_service(crash_at, |_| SimDuration::from_micros(10))
             .is_some());
+    }
+
+    #[test]
+    fn explained_start_matches_plain_start() {
+        use das_sched::scheduler::DequeueRule;
+        let mut a = server(1);
+        let mut b = server(1);
+        let now = SimTime::ZERO;
+        for s in [&mut a, &mut b] {
+            s.enqueue(op(1, 100), now);
+            s.enqueue(op(2, 100), now);
+        }
+        let (pa, ea) = a
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        let (pb, eb, d) = b
+            .try_start_service_explained(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        assert_eq!(pa.tag.op, pb.tag.op);
+        assert_eq!(ea, eb);
+        assert_eq!(d.rule, DequeueRule::PolicyOrder);
+        assert_eq!(d.queue_len, 2);
+        // Worker busy either way.
+        assert!(b
+            .try_start_service_explained(now, |_| SimDuration::ZERO)
+            .is_none());
     }
 
     #[test]

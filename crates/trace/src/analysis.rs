@@ -1,0 +1,516 @@
+//! Critical-path reconstruction and blame aggregation.
+//!
+//! For every completed request the analysis finds the op whose accepted
+//! response completed the request (the RCT-setting op), walks its winning
+//! attempt chain backwards (response → service end → service start →
+//! enqueue → dispatch → request arrival), and splits the request's RCT
+//! into five segments:
+//!
+//! | segment       | interval                         | blame                      |
+//! |---------------|----------------------------------|----------------------------|
+//! | `stall_ns`    | arrival → winning dispatch       | retries, backoff, hedging  |
+//! | `net_request` | dispatch → server enqueue        | request-side network       |
+//! | `queue_ns`    | enqueue → service start          | queue wait (scheduling)    |
+//! | `service_ns`  | service start → service end      | service time               |
+//! | `net_response`| service end → accepted response  | response-side network      |
+//!
+//! The five segments telescope: they sum *exactly* to the request's RCT in
+//! integer nanoseconds (the property `tests/trace_properties.rs` asserts).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::TraceEvent;
+use crate::recorder::TraceLog;
+
+/// The reconstructed critical path of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Request id.
+    pub request: u64,
+    /// Request completion time, nanoseconds.
+    pub rct_ns: u64,
+    /// The RCT-setting op's index.
+    pub op: u32,
+    /// The server whose response completed the request.
+    pub server: u32,
+    /// Dispatch attempts made for the RCT-setting op.
+    pub attempts: u32,
+    /// Coordinator stall before the winning dispatch (retry/backoff/hedge
+    /// delay); zero for fault-free first attempts.
+    pub stall_ns: u64,
+    /// Request-side network time of the winning attempt.
+    pub net_request_ns: u64,
+    /// Queue wait at the serving server.
+    pub queue_ns: u64,
+    /// Service time.
+    pub service_ns: u64,
+    /// Response-side network time.
+    pub net_response_ns: u64,
+}
+
+impl CriticalPath {
+    /// Sum of the five segments; always equals [`CriticalPath::rct_ns`].
+    pub fn sum_ns(&self) -> u64 {
+        self.stall_ns + self.net_request_ns + self.queue_ns + self.service_ns + self.net_response_ns
+    }
+}
+
+/// Finds, for each op chain key, the latest entry at or before `t`.
+fn latest_at_or_before<T: Copy>(entries: &[(u64, T)], t: u64) -> Option<(u64, T)> {
+    entries.iter().rev().find(|&&(et, _)| et <= t).copied()
+}
+
+/// Reconstructs the critical path of every completed request whose event
+/// chain survived in the log.
+///
+/// Requests with evicted chain events (ring overflow) or with no terminal
+/// event are skipped; on a log with [`TraceLog::complete`] `== true` every
+/// completed sampled request yields a path.
+pub fn critical_paths(log: &TraceLog) -> Vec<CriticalPath> {
+    type ChainKey = (u64, u32, u32); // (request, op, server)
+    let mut arrivals: HashMap<u64, u64> = HashMap::new();
+    let mut dispatches: HashMap<ChainKey, Vec<(u64, ())>> = HashMap::new();
+    let mut attempts: HashMap<(u64, u32), u32> = HashMap::new();
+    let mut enqueues: HashMap<ChainKey, Vec<(u64, ())>> = HashMap::new();
+    let mut ends: HashMap<ChainKey, Vec<(u64, u64)>> = HashMap::new();
+    // Last accepted response per request; the engine records the accepted
+    // response immediately before the RequestComplete it causes.
+    let mut last_accept: HashMap<u64, (u64, u32, u32)> = HashMap::new();
+    let mut paths = Vec::new();
+
+    for ev in &log.events {
+        match *ev {
+            TraceEvent::RequestArrive { t_ns, request, .. } => {
+                arrivals.insert(request, t_ns);
+            }
+            TraceEvent::OpDispatch {
+                t_ns,
+                request,
+                op,
+                server,
+                ..
+            } => {
+                dispatches
+                    .entry((request, op, server))
+                    .or_default()
+                    .push((t_ns, ()));
+                *attempts.entry((request, op)).or_insert(0) += 1;
+            }
+            TraceEvent::OpEnqueue {
+                t_ns,
+                request,
+                op,
+                server,
+                ..
+            } => {
+                enqueues
+                    .entry((request, op, server))
+                    .or_default()
+                    .push((t_ns, ()));
+            }
+            TraceEvent::ServiceEnd {
+                t_ns,
+                request,
+                op,
+                server,
+                service_ns,
+            } => {
+                ends.entry((request, op, server))
+                    .or_default()
+                    .push((t_ns, service_ns));
+            }
+            TraceEvent::OpResponse {
+                t_ns,
+                request,
+                op,
+                server,
+                accepted: true,
+            } => {
+                last_accept.insert(request, (t_ns, op, server));
+            }
+            TraceEvent::RequestComplete {
+                t_ns,
+                request,
+                rct_ns,
+            } => {
+                let path = (|| {
+                    let arrival = *arrivals.get(&request)?;
+                    let &(resp_t, op, server) = last_accept.get(&request)?;
+                    if resp_t != t_ns {
+                        return None; // completing response was evicted
+                    }
+                    let key = (request, op, server);
+                    let (end_t, service_ns) = latest_at_or_before(ends.get(&key)?, resp_t)?;
+                    let start_t = end_t.checked_sub(service_ns)?;
+                    let (enq_t, ()) = latest_at_or_before(enqueues.get(&key)?, start_t)?;
+                    let (disp_t, ()) = latest_at_or_before(dispatches.get(&key)?, enq_t)?;
+                    Some(CriticalPath {
+                        request,
+                        rct_ns,
+                        op,
+                        server,
+                        attempts: attempts.get(&(request, op)).copied().unwrap_or(0),
+                        stall_ns: disp_t.checked_sub(arrival)?,
+                        net_request_ns: enq_t - disp_t,
+                        queue_ns: start_t - enq_t,
+                        service_ns,
+                        net_response_ns: resp_t - end_t,
+                    })
+                })();
+                if let Some(p) = path {
+                    paths.push(p);
+                }
+            }
+            _ => {}
+        }
+    }
+    paths
+}
+
+/// Per-request terminal-event counts, for invariant checking: for each
+/// request that has a [`TraceEvent::RequestArrive`] in the log, how many
+/// completes and aborts were recorded.
+pub fn request_outcomes(log: &TraceLog) -> Vec<(u64, u32, u32)> {
+    let mut seen: HashMap<u64, (u32, u32)> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for ev in &log.events {
+        match *ev {
+            TraceEvent::RequestArrive { request, .. } => {
+                seen.entry(request).or_insert_with(|| {
+                    order.push(request);
+                    (0, 0)
+                });
+            }
+            TraceEvent::RequestComplete { request, .. } => {
+                if let Some(e) = seen.get_mut(&request) {
+                    e.0 += 1;
+                }
+            }
+            TraceEvent::RequestAbort { request, .. } => {
+                if let Some(e) = seen.get_mut(&request) {
+                    e.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    order
+        .into_iter()
+        .map(|r| {
+            let (c, a) = seen[&r];
+            (r, c, a)
+        })
+        .collect()
+}
+
+/// Aggregated blame: mean per-segment time over all reconstructed paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlameBreakdown {
+    /// Paths aggregated.
+    pub requests: u64,
+    /// Mean RCT over those paths, seconds.
+    pub mean_rct_secs: f64,
+    /// Mean coordinator stall (retries/backoff/hedging), seconds.
+    pub stall_secs: f64,
+    /// Mean request-side network time, seconds.
+    pub net_request_secs: f64,
+    /// Mean queue wait, seconds.
+    pub queue_secs: f64,
+    /// Mean service time, seconds.
+    pub service_secs: f64,
+    /// Mean response-side network time, seconds.
+    pub net_response_secs: f64,
+}
+
+impl BlameBreakdown {
+    /// Aggregates a set of critical paths.
+    pub fn from_paths(paths: &[CriticalPath]) -> Self {
+        let n = paths.len() as f64;
+        let mean = |f: fn(&CriticalPath) -> u64| {
+            if paths.is_empty() {
+                0.0
+            } else {
+                paths.iter().map(|p| f(p) as f64).sum::<f64>() * 1e-9 / n
+            }
+        };
+        BlameBreakdown {
+            requests: paths.len() as u64,
+            mean_rct_secs: mean(|p| p.rct_ns),
+            stall_secs: mean(|p| p.stall_ns),
+            net_request_secs: mean(|p| p.net_request_ns),
+            queue_secs: mean(|p| p.queue_ns),
+            service_secs: mean(|p| p.service_ns),
+            net_response_secs: mean(|p| p.net_response_ns),
+        }
+    }
+
+    /// Reconstructs paths from a log and aggregates them.
+    pub fn from_log(log: &TraceLog) -> Self {
+        Self::from_paths(&critical_paths(log))
+    }
+
+    /// The labeled segment means in critical-path order, seconds.
+    pub fn segments(&self) -> [(&'static str, f64); 5] {
+        [
+            ("stall", self.stall_secs),
+            ("net req", self.net_request_secs),
+            ("queue", self.queue_secs),
+            ("service", self.service_secs),
+            ("net resp", self.net_response_secs),
+        ]
+    }
+
+    /// `segment mean / mean RCT`, as a percentage; 0 when empty.
+    pub fn percent_of_rct(&self, segment_secs: f64) -> f64 {
+        if self.mean_rct_secs > 0.0 {
+            segment_secs / self.mean_rct_secs * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DispatchKind;
+
+    /// A two-op request: op 0 fast, op 1 slow (sets the RCT).
+    fn two_op_log() -> TraceLog {
+        let ev = |e| e;
+        TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events: vec![
+                ev(TraceEvent::RequestArrive {
+                    t_ns: 100,
+                    request: 1,
+                    keys: 2,
+                    fanout: 2,
+                }),
+                TraceEvent::OpDispatch {
+                    t_ns: 100,
+                    request: 1,
+                    op: 0,
+                    server: 0,
+                    attempt: 0,
+                    kind: DispatchKind::First,
+                    est_ns: 50,
+                    bytes: 64,
+                },
+                TraceEvent::OpDispatch {
+                    t_ns: 100,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    attempt: 0,
+                    kind: DispatchKind::First,
+                    est_ns: 50,
+                    bytes: 64,
+                },
+                TraceEvent::OpEnqueue {
+                    t_ns: 130,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    queue_len: 2,
+                },
+                TraceEvent::OpEnqueue {
+                    t_ns: 140,
+                    request: 1,
+                    op: 0,
+                    server: 0,
+                    queue_len: 1,
+                },
+                TraceEvent::ServiceEnd {
+                    t_ns: 200,
+                    request: 1,
+                    op: 0,
+                    server: 0,
+                    service_ns: 60,
+                },
+                TraceEvent::OpResponse {
+                    t_ns: 230,
+                    request: 1,
+                    op: 0,
+                    server: 0,
+                    accepted: true,
+                },
+                // op 1: queued 130 -> 300, served 300 -> 450.
+                TraceEvent::SchedDecision {
+                    t_ns: 300,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    rule: "min-rank".into(),
+                    position: 1,
+                    queue_len: 4,
+                },
+                TraceEvent::ServiceEnd {
+                    t_ns: 450,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    service_ns: 150,
+                },
+                TraceEvent::OpResponse {
+                    t_ns: 500,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    accepted: true,
+                },
+                TraceEvent::RequestComplete {
+                    t_ns: 500,
+                    request: 1,
+                    rct_ns: 400,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reconstructs_the_last_op_chain() {
+        let paths = critical_paths(&two_op_log());
+        assert_eq!(paths.len(), 1);
+        let p = paths[0];
+        assert_eq!(p.op, 1);
+        assert_eq!(p.server, 3);
+        assert_eq!(p.attempts, 1);
+        assert_eq!(p.stall_ns, 0);
+        assert_eq!(p.net_request_ns, 30);
+        assert_eq!(p.queue_ns, 170);
+        assert_eq!(p.service_ns, 150);
+        assert_eq!(p.net_response_ns, 50);
+        assert_eq!(p.sum_ns(), p.rct_ns);
+    }
+
+    #[test]
+    fn blame_aggregates_means() {
+        let b = BlameBreakdown::from_log(&two_op_log());
+        assert_eq!(b.requests, 1);
+        assert!((b.mean_rct_secs - 400e-9).abs() < 1e-15);
+        assert!((b.queue_secs - 170e-9).abs() < 1e-15);
+        let total: f64 = b.segments().iter().map(|(_, v)| v).sum();
+        assert!((total - b.mean_rct_secs).abs() < 1e-15);
+        assert!((b.percent_of_rct(b.queue_secs) - 42.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcomes_count_terminals() {
+        let mut log = two_op_log();
+        assert_eq!(request_outcomes(&log), vec![(1, 1, 0)]);
+        log.events.push(TraceEvent::RequestArrive {
+            t_ns: 600,
+            request: 2,
+            keys: 1,
+            fanout: 1,
+        });
+        log.events.push(TraceEvent::RequestAbort {
+            t_ns: 700,
+            request: 2,
+        });
+        assert_eq!(request_outcomes(&log), vec![(1, 1, 0), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn incomplete_chain_is_skipped() {
+        let mut log = two_op_log();
+        // Drop op 1's enqueue: chain can't be reconstructed.
+        log.events.retain(|e| {
+            !matches!(
+                e,
+                TraceEvent::OpEnqueue {
+                    op: 1,
+                    server: 3,
+                    ..
+                }
+            )
+        });
+        assert!(critical_paths(&log).is_empty());
+    }
+
+    #[test]
+    fn retry_chain_attributes_stall() {
+        // Attempt 0 to server 0 is lost; a retry at t=1000 to server 2 wins.
+        let log = TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events: vec![
+                TraceEvent::RequestArrive {
+                    t_ns: 0,
+                    request: 9,
+                    keys: 1,
+                    fanout: 1,
+                },
+                TraceEvent::OpDispatch {
+                    t_ns: 0,
+                    request: 9,
+                    op: 0,
+                    server: 0,
+                    attempt: 0,
+                    kind: DispatchKind::First,
+                    est_ns: 10,
+                    bytes: 64,
+                },
+                TraceEvent::CrashDrop {
+                    t_ns: 30,
+                    request: 9,
+                    op: 0,
+                    server: 0,
+                },
+                TraceEvent::OpTimeout {
+                    t_ns: 900,
+                    request: 9,
+                    op: 0,
+                    attempt: 0,
+                },
+                TraceEvent::OpDispatch {
+                    t_ns: 1000,
+                    request: 9,
+                    op: 0,
+                    server: 2,
+                    attempt: 1,
+                    kind: DispatchKind::Retry,
+                    est_ns: 10,
+                    bytes: 64,
+                },
+                TraceEvent::OpEnqueue {
+                    t_ns: 1010,
+                    request: 9,
+                    op: 0,
+                    server: 2,
+                    queue_len: 1,
+                },
+                TraceEvent::ServiceEnd {
+                    t_ns: 1060,
+                    request: 9,
+                    op: 0,
+                    server: 2,
+                    service_ns: 40,
+                },
+                TraceEvent::OpResponse {
+                    t_ns: 1080,
+                    request: 9,
+                    op: 0,
+                    server: 2,
+                    accepted: true,
+                },
+                TraceEvent::RequestComplete {
+                    t_ns: 1080,
+                    request: 9,
+                    rct_ns: 1080,
+                },
+            ],
+        };
+        let paths = critical_paths(&log);
+        assert_eq!(paths.len(), 1);
+        let p = paths[0];
+        assert_eq!(p.attempts, 2);
+        assert_eq!(p.stall_ns, 1000);
+        assert_eq!(p.queue_ns, 10);
+        assert_eq!(p.sum_ns(), p.rct_ns);
+    }
+}

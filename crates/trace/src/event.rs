@@ -1,0 +1,308 @@
+//! The trace event taxonomy.
+//!
+//! Events carry primitive fields only (`u64` nanosecond timestamps, raw
+//! request/server ids) so the log serializes to flat JSON objects and the
+//! crate stays decoupled from the simulator's newtype wrappers. All
+//! timestamps are simulation time in integer nanoseconds from the engine's
+//! single authoritative clock — the same values the metrics layer records,
+//! so trace and metrics can never disagree.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a dispatch happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DispatchKind {
+    /// The coordinator's initial replica choice for the op.
+    First,
+    /// A retry after a deadline expiry or a crash-dropped attempt.
+    Retry,
+    /// A speculative hedge fired while the primary attempt was still open.
+    Hedge,
+}
+
+impl DispatchKind {
+    /// Short display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DispatchKind::First => "first",
+            DispatchKind::Retry => "retry",
+            DispatchKind::Hedge => "hedge",
+        }
+    }
+}
+
+/// One structured event in the flight recorder.
+///
+/// Per-request events are only recorded for sampled requests; cluster-level
+/// events ([`TraceEvent::ServerCrash`], [`TraceEvent::ServerRecover`]) are
+/// always recorded while tracing is on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A multi-get arrived at the coordinator and fanned out.
+    RequestArrive {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Number of keys in the multi-get.
+        keys: u32,
+        /// Number of per-server ops after replica selection / coalescing.
+        fanout: u32,
+    },
+    /// The coordinator sent one op (or op attempt) to a server.
+    OpDispatch {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// Target server.
+        server: u32,
+        /// Attempt number (0 = first).
+        attempt: u32,
+        /// First / retry / hedge.
+        kind: DispatchKind,
+        /// Coordinator's service-time estimate for the op, nanoseconds.
+        est_ns: u64,
+        /// Request-message wire bytes charged for the dispatch.
+        bytes: u64,
+    },
+    /// The op message arrived at the server and entered its queue.
+    OpEnqueue {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// Server the op was enqueued on.
+        server: u32,
+        /// Queue length *after* the enqueue.
+        queue_len: u32,
+    },
+    /// The scheduler picked this op to start service, and why.
+    ///
+    /// Doubles as the op's service-start record: `t_ns` is the instant
+    /// service begins on a worker.
+    SchedDecision {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// Server making the decision.
+        server: u32,
+        /// The scheduling rule that fired (e.g. `min-rank`,
+        /// `starvation-guard`, `fcfs-fallback`, `policy-order`).
+        rule: String,
+        /// Arrival-order position of the picked op before removal
+        /// (0 = oldest waiting op; > 0 means the queue was reordered).
+        position: u32,
+        /// Queue length *before* the removal.
+        queue_len: u32,
+    },
+    /// A worker finished serving the op.
+    ServiceEnd {
+        /// Simulation time, nanoseconds (the single authoritative
+        /// completion timestamp — service started at `t_ns - service_ns`).
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// Server that served the op.
+        server: u32,
+        /// Realized service time, nanoseconds.
+        service_ns: u64,
+    },
+    /// The op's response reached the coordinator.
+    OpResponse {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// Server the response came from.
+        server: u32,
+        /// Whether the coordinator accepted it (`false` = duplicate or
+        /// stale response discarded by the recovery layer).
+        accepted: bool,
+    },
+    /// All ops done; the request completed.
+    RequestComplete {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Request completion time, nanoseconds.
+        rct_ns: u64,
+    },
+    /// The recovery layer gave up on the request (retry budget exhausted).
+    RequestAbort {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+    },
+    /// An op attempt's deadline expired at the coordinator.
+    OpTimeout {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// The attempt that timed out.
+        attempt: u32,
+    },
+    /// An op attempt was lost to a server crash (in queue, in service, or
+    /// delivered to a down server).
+    CrashDrop {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// The crashed / down server.
+        server: u32,
+    },
+    /// A server crash-stopped.
+    ServerCrash {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// The server.
+        server: u32,
+    },
+    /// A crashed server came back (empty queue, new incarnation).
+    ServerRecover {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// The server.
+        server: u32,
+    },
+    /// A per-server load sample (piggybacked on sampled-op enqueues).
+    QueueSample {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// The sampled server.
+        server: u32,
+        /// Ops waiting in its queue.
+        queue_len: u32,
+        /// Estimated backlog (in-service remainder + queued work),
+        /// nanoseconds.
+        backlog_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulation timestamp in nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::RequestArrive { t_ns, .. }
+            | TraceEvent::OpDispatch { t_ns, .. }
+            | TraceEvent::OpEnqueue { t_ns, .. }
+            | TraceEvent::SchedDecision { t_ns, .. }
+            | TraceEvent::ServiceEnd { t_ns, .. }
+            | TraceEvent::OpResponse { t_ns, .. }
+            | TraceEvent::RequestComplete { t_ns, .. }
+            | TraceEvent::RequestAbort { t_ns, .. }
+            | TraceEvent::OpTimeout { t_ns, .. }
+            | TraceEvent::CrashDrop { t_ns, .. }
+            | TraceEvent::ServerCrash { t_ns, .. }
+            | TraceEvent::ServerRecover { t_ns, .. }
+            | TraceEvent::QueueSample { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// The request id, for per-request events.
+    pub fn request(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::RequestArrive { request, .. }
+            | TraceEvent::OpDispatch { request, .. }
+            | TraceEvent::OpEnqueue { request, .. }
+            | TraceEvent::SchedDecision { request, .. }
+            | TraceEvent::ServiceEnd { request, .. }
+            | TraceEvent::OpResponse { request, .. }
+            | TraceEvent::RequestComplete { request, .. }
+            | TraceEvent::RequestAbort { request, .. }
+            | TraceEvent::OpTimeout { request, .. }
+            | TraceEvent::CrashDrop { request, .. } => Some(request),
+            TraceEvent::ServerCrash { .. }
+            | TraceEvent::ServerRecover { .. }
+            | TraceEvent::QueueSample { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            TraceEvent::RequestArrive {
+                t_ns: 10,
+                request: 7,
+                keys: 4,
+                fanout: 3,
+            },
+            TraceEvent::OpDispatch {
+                t_ns: 10,
+                request: 7,
+                op: 1,
+                server: 2,
+                attempt: 0,
+                kind: DispatchKind::First,
+                est_ns: 250_000,
+                bytes: 128,
+            },
+            TraceEvent::SchedDecision {
+                t_ns: 99,
+                request: 7,
+                op: 1,
+                server: 2,
+                rule: "min-rank".into(),
+                position: 3,
+                queue_len: 9,
+            },
+            TraceEvent::RequestComplete {
+                t_ns: 400,
+                request: 7,
+                rct_ns: 390,
+            },
+        ];
+        for ev in &events {
+            let json = serde_json::to_string(ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(*ev, back);
+        }
+    }
+
+    #[test]
+    fn tagged_representation_is_flat() {
+        let ev = TraceEvent::ServerCrash { t_ns: 5, server: 3 };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(json, r#"{"ev":"server_crash","t_ns":5,"server":3}"#);
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let ev = TraceEvent::QueueSample {
+            t_ns: 77,
+            server: 1,
+            queue_len: 4,
+            backlog_ns: 1000,
+        };
+        assert_eq!(ev.t_ns(), 77);
+        assert_eq!(ev.request(), None);
+        let ev = TraceEvent::RequestAbort { t_ns: 9, request: 3 };
+        assert_eq!(ev.request(), Some(3));
+    }
+}

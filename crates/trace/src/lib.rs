@@ -1,0 +1,39 @@
+//! # das-trace — structured event tracing with critical-path attribution
+//!
+//! A zero-default-overhead flight recorder for the DAS simulator. When
+//! enabled, the engine emits one [`TraceEvent`] per interesting lifecycle
+//! transition (request arrival/fan-out, per-op dispatch/enqueue/dequeue/
+//! completion, scheduler reorder decisions with the rule that fired,
+//! retry/hedge/abort events from the recovery layer, and per-server
+//! queue-depth samples) into a bounded ring buffer.
+//!
+//! On top of the raw log this crate ships:
+//!
+//! * [`analysis::critical_paths`] — reconstructs, for every completed
+//!   request, which op finished last and where its time went (coordinator
+//!   stall from retries/backoff, request-side network, queue wait, service,
+//!   response-side network). The five segments sum *exactly* to the
+//!   request's RCT in integer nanoseconds.
+//! * [`analysis::BlameBreakdown`] — aggregates the per-request paths into
+//!   the per-policy blame table behind `table7_rct_breakdown`.
+//! * [`export`] — JSONL (one event per line) and Chrome `trace_event` JSON
+//!   loadable in Perfetto / `chrome://tracing`.
+//!
+//! ## Determinism
+//!
+//! Recording never draws from a simulation RNG stream and never schedules
+//! simulator events: sampling decisions are a pure hash
+//! ([`das_sim::rng::splitmix64`]) of the master seed and the request id, so
+//! a traced run and an untraced run of the same config are bit-identical in
+//! every simulation output.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod event;
+pub mod export;
+pub mod recorder;
+
+pub use analysis::{critical_paths, request_outcomes, BlameBreakdown, CriticalPath};
+pub use event::{DispatchKind, TraceEvent};
+pub use recorder::{TraceConfig, TraceLog, TraceRecorder};

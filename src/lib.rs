@@ -11,4 +11,5 @@ pub use das_rt as rt;
 pub use das_sched as sched;
 pub use das_sim as sim;
 pub use das_store as store;
+pub use das_trace as trace;
 pub use das_workload as workload;

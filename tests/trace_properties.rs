@@ -1,0 +1,150 @@
+//! Property-based tests on the structured trace layer: every traced
+//! request terminates exactly once, critical-path segments telescope
+//! exactly to the request's RCT, and enabling tracing never perturbs the
+//! simulation — on clean *and* fault-injected random configurations.
+
+use proptest::prelude::*;
+
+use das_repro::sched::policy::PolicyKind;
+use das_repro::sim::fault::CrashWindow;
+use das_repro::sim::time::SimTime;
+use das_repro::store::engine::{run_simulation, KeyRead, StoreRequest};
+use das_repro::store::SimulationConfig;
+use das_repro::trace::{critical_paths, request_outcomes, TraceConfig, TraceLog};
+
+fn requests(n: u64, gap_us: u64, max_keys: usize) -> Vec<StoreRequest> {
+    (0..n)
+        .map(|i| StoreRequest {
+            id: i,
+            arrival: SimTime::from_micros(i * gap_us),
+            reads: (0..=(i as usize % max_keys))
+                .map(|k| {
+                    let key = i.wrapping_mul(2654435761).wrapping_add(k as u64 * 97);
+                    let bytes = 1024 + (i as u32 % 9000);
+                    if (i + k as u64).is_multiple_of(5) {
+                        KeyRead::write(key, bytes)
+                    } else {
+                        KeyRead::read(key, bytes)
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The two invariants every trace must satisfy, regardless of faults:
+/// exactly one terminal event per traced arrival, and critical paths that
+/// telescope exactly (integer nanoseconds) to each request's RCT.
+fn assert_trace_invariants(log: &TraceLog, completed: u64, aborted: u64) {
+    let outcomes = request_outcomes(log);
+    for &(request, completes, aborts) in &outcomes {
+        assert_eq!(
+            completes + aborts,
+            1,
+            "request {request}: {completes} completes + {aborts} aborts"
+        );
+    }
+    let total_completes: u64 = outcomes.iter().map(|&(_, c, _)| c as u64).sum();
+    let total_aborts: u64 = outcomes.iter().map(|&(_, _, a)| a as u64).sum();
+    assert_eq!(total_completes, completed);
+    assert_eq!(total_aborts, aborted);
+    let paths = critical_paths(log);
+    assert_eq!(paths.len() as u64, completed);
+    for p in &paths {
+        assert_eq!(
+            p.sum_ns(),
+            p.rct_ns,
+            "request {}: segments must sum exactly to the RCT",
+            p.request
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traced_requests_terminate_once_and_paths_telescope(
+        servers in 2u32..10,
+        workers in 1u32..3,
+        n_requests in 20u64..120,
+        gap_us in 20u64..400,
+        max_keys in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        for policy in [PolicyKind::Fcfs, PolicyKind::das()] {
+            let mut cfg = SimulationConfig::new(policy, 5.0);
+            cfg.cluster.servers = servers;
+            cfg.cluster.workers_per_server = workers;
+            cfg.warmup_secs = 0.0;
+            cfg.seed = seed;
+            cfg.trace = TraceConfig::enabled();
+            let r = run_simulation(&cfg, requests(n_requests, gap_us, max_keys)).unwrap();
+            let log = r.trace.as_ref().unwrap();
+            prop_assert_eq!(log.dropped, 0);
+            prop_assert_eq!(r.completed, n_requests);
+            assert_trace_invariants(log, r.completed, 0);
+        }
+    }
+
+    #[test]
+    fn trace_invariants_survive_faults(
+        servers in 2u32..8,
+        replication in 2u32..3,
+        seed in 0u64..500,
+        crash_at_us in 1_000u64..5_000,
+        crash_for_us in 500u64..4_000,
+        req_loss in 0.0f64..0.2,
+        resp_dup in 0.0f64..0.4,
+        deadline_us in 2_000u64..20_000,
+        max_attempts in 2u32..=5,
+    ) {
+        for policy in [PolicyKind::Fcfs, PolicyKind::das()] {
+            let mut cfg = SimulationConfig::new(policy, 1.0);
+            cfg.cluster.servers = servers;
+            cfg.cluster.replication = replication.min(servers);
+            cfg.warmup_secs = 0.0;
+            cfg.seed = seed;
+            cfg.faults.crashes.crashes.push(CrashWindow {
+                server: seed as u32 % servers,
+                down_secs: crash_at_us as f64 * 1e-6,
+                up_secs: (crash_at_us + crash_for_us) as f64 * 1e-6,
+            });
+            cfg.faults.request_faults.loss = req_loss;
+            cfg.faults.response_faults.duplication = resp_dup;
+            cfg.faults.retry.deadline_secs = deadline_us as f64 * 1e-6;
+            cfg.faults.retry.max_attempts = max_attempts;
+            cfg.trace = TraceConfig::enabled();
+            let r = run_simulation(&cfg, requests(150, 40, 6)).unwrap();
+            prop_assert_eq!(r.recovery.accepted, r.completed + r.recovery.aborted);
+            let log = r.trace.as_ref().unwrap();
+            prop_assert_eq!(log.dropped, 0);
+            // Retries, hedges, crashes, and duplicate deliveries must not
+            // break single-termination or exact path telescoping.
+            assert_trace_invariants(log, r.completed, r.recovery.aborted);
+        }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_fault_runs(
+        servers in 2u32..8,
+        seed in 0u64..500,
+        resp_loss in 0.0f64..0.2,
+        deadline_us in 3_000u64..20_000,
+    ) {
+        let mut cfg = SimulationConfig::new(PolicyKind::das(), 1.0);
+        cfg.cluster.servers = servers;
+        cfg.cluster.replication = 2;
+        cfg.warmup_secs = 0.0;
+        cfg.seed = seed;
+        cfg.faults.response_faults.loss = resp_loss;
+        cfg.faults.retry.deadline_secs = deadline_us as f64 * 1e-6;
+        let plain = run_simulation(&cfg, requests(120, 50, 5)).unwrap();
+        cfg.trace = TraceConfig::enabled();
+        let traced = run_simulation(&cfg, requests(120, 50, 5)).unwrap();
+        prop_assert_eq!(plain.mean_rct().to_bits(), traced.mean_rct().to_bits());
+        prop_assert_eq!(plain.events_processed, traced.events_processed);
+        prop_assert_eq!(plain.recovery.retries, traced.recovery.retries);
+        prop_assert_eq!(plain.recovery.aborted, traced.recovery.aborted);
+    }
+}
