@@ -1,0 +1,7 @@
+//! Table 8 (extension): paired blame diff FCFS → DAS at rho=0.7 — the RCT
+//! delta attributed per critical-path segment.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table8(output::quick_mode()).emit();
+}

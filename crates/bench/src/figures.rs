@@ -977,6 +977,79 @@ pub fn table7(quick: bool) -> FigureOutput {
     f
 }
 
+/// Table 8 (extension): blame diff of fig06's rho=0.7 point, FCFS vs DAS —
+/// the same seeded workload traced under both policies, requests matched by
+/// id, and the RCT *delta* attributed per critical-path segment (the signed
+/// per-request deltas telescope exactly to each RCT delta). Also persists
+/// both JSONL event logs next to the table so
+/// `das_experiment blame-diff` can be run on them directly.
+pub fn table8(quick: bool) -> FigureOutput {
+    let mut e = tune(scenarios::base_experiment("rho=0.7", 0.7), quick);
+    // tune() resets the policy set; the diff wants exactly the baseline and
+    // the paper's policy.
+    e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+    e.trace = das_trace::TraceConfig::enabled();
+    if !quick {
+        // Same deterministic per-request sample as table7: the sampling
+        // hash depends only on (seed, request id), so both policies trace
+        // the *same* request set and every sampled request matches.
+        e.trace.sample = 0.25;
+    }
+    let result = e.run().expect("valid base experiment");
+    let fcfs = result
+        .run("FCFS")
+        .and_then(|r| r.trace.as_ref())
+        .expect("FCFS run was traced");
+    let das = result
+        .run("DAS")
+        .and_then(|r| r.trace.as_ref())
+        .expect("DAS run was traced");
+    let diff = das_trace::diff_traces(fcfs, das).expect("same seeded workload");
+
+    let mut f = FigureOutput::new("table8_blame_diff", "Blame diff FCFS → DAS (rho=0.7)");
+    f.tables = report::blame_diff_tables("FCFS", "DAS", &diff);
+    let mut notes = String::from(
+        "Where DAS's speedup actually comes from: the same seeded workload \
+         traced under both policies, requests matched by id, and the RCT \
+         delta attributed per critical-path segment. The per-request segment \
+         deltas telescope exactly (integer ns) to each RCT delta, so the \
+         'mean Δ' column sums to the total-RCT row without residue.",
+    );
+    if let Some(chart) = das_metrics::ascii::diverging_bars(&report::blame_diff_delta_rows(&diff), 30)
+    {
+        notes.push_str("\n\nmean Δ per segment, ms (DAS − FCFS):\n");
+        notes.push_str(&chart);
+    }
+    if let Some(s) = diff.dominant_negative_segment() {
+        notes.push_str(&format!(
+            "\ndominant improvement: {} ({:+.3} ms mean)",
+            s.label(),
+            diff.mean_delta_secs(s) * 1e3
+        ));
+    }
+    f.notes = notes;
+
+    // Persist the raw event logs so the CLI path (`das_experiment
+    // blame-diff results/table8_fcfs.jsonl results/table8_das.jsonl`) can
+    // be exercised on exactly this data — CI smokes that end to end.
+    let dir = crate::output::results_dir();
+    for (name, log) in [("table8_fcfs.jsonl", fcfs), ("table8_das.jsonl", das)] {
+        let path = dir.join(name);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let file = std::fs::File::create(&path)?;
+            let mut w = std::io::BufWriter::new(file);
+            das_trace::export::write_jsonl(log, &mut w)?;
+            std::io::Write::flush(&mut w)
+        };
+        match write() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("note: could not persist event log: {e}"),
+        }
+    }
+    f
+}
+
 /// Builds a policies×scenarios table from named experiment results.
 fn cross_scenario_table(
     title: &str,
@@ -1072,5 +1145,6 @@ pub fn all_figures() -> Vec<FigureOutput> {
         table5(quick),
         table6(quick),
         table7(quick),
+        table8(quick),
     ]
 }

@@ -7,6 +7,9 @@
 //! das_experiment policies                          list available policies
 //! das_experiment trace <config.json> <out.jsonl>   record the workload as a trace
 //! das_experiment replay <config.json> <trace.jsonl>  replay a recorded trace
+//! das_experiment blame-diff <a.jsonl> <b.jsonl> [--out <summary.json>]
+//!                                                  attribute the RCT delta between
+//!                                                  two event traces per segment
 //! ```
 //!
 //! `--trace <base>` enables structured event tracing and writes, per
@@ -14,6 +17,12 @@
 //! `<base>-<policy>.chrome.json` (Chrome `trace_event` format, loadable in
 //! Perfetto / `chrome://tracing`), plus the critical-path blame table.
 //! `--trace-sample <rate>` traces that fraction of requests (default 1).
+//!
+//! `blame-diff` takes two such `.jsonl` event logs recorded from the *same
+//! seeded workload* under different policies, matches requests by id, and
+//! attributes the per-request RCT delta to the five critical-path segments
+//! (the signed deltas telescope exactly, in integer ns, to each RCT
+//! delta). It refuses traces whose arrival timestamps disagree.
 //!
 //! Configs are [`das_core::ExperimentConfig`] JSON — `template` prints one.
 
@@ -42,6 +51,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("blame-diff") => cmd_blame_diff(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -66,7 +76,8 @@ fn print_usage() {
          das_experiment policies\n  \
          das_experiment check <config.json>\n  \
          das_experiment trace <config.json> <out.jsonl>\n  \
-         das_experiment replay <config.json> <trace.jsonl>"
+         das_experiment replay <config.json> <trace.jsonl>\n  \
+         das_experiment blame-diff <a.jsonl> <b.jsonl> [--out <summary.json>]"
     );
 }
 
@@ -301,7 +312,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let config = load_config(config_path)?;
     let file = fs::File::open(trace_path).map_err(|e| format!("opening {trace_path}: {e}"))?;
     let trace = read_trace(file).map_err(|e| e.to_string())?;
-    validate_trace(&trace)?;
+    validate_trace(&trace).map_err(|e| e.to_string())?;
     eprintln!(
         "replaying {} requests against {} policies...",
         trace.len(),
@@ -330,6 +341,45 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             result.p99_rct() * 1e3,
             result.completed,
         );
+    }
+    Ok(())
+}
+
+fn cmd_blame_diff(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path] = &args[..args.len().min(2)] else {
+        return Err("blame-diff: expected <a.jsonl> <b.jsonl> [--out <summary.json>]".into());
+    };
+    if a_path.starts_with("--") || b_path.starts_with("--") {
+        return Err("blame-diff: expected <a.jsonl> <b.jsonl> [--out <summary.json>]".into());
+    }
+    let mut out_path: Option<String> = None;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(rest.next().ok_or("--out: missing path")?.clone()),
+            other => return Err(format!("blame-diff: unexpected argument `{other}`")),
+        }
+    }
+    let load = |path: &str| -> Result<das_trace::TraceLog, String> {
+        let f = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        das_trace::export::read_jsonl(std::io::BufReader::new(f))
+            .map_err(|e| format!("reading {path}: {e}"))
+    };
+    let log_a = load(a_path)?;
+    let log_b = load(b_path)?;
+    let name = |p: &str| {
+        Path::new(p)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.to_string())
+    };
+    let (a_name, b_name) = (name(a_path), name(b_path));
+    let diff = das_trace::diff_traces(&log_a, &log_b).map_err(|e| e.to_string())?;
+    println!("{}", report::render_blame_diff(&a_name, &b_name, &diff));
+    if let Some(out) = out_path {
+        let json = serde_json::to_string_pretty(&diff.summary()).map_err(|e| e.to_string())?;
+        fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
     }
     Ok(())
 }

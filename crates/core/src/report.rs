@@ -3,6 +3,7 @@
 
 use das_metrics::summary::ComparisonTable;
 use das_net::accounting::TrafficClass;
+use das_trace::diff::{Segment, TraceDiff};
 use das_trace::BlameBreakdown;
 
 use crate::experiment::ExperimentResult;
@@ -174,6 +175,132 @@ pub fn blame_rows(result: &ExperimentResult) -> Vec<(String, Vec<(&'static str, 
         .collect()
 }
 
+/// Builds the blame-diff tables for a paired trace diff (`B − A`):
+/// match statistics, the per-segment delta attribution (whose "mean Δ"
+/// column sums to the total RCT delta row — the telescoping invariant),
+/// and the dominant-segment migration matrix.
+pub fn blame_diff_tables(a_name: &str, b_name: &str, d: &TraceDiff) -> Vec<ComparisonTable> {
+    let mut tables = Vec::new();
+
+    let mut stats = ComparisonTable::new(
+        format!("blame diff {a_name} → {b_name} — matched requests"),
+        vec![
+            "matched".into(),
+            format!("only {a_name}"),
+            format!("only {b_name}"),
+            "moved server".into(),
+            "moved bottleneck".into(),
+        ],
+    );
+    stats.push_row(
+        "requests",
+        vec![
+            d.matched as f64,
+            d.only_a as f64,
+            d.only_b as f64,
+            d.moved_server as f64,
+            d.moved_segment as f64,
+        ],
+    );
+    tables.push(stats);
+
+    let mut seg = ComparisonTable::new(
+        format!("blame diff {a_name} → {b_name} — per-segment RCT delta"),
+        vec![
+            format!("{a_name} mean (ms)"),
+            format!("{b_name} mean (ms)"),
+            "mean Δ (ms)".into(),
+            format!("Δ vs {a_name} seg (%)"),
+            "share of total Δ (%)".into(),
+            "p99 Δ (ms)".into(),
+        ],
+    );
+    let total_delta = d.mean_rct_delta_secs();
+    for s in Segment::ALL {
+        let (a, b) = (d.mean_a_secs[s.index()], d.mean_b_secs[s.index()]);
+        let delta = d.mean_delta_secs(s);
+        seg.push_row(
+            s.label(),
+            vec![
+                a * 1e3,
+                b * 1e3,
+                delta * 1e3,
+                if a > 0.0 { delta / a * 100.0 } else { 0.0 },
+                if total_delta != 0.0 {
+                    delta / total_delta * 100.0
+                } else {
+                    0.0
+                },
+                d.p99_delta_secs(s) * 1e3,
+            ],
+        );
+    }
+    seg.push_row(
+        "total RCT",
+        vec![
+            d.mean_rct_a_secs * 1e3,
+            d.mean_rct_b_secs * 1e3,
+            total_delta * 1e3,
+            if d.mean_rct_a_secs > 0.0 {
+                total_delta / d.mean_rct_a_secs * 100.0
+            } else {
+                0.0
+            },
+            100.0,
+            d.p99_rct_delta_secs() * 1e3,
+        ],
+    );
+    tables.push(seg);
+
+    let mut mig = ComparisonTable::new(
+        format!("blame diff {a_name} → {b_name} — dominant-segment migration (rows: {a_name}, cols: {b_name})"),
+        Segment::ALL.iter().map(|s| s.label().to_string()).collect(),
+    );
+    for from in Segment::ALL {
+        mig.push_row(
+            from.label(),
+            Segment::ALL
+                .iter()
+                .map(|to| d.migration[from.index()][to.index()] as f64)
+                .collect(),
+        );
+    }
+    tables.push(mig);
+
+    tables
+}
+
+/// Per-segment mean-delta rows (label + signed milliseconds) for
+/// [`das_metrics::ascii::diverging_bars`].
+pub fn blame_diff_delta_rows(d: &TraceDiff) -> Vec<(String, f64)> {
+    Segment::ALL
+        .iter()
+        .map(|&s| (s.label().to_string(), d.mean_delta_secs(s) * 1e3))
+        .collect()
+}
+
+/// Renders a complete blame-diff report: the three tables plus the
+/// diverging delta-bar chart, as printed by `das_experiment blame-diff`.
+pub fn render_blame_diff(a_name: &str, b_name: &str, d: &TraceDiff) -> String {
+    let mut out = String::new();
+    for t in blame_diff_tables(a_name, b_name, d) {
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    if let Some(chart) = das_metrics::ascii::diverging_bars(&blame_diff_delta_rows(d), 30) {
+        out.push_str(&format!("mean Δ per segment, ms ({b_name} − {a_name}):\n"));
+        out.push_str(&chart);
+    }
+    if let Some(s) = d.dominant_negative_segment() {
+        out.push_str(&format!(
+            "\ndominant improvement: {} ({:+.3} ms mean)\n",
+            s.label(),
+            d.mean_delta_secs(s) * 1e3
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +374,36 @@ mod tests {
         let rows = blame_rows(&r);
         assert_eq!(rows.len(), 2);
         assert!(das_metrics::ascii::stacked_bars(&rows, 40).is_some());
+    }
+
+    #[test]
+    fn blame_diff_report_telescopes_and_renders() {
+        let r = traced_result();
+        let log_a = r.run("FCFS").unwrap().trace.as_ref().unwrap();
+        let log_b = r.run("DAS").unwrap().trace.as_ref().unwrap();
+        let d = das_trace::diff_traces(log_a, log_b).unwrap();
+        assert!(d.matched > 0);
+
+        let tables = blame_diff_tables("FCFS", "DAS", &d);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].value("requests", "matched"), Some(d.matched as f64));
+        // The per-segment mean Δ column sums to the total-RCT Δ row.
+        let seg = &tables[1];
+        let total: f64 = ["stall", "net req", "queue", "service", "net resp"]
+            .iter()
+            .map(|l| seg.value(l, "mean Δ (ms)").unwrap())
+            .sum();
+        let rct = seg.value("total RCT", "mean Δ (ms)").unwrap();
+        assert!((total - rct).abs() < 1e-9, "{total} vs {rct}");
+        // Migration matrix counts every matched request exactly once.
+        let mig_total: f64 = tables[2].rows().iter().flat_map(|r| r.values.iter()).sum();
+        assert_eq!(mig_total, d.matched as f64);
+
+        let md = render_blame_diff("FCFS", "DAS", &d);
+        assert!(md.contains("matched requests"));
+        assert!(md.contains("per-segment RCT delta"));
+        assert!(md.contains("migration"));
+        assert!(das_metrics::ascii::diverging_bars(&blame_diff_delta_rows(&d), 30).is_some());
     }
 
     #[test]

@@ -143,6 +143,49 @@ pub fn stacked_bars(rows: &[(String, Vec<(&str, f64)>)], width: usize) -> Option
     Some(out)
 }
 
+/// Renders labelled *signed* values as diverging horizontal bars around a
+/// shared zero axis: negative values grow left (`◀`-filled), positive ones
+/// grow right (`▶`-filled), all on one scale (the largest magnitude spans
+/// `width` cells). Nonzero values always get at least one cell so small
+/// regressions stay visible. Used for per-segment RCT delta attribution,
+/// where "which segments went down and which went up" is the whole point.
+///
+/// Returns `None` when `rows` is empty or no value is finite and nonzero.
+pub fn diverging_bars(rows: &[(String, f64)], width: usize) -> Option<String> {
+    let max = rows
+        .iter()
+        .map(|&(_, v)| if v.is_finite() { v.abs() } else { 0.0 })
+        .fold(0.0f64, f64::max);
+    if rows.is_empty() || max <= 0.0 {
+        return None;
+    }
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let v = if v.is_finite() { *v } else { 0.0 };
+        let cells = if v == 0.0 {
+            0
+        } else {
+            (((v.abs() / max) * width as f64).round() as usize).clamp(1, width)
+        };
+        let (left, right) = if v < 0.0 {
+            ("◀".repeat(cells), String::new())
+        } else {
+            (String::new(), "▶".repeat(cells))
+        };
+        out.push_str(&format!(
+            "{label:<label_width$} {left:>width$}|{right:<width$} {}{}\n",
+            if v > 0.0 { "+" } else { "" },
+            crate::summary::format_value_pub(v),
+        ));
+    }
+    Some(out)
+}
+
 /// Renders labelled series as stacked sparklines with a shared scale —
 /// handy for "RCT over time, one line per policy".
 pub fn sparkline_panel(series: &[(&str, Vec<f64>)]) -> String {
@@ -278,6 +321,44 @@ mod tests {
         assert!(stacked_bars(&[], 10).is_none());
         let rows = vec![("x".to_string(), vec![("a", 0.0), ("b", f64::NAN)])];
         assert!(stacked_bars(&rows, 10).is_none());
+    }
+
+    #[test]
+    fn diverging_bars_split_around_zero() {
+        let rows = vec![
+            ("queue".to_string(), -8.0),
+            ("service".to_string(), 4.0),
+            ("stall".to_string(), 0.0),
+        ];
+        let chart = diverging_bars(&rows, 10).unwrap();
+        let queue = chart.lines().find(|l| l.starts_with("queue")).unwrap();
+        let service = chart.lines().find(|l| l.starts_with("service")).unwrap();
+        let stall = chart.lines().find(|l| l.starts_with("stall")).unwrap();
+        // Negative fills left of the axis, positive right, zero neither;
+        // magnitudes share one scale (8 → full 10 cells, 4 → 5 cells).
+        assert_eq!(queue.chars().filter(|&c| c == '◀').count(), 10);
+        assert!(!queue.contains('▶'));
+        assert_eq!(service.chars().filter(|&c| c == '▶').count(), 5);
+        assert!(!service.contains('◀'));
+        assert!(!stall.contains('◀') && !stall.contains('▶'));
+        // Every row carries the axis and a signed value.
+        assert!(queue.contains('|') && queue.contains("-8"));
+        assert!(service.contains("+4"));
+    }
+
+    #[test]
+    fn diverging_bars_keep_small_values_visible() {
+        let rows = vec![("big".to_string(), -1000.0), ("tiny".to_string(), 0.001)];
+        let chart = diverging_bars(&rows, 10).unwrap();
+        let tiny = chart.lines().find(|l| l.starts_with("tiny")).unwrap();
+        assert_eq!(tiny.chars().filter(|&c| c == '▶').count(), 1);
+    }
+
+    #[test]
+    fn diverging_bars_reject_empty_and_zero() {
+        assert!(diverging_bars(&[], 10).is_none());
+        let rows = vec![("a".to_string(), 0.0), ("b".to_string(), f64::NAN)];
+        assert!(diverging_bars(&rows, 10).is_none());
     }
 
     #[test]

@@ -58,8 +58,15 @@ impl CriticalPath {
 }
 
 /// Finds, for each op chain key, the latest entry at or before `t`.
+///
+/// Chain entries are appended in nondecreasing time order, so this is a
+/// binary search; `partition_point` keeps the *latest* entry when several
+/// share a timestamp (the tie-break `latest_entry_wins_at_equal_times`
+/// pins). The linear reverse scan it replaces made [`critical_paths`] on a
+/// full log quadratic in the retry depth of each chain.
 fn latest_at_or_before<T: Copy>(entries: &[(u64, T)], t: u64) -> Option<(u64, T)> {
-    entries.iter().rev().find(|&&(et, _)| et <= t).copied()
+    let idx = entries.partition_point(|&(et, _)| et <= t);
+    idx.checked_sub(1).map(|i| entries[i])
 }
 
 /// Reconstructs the critical path of every completed request whose event
@@ -167,6 +174,27 @@ pub fn critical_paths(log: &TraceLog) -> Vec<CriticalPath> {
         }
     }
     paths
+}
+
+/// Indexes [`critical_paths`] by request id, for paired-trace lookups
+/// ([`crate::diff`] matches the two sides of a blame diff through this).
+pub fn path_index(log: &TraceLog) -> HashMap<u64, CriticalPath> {
+    critical_paths(log).into_iter().map(|p| (p.request, p)).collect()
+}
+
+/// Arrival timestamp of every sampled request in the log, by request id.
+///
+/// Two traces of the same seeded workload must agree on every shared id's
+/// arrival time; [`crate::diff::diff_traces`] refuses to diff logs that
+/// disagree.
+pub fn arrival_times(log: &TraceLog) -> HashMap<u64, u64> {
+    let mut arrivals = HashMap::new();
+    for ev in &log.events {
+        if let TraceEvent::RequestArrive { t_ns, request, .. } = *ev {
+            arrivals.insert(request, t_ns);
+        }
+    }
+    arrivals
 }
 
 /// Per-request terminal-event counts, for invariant checking: for each
@@ -430,6 +458,41 @@ mod tests {
             )
         });
         assert!(critical_paths(&log).is_empty());
+    }
+
+    #[test]
+    fn latest_entry_wins_at_equal_times() {
+        // Pins the tie-break the binary-search rewrite must preserve: at
+        // equal timestamps the *latest appended* entry is returned.
+        let entries = [(5u64, 'a'), (5, 'b'), (5, 'c'), (7, 'd')];
+        assert_eq!(latest_at_or_before(&entries, 5), Some((5, 'c')));
+        assert_eq!(latest_at_or_before(&entries, 6), Some((5, 'c')));
+        assert_eq!(latest_at_or_before(&entries, 7), Some((7, 'd')));
+        assert_eq!(latest_at_or_before(&entries, u64::MAX), Some((7, 'd')));
+        assert_eq!(latest_at_or_before(&entries, 4), None);
+        assert_eq!(latest_at_or_before::<char>(&[], 4), None);
+        // Exhaustive cross-check against the reverse linear scan on a
+        // duplicate-heavy chain.
+        let chain: Vec<(u64, u32)> = [0u64, 0, 1, 3, 3, 3, 8]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        for t in 0..10 {
+            let linear = chain.iter().rev().find(|&&(et, _)| et <= t).copied();
+            assert_eq!(latest_at_or_before(&chain, t), linear, "t={t}");
+        }
+    }
+
+    #[test]
+    fn index_and_arrivals_cover_the_log() {
+        let log = two_op_log();
+        let idx = path_index(&log);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[&1].rct_ns, 400);
+        let arr = arrival_times(&log);
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[&1], 100);
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! Paired-trace blame diffing: attribute the RCT *delta* between two
+//! traces of the same seeded workload per critical-path segment.
+//!
+//! [`diff_traces`] matches requests by id across two logs (A = baseline,
+//! B = candidate), reconstructs both sides' critical paths, and emits one
+//! signed [`RequestDelta`] per matched request. Because each side's five
+//! segments telescope exactly to its RCT (see [`crate::analysis`]), the
+//! per-request segment deltas telescope exactly — in integer nanoseconds —
+//! to that request's RCT delta, so an aggregate claim like "B is 24 %
+//! faster" decomposes without residue into "B removed X ns of queue wait,
+//! added Y ns of service, …".
+//!
+//! The diff refuses to run when the two logs disagree on any shared
+//! request's arrival timestamp: that means they were *not* recorded from
+//! the same seeded workload, and a per-segment comparison would attribute
+//! workload differences to the policy.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::analysis::{arrival_times, path_index, CriticalPath};
+use crate::recorder::TraceLog;
+
+/// The five critical-path segments, in path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Segment {
+    /// Coordinator stall before the winning dispatch.
+    Stall,
+    /// Request-side network.
+    NetRequest,
+    /// Queue wait at the serving server.
+    Queue,
+    /// Service time.
+    Service,
+    /// Response-side network.
+    NetResponse,
+}
+
+impl Segment {
+    /// All segments in critical-path order.
+    pub const ALL: [Segment; 5] = [
+        Segment::Stall,
+        Segment::NetRequest,
+        Segment::Queue,
+        Segment::Service,
+        Segment::NetResponse,
+    ];
+
+    /// Display label, matching [`crate::analysis::BlameBreakdown::segments`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Segment::Stall => "stall",
+            Segment::NetRequest => "net req",
+            Segment::Queue => "queue",
+            Segment::Service => "service",
+            Segment::NetResponse => "net resp",
+        }
+    }
+
+    /// This segment's duration on a reconstructed path, nanoseconds.
+    pub fn of(self, p: &CriticalPath) -> u64 {
+        match self {
+            Segment::Stall => p.stall_ns,
+            Segment::NetRequest => p.net_request_ns,
+            Segment::Queue => p.queue_ns,
+            Segment::Service => p.service_ns,
+            Segment::NetResponse => p.net_response_ns,
+        }
+    }
+
+    /// Index in [`Segment::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Segment::Stall => 0,
+            Segment::NetRequest => 1,
+            Segment::Queue => 2,
+            Segment::Service => 3,
+            Segment::NetResponse => 4,
+        }
+    }
+}
+
+/// The segment a path spent most of its RCT in (ties break toward the
+/// earlier segment in path order, deterministically).
+pub fn dominant_segment(p: &CriticalPath) -> Segment {
+    let mut best = Segment::Stall;
+    for s in Segment::ALL {
+        if s.of(p) > best.of(p) {
+            best = s;
+        }
+    }
+    best
+}
+
+/// One matched request's signed per-segment delta (B minus A), integer
+/// nanoseconds. The five segment deltas always sum exactly to
+/// [`RequestDelta::rct_delta_ns`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RequestDelta {
+    /// Request id (identical in both traces).
+    pub request: u64,
+    /// RCT delta, `B − A`, nanoseconds.
+    pub rct_delta_ns: i64,
+    /// Coordinator-stall delta.
+    pub stall_delta_ns: i64,
+    /// Request-side network delta.
+    pub net_request_delta_ns: i64,
+    /// Queue-wait delta.
+    pub queue_delta_ns: i64,
+    /// Service-time delta.
+    pub service_delta_ns: i64,
+    /// Response-side network delta.
+    pub net_response_delta_ns: i64,
+    /// Server whose response completed the request under A.
+    pub server_a: u32,
+    /// Server whose response completed the request under B.
+    pub server_b: u32,
+    /// Dominant (largest) segment of the A-side path.
+    pub dominant_a: Segment,
+    /// Dominant (largest) segment of the B-side path.
+    pub dominant_b: Segment,
+}
+
+impl RequestDelta {
+    fn new(a: &CriticalPath, b: &CriticalPath) -> Self {
+        let d = |f: fn(&CriticalPath) -> u64| f(b) as i64 - f(a) as i64;
+        RequestDelta {
+            request: a.request,
+            rct_delta_ns: d(|p| p.rct_ns),
+            stall_delta_ns: d(|p| p.stall_ns),
+            net_request_delta_ns: d(|p| p.net_request_ns),
+            queue_delta_ns: d(|p| p.queue_ns),
+            service_delta_ns: d(|p| p.service_ns),
+            net_response_delta_ns: d(|p| p.net_response_ns),
+            server_a: a.server,
+            server_b: b.server,
+            dominant_a: dominant_segment(a),
+            dominant_b: dominant_segment(b),
+        }
+    }
+
+    /// The delta of one segment.
+    pub fn segment_delta(&self, s: Segment) -> i64 {
+        match s {
+            Segment::Stall => self.stall_delta_ns,
+            Segment::NetRequest => self.net_request_delta_ns,
+            Segment::Queue => self.queue_delta_ns,
+            Segment::Service => self.service_delta_ns,
+            Segment::NetResponse => self.net_response_delta_ns,
+        }
+    }
+
+    /// Sum of the five segment deltas; always equals
+    /// [`RequestDelta::rct_delta_ns`] exactly (both sides telescope).
+    pub fn sum_ns(&self) -> i64 {
+        Segment::ALL.iter().map(|&s| self.segment_delta(s)).sum()
+    }
+}
+
+/// Why two traces cannot be diffed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// The logs disagree on a shared request's arrival time: they were not
+    /// recorded from the same seeded workload.
+    ArrivalMismatch {
+        /// The lowest disagreeing request id.
+        request: u64,
+        /// Arrival in trace A, nanoseconds.
+        a_ns: u64,
+        /// Arrival in trace B, nanoseconds.
+        b_ns: u64,
+    },
+    /// No request id completed (with a surviving event chain) in both logs.
+    NoMatchedRequests,
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DiffError::ArrivalMismatch { request, a_ns, b_ns } => write!(
+                f,
+                "traces disagree on request {request}'s arrival ({a_ns} ns vs {b_ns} ns): \
+                 not the same seeded workload"
+            ),
+            DiffError::NoMatchedRequests => {
+                write!(f, "no request completed in both traces; nothing to diff")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// A paired blame diff of two traces (B minus A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Requests with a reconstructed critical path on both sides.
+    pub matched: u64,
+    /// Requests with a path only in trace A.
+    pub only_a: u64,
+    /// Requests with a path only in trace B.
+    pub only_b: u64,
+    /// One signed delta per matched request, ascending by request id.
+    pub deltas: Vec<RequestDelta>,
+    /// Mean RCT over the matched requests in A, seconds.
+    pub mean_rct_a_secs: f64,
+    /// Mean RCT over the matched requests in B, seconds.
+    pub mean_rct_b_secs: f64,
+    /// Per-segment mean over the matched A-side paths, seconds (path
+    /// order).
+    pub mean_a_secs: [f64; 5],
+    /// Per-segment mean over the matched B-side paths, seconds.
+    pub mean_b_secs: [f64; 5],
+    /// Matched requests whose completing response came from a different
+    /// server under B.
+    pub moved_server: u64,
+    /// Matched requests whose dominant segment changed under B.
+    pub moved_segment: u64,
+    /// `migration[from][to]`: matched requests whose dominant segment was
+    /// `ALL[from]` under A and `ALL[to]` under B.
+    pub migration: [[u64; 5]; 5],
+}
+
+/// Signed quantile of `values` (which need not be sorted): the smallest
+/// value v such that a fraction `q` of the samples are `<= v`.
+fn quantile(values: &mut [i64], q: f64) -> i64 {
+    debug_assert!(!values.is_empty());
+    values.sort_unstable();
+    let idx = ((values.len() as f64 - 1.0) * q).ceil() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+impl TraceDiff {
+    /// Mean delta of one segment over the matched requests, seconds.
+    pub fn mean_delta_secs(&self, s: Segment) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.deltas
+            .iter()
+            .map(|d| d.segment_delta(s) as f64)
+            .sum::<f64>()
+            * 1e-9
+            / self.deltas.len() as f64
+    }
+
+    /// Mean RCT delta over the matched requests, seconds; exactly
+    /// `mean_rct_b_secs - mean_rct_a_secs` and exactly the sum of the five
+    /// per-segment mean deltas.
+    pub fn mean_rct_delta_secs(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.deltas
+            .iter()
+            .map(|d| d.rct_delta_ns as f64)
+            .sum::<f64>()
+            * 1e-9
+            / self.deltas.len() as f64
+    }
+
+    /// p99 of one segment's signed per-request delta distribution, seconds.
+    pub fn p99_delta_secs(&self, s: Segment) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<i64> = self.deltas.iter().map(|d| d.segment_delta(s)).collect();
+        quantile(&mut v, 0.99) as f64 * 1e-9
+    }
+
+    /// p99 of the signed per-request RCT delta distribution, seconds.
+    pub fn p99_rct_delta_secs(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<i64> = self.deltas.iter().map(|d| d.rct_delta_ns).collect();
+        quantile(&mut v, 0.99) as f64 * 1e-9
+    }
+
+    /// The segment with the largest mean improvement (most negative mean
+    /// delta), if any segment improved at all.
+    pub fn dominant_negative_segment(&self) -> Option<Segment> {
+        Segment::ALL
+            .into_iter()
+            .min_by(|&x, &y| self.mean_delta_secs(x).total_cmp(&self.mean_delta_secs(y)))
+            .filter(|&s| self.mean_delta_secs(s) < 0.0)
+    }
+
+    /// The serializable summary (everything except the per-request deltas).
+    pub fn summary(&self) -> DiffSummary {
+        let segments = Segment::ALL
+            .iter()
+            .map(|&s| SegmentDelta {
+                segment: s.label().to_string(),
+                mean_a_secs: self.mean_a_secs[s.index()],
+                mean_b_secs: self.mean_b_secs[s.index()],
+                mean_delta_secs: self.mean_delta_secs(s),
+                p99_delta_secs: self.p99_delta_secs(s),
+            })
+            .collect();
+        DiffSummary {
+            matched: self.matched,
+            only_a: self.only_a,
+            only_b: self.only_b,
+            mean_rct_a_secs: self.mean_rct_a_secs,
+            mean_rct_b_secs: self.mean_rct_b_secs,
+            mean_rct_delta_secs: self.mean_rct_delta_secs(),
+            p99_rct_delta_secs: self.p99_rct_delta_secs(),
+            segments,
+            moved_server: self.moved_server,
+            moved_segment: self.moved_segment,
+            migration: self.migration,
+        }
+    }
+}
+
+/// One segment's aggregate delta in a [`DiffSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SegmentDelta {
+    /// Segment label.
+    pub segment: String,
+    /// Mean over matched A-side paths, seconds.
+    pub mean_a_secs: f64,
+    /// Mean over matched B-side paths, seconds.
+    pub mean_b_secs: f64,
+    /// Mean signed delta (B − A), seconds.
+    pub mean_delta_secs: f64,
+    /// p99 of the signed per-request delta distribution, seconds.
+    pub p99_delta_secs: f64,
+}
+
+/// The serializable aggregate view of a [`TraceDiff`] (what
+/// `das_experiment blame-diff --out` writes).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DiffSummary {
+    /// Requests matched across both traces.
+    pub matched: u64,
+    /// Requests completing only in trace A.
+    pub only_a: u64,
+    /// Requests completing only in trace B.
+    pub only_b: u64,
+    /// Mean RCT over matched requests in A, seconds.
+    pub mean_rct_a_secs: f64,
+    /// Mean RCT over matched requests in B, seconds.
+    pub mean_rct_b_secs: f64,
+    /// Mean RCT delta, seconds.
+    pub mean_rct_delta_secs: f64,
+    /// p99 signed RCT delta, seconds.
+    pub p99_rct_delta_secs: f64,
+    /// Per-segment aggregates, in path order.
+    pub segments: Vec<SegmentDelta>,
+    /// Matched requests completed by a different server under B.
+    pub moved_server: u64,
+    /// Matched requests whose dominant segment changed under B.
+    pub moved_segment: u64,
+    /// Dominant-segment migration counts, `[from][to]` in path order.
+    pub migration: [[u64; 5]; 5],
+}
+
+/// Diffs two traces of the same seeded workload: matches completed
+/// requests by id and attributes the RCT delta per segment.
+///
+/// Refuses ([`DiffError::ArrivalMismatch`]) when any request id present in
+/// both logs has different arrival timestamps — the defining property of
+/// "same workload, different policy" runs is identical arrivals.
+pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
+    let arr_a = arrival_times(a);
+    let arr_b = arrival_times(b);
+    // Report the lowest mismatched id so the error is deterministic.
+    let mismatch = arr_a
+        .iter()
+        .filter_map(|(&req, &ta)| {
+            let &tb = arr_b.get(&req)?;
+            (ta != tb).then_some((req, ta, tb))
+        })
+        .min();
+    if let Some((request, a_ns, b_ns)) = mismatch {
+        return Err(DiffError::ArrivalMismatch { request, a_ns, b_ns });
+    }
+
+    let paths_a = path_index(a);
+    let paths_b = path_index(b);
+    let mut ids: Vec<u64> = paths_a.keys().filter(|r| paths_b.contains_key(r)).copied().collect();
+    ids.sort_unstable();
+    if ids.is_empty() {
+        return Err(DiffError::NoMatchedRequests);
+    }
+    let only_a = (paths_a.len() - ids.len()) as u64;
+    let only_b = (paths_b.len() - ids.len()) as u64;
+
+    let mut deltas = Vec::with_capacity(ids.len());
+    let mut mean_a_secs = [0.0f64; 5];
+    let mut mean_b_secs = [0.0f64; 5];
+    let mut rct_a = 0.0f64;
+    let mut rct_b = 0.0f64;
+    let mut moved_server = 0u64;
+    let mut migration = [[0u64; 5]; 5];
+    for &id in &ids {
+        let (pa, pb) = (&paths_a[&id], &paths_b[&id]);
+        let d = RequestDelta::new(pa, pb);
+        debug_assert_eq!(d.sum_ns(), d.rct_delta_ns);
+        for s in Segment::ALL {
+            mean_a_secs[s.index()] += s.of(pa) as f64;
+            mean_b_secs[s.index()] += s.of(pb) as f64;
+        }
+        rct_a += pa.rct_ns as f64;
+        rct_b += pb.rct_ns as f64;
+        moved_server += (d.server_a != d.server_b) as u64;
+        migration[d.dominant_a.index()][d.dominant_b.index()] += 1;
+        deltas.push(d);
+    }
+    let n = ids.len() as f64;
+    for v in mean_a_secs.iter_mut().chain(mean_b_secs.iter_mut()) {
+        *v *= 1e-9 / n;
+    }
+    let moved_segment = deltas
+        .iter()
+        .filter(|d| d.dominant_a != d.dominant_b)
+        .count() as u64;
+
+    Ok(TraceDiff {
+        matched: ids.len() as u64,
+        only_a,
+        only_b,
+        deltas,
+        mean_rct_a_secs: rct_a * 1e-9 / n,
+        mean_rct_b_secs: rct_b * 1e-9 / n,
+        mean_a_secs,
+        mean_b_secs,
+        moved_server,
+        moved_segment,
+        migration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DispatchKind, TraceEvent};
+
+    /// A minimal single-op request chain completing at `complete_ns`, with
+    /// the given segment layout.
+    #[allow(clippy::too_many_arguments)]
+    fn chain(
+        events: &mut Vec<TraceEvent>,
+        request: u64,
+        arrive_ns: u64,
+        server: u32,
+        net_req: u64,
+        queue: u64,
+        service: u64,
+        net_resp: u64,
+    ) {
+        let dispatch = arrive_ns;
+        let enq = dispatch + net_req;
+        let start = enq + queue;
+        let end = start + service;
+        let resp = end + net_resp;
+        events.push(TraceEvent::RequestArrive {
+            t_ns: arrive_ns,
+            request,
+            keys: 1,
+            fanout: 1,
+        });
+        events.push(TraceEvent::OpDispatch {
+            t_ns: dispatch,
+            request,
+            op: 0,
+            server,
+            attempt: 0,
+            kind: DispatchKind::First,
+            est_ns: service,
+            bytes: 64,
+        });
+        events.push(TraceEvent::OpEnqueue {
+            t_ns: enq,
+            request,
+            op: 0,
+            server,
+            queue_len: 1,
+        });
+        events.push(TraceEvent::ServiceEnd {
+            t_ns: end,
+            request,
+            op: 0,
+            server,
+            service_ns: service,
+        });
+        events.push(TraceEvent::OpResponse {
+            t_ns: resp,
+            request,
+            op: 0,
+            server,
+            accepted: true,
+        });
+        events.push(TraceEvent::RequestComplete {
+            t_ns: resp,
+            request,
+            rct_ns: resp - arrive_ns,
+        });
+    }
+
+    fn log(events: Vec<TraceEvent>) -> TraceLog {
+        TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn deltas_telescope_and_aggregate() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20); // rct 650, queue-dominant
+        chain(&mut a, 2, 200, 1, 30, 400, 100, 20); // rct 550
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 0, 30, 100, 100, 20); // rct 250: queue -400
+        chain(&mut b, 2, 200, 2, 30, 50, 200, 20); // rct 300: moved server,
+                                                   // queue -350, service +100
+        let d = diff_traces(&log(a), &log(b)).unwrap();
+        assert_eq!(d.matched, 2);
+        assert_eq!((d.only_a, d.only_b), (0, 0));
+        for rd in &d.deltas {
+            assert_eq!(rd.sum_ns(), rd.rct_delta_ns);
+        }
+        assert_eq!(d.deltas[0].rct_delta_ns, -400);
+        assert_eq!(d.deltas[0].queue_delta_ns, -400);
+        assert_eq!(d.deltas[1].rct_delta_ns, -250);
+        assert_eq!(d.deltas[1].service_delta_ns, 100);
+        assert_eq!(d.moved_server, 1);
+        // Mean queue delta: (-400 + -350) / 2 = -375 ns.
+        assert!((d.mean_delta_secs(Segment::Queue) - (-375e-9)).abs() < 1e-15);
+        // The segment mean deltas sum to the mean RCT delta.
+        let total: f64 = Segment::ALL.iter().map(|&s| d.mean_delta_secs(s)).sum();
+        assert!((total - d.mean_rct_delta_secs()).abs() < 1e-15);
+        assert!(
+            (d.mean_rct_delta_secs() - (d.mean_rct_b_secs - d.mean_rct_a_secs)).abs() < 1e-15
+        );
+        assert_eq!(d.dominant_negative_segment(), Some(Segment::Queue));
+        // Request 2's dominant segment migrated queue -> service.
+        assert_eq!(d.moved_segment, 1);
+        assert_eq!(d.migration[Segment::Queue.index()][Segment::Service.index()], 1);
+        assert_eq!(d.migration[Segment::Queue.index()][Segment::Queue.index()], 1);
+    }
+
+    #[test]
+    fn refuses_mismatched_arrivals() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        chain(&mut a, 2, 300, 0, 30, 500, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 0, 30, 100, 100, 20);
+        chain(&mut b, 2, 301, 0, 30, 100, 100, 20);
+        let err = diff_traces(&log(a), &log(b)).unwrap_err();
+        assert_eq!(
+            err,
+            DiffError::ArrivalMismatch {
+                request: 2,
+                a_ns: 300,
+                b_ns: 301
+            }
+        );
+        assert!(err.to_string().contains("request 2"));
+    }
+
+    #[test]
+    fn counts_unmatched_requests() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        chain(&mut a, 2, 200, 0, 30, 500, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 0, 30, 100, 100, 20);
+        chain(&mut b, 3, 400, 0, 30, 100, 100, 20);
+        let d = diff_traces(&log(a), &log(b)).unwrap();
+        assert_eq!(d.matched, 1);
+        assert_eq!(d.only_a, 1);
+        assert_eq!(d.only_b, 1);
+    }
+
+    #[test]
+    fn empty_intersection_is_an_error() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 2, 200, 0, 30, 100, 100, 20);
+        assert_eq!(
+            diff_traces(&log(a), &log(b)).unwrap_err(),
+            DiffError::NoMatchedRequests
+        );
+    }
+
+    #[test]
+    fn summary_serializes_with_signed_deltas() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 0, 30, 100, 150, 20);
+        let d = diff_traces(&log(a), &log(b)).unwrap();
+        let s = d.summary();
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.segments.len(), 5);
+        assert!(s.segments[Segment::Queue.index()].mean_delta_secs < 0.0);
+        assert!(s.segments[Segment::Service.index()].mean_delta_secs > 0.0);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"matched\":1"), "{json}");
+        assert!(json.contains("queue"), "{json}");
+    }
+
+    #[test]
+    fn dominant_segment_breaks_ties_toward_path_order() {
+        let p = CriticalPath {
+            request: 0,
+            rct_ns: 40,
+            op: 0,
+            server: 0,
+            attempts: 1,
+            stall_ns: 10,
+            net_request_ns: 10,
+            queue_ns: 10,
+            service_ns: 10,
+            net_response_ns: 0,
+        };
+        assert_eq!(dominant_segment(&p), Segment::Stall);
+    }
+
+    #[test]
+    fn signed_quantile_is_order_statistic() {
+        let mut v = vec![-5i64, -1, 0, 3, 100];
+        assert_eq!(quantile(&mut v, 0.99), 100);
+        assert_eq!(quantile(&mut v, 0.0), -5);
+        assert_eq!(quantile(&mut v, 0.5), 0);
+        let mut one = vec![7i64];
+        assert_eq!(quantile(&mut one, 0.99), 7);
+    }
+}

@@ -18,6 +18,38 @@ pub fn write_jsonl<W: Write>(log: &TraceLog, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Reads a JSON Lines event log back into a [`TraceLog`].
+///
+/// The inverse of [`write_jsonl`]: one [`TraceEvent`] per non-blank line.
+/// Parse failures map to [`io::ErrorKind::InvalidData`] with the 1-based
+/// line number attached; I/O errors keep their kind and also gain the line
+/// number. JSONL carries events only, so the reconstructed log reports
+/// `sample = 1.0` and `dropped = 0` — of what the file holds, nothing was
+/// discarded.
+pub fn read_jsonl<R: io::Read>(r: R) -> io::Result<TraceLog> {
+    use std::io::BufRead;
+    let mut events = Vec::new();
+    for (i, line) in io::BufReader::new(r).lines().enumerate() {
+        let line =
+            line.map_err(|e| io::Error::new(e.kind(), format!("trace line {}: {e}", i + 1)))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {e}", i + 1),
+            )
+        })?;
+        events.push(ev);
+    }
+    Ok(TraceLog {
+        sample: 1.0,
+        dropped: 0,
+        events,
+    })
+}
+
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
@@ -393,6 +425,59 @@ mod tests {
             }
             other => panic!("root is {other:?}"),
         }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_read() {
+        let log = tiny_log();
+        let mut buf = Vec::new();
+        write_jsonl(&log, &mut buf).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back.events, log.events);
+        assert_eq!(back.sample, 1.0);
+        assert_eq!(back.dropped, 0);
+    }
+
+    #[test]
+    fn read_jsonl_skips_blank_lines_and_flags_bad_ones() {
+        let mut buf = Vec::new();
+        write_jsonl(&tiny_log(), &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n'); // trailing blank line is fine
+        assert_eq!(
+            read_jsonl(text.as_bytes()).unwrap().events.len(),
+            tiny_log().events.len()
+        );
+
+        text.push_str("{not json}\n");
+        let err = read_jsonl(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let n = tiny_log().events.len() + 2; // + blank line + bad line
+        assert!(
+            err.to_string().contains(&format!("trace line {n}")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn read_jsonl_keeps_io_error_kind_and_line() {
+        struct FailAfterFirstLine {
+            sent: bool,
+        }
+        impl io::Read for FailAfterFirstLine {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.sent {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "link died"));
+                }
+                self.sent = true;
+                let line = b"{\"ev\":\"request_arrive\",\"t_ns\":0,\"request\":1,\"keys\":1,\"fanout\":1}\n";
+                buf[..line.len()].copy_from_slice(line);
+                Ok(line.len())
+            }
+        }
+        let err = read_jsonl(FailAfterFirstLine { sent: false }).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("trace line 2"), "{err}");
     }
 
     #[test]

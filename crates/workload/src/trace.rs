@@ -2,9 +2,70 @@
 //! identical workload can be replayed against every policy or shared
 //! between machines.
 
+use std::fmt;
 use std::io::{self, BufRead, Write};
 
 use crate::generator::RequestSpec;
+
+/// Why a trace cannot be replayed, from [`validate_trace`]. Each variant
+/// names the first offending request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Request ids must be strictly increasing.
+    IdsNotIncreasing {
+        /// The id that is not greater than its predecessor's.
+        id: u64,
+    },
+    /// Arrival times must be non-decreasing.
+    ArrivalsBackwards {
+        /// The id whose arrival precedes its predecessor's.
+        id: u64,
+    },
+    /// Every request must read at least one key.
+    NoKeys {
+        /// The id with an empty key set.
+        id: u64,
+    },
+    /// A key appears more than once in `keys`; replay would dispatch two
+    /// ops for one logical access.
+    DuplicateKey {
+        /// The offending request.
+        id: u64,
+        /// The repeated key.
+        key: u64,
+    },
+    /// A `write_keys` entry is absent from `keys`; replay marks writes only
+    /// for keys it dispatches, so the stray write would be silently dropped
+    /// and the replayed workload would differ from the recorded one.
+    StrayWriteKey {
+        /// The offending request.
+        id: u64,
+        /// The `write_keys` entry missing from `keys`.
+        key: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceError::IdsNotIncreasing { id } => {
+                write!(f, "ids not strictly increasing at id {id}")
+            }
+            TraceError::ArrivalsBackwards { id } => write!(f, "arrivals go backwards at id {id}"),
+            TraceError::NoKeys { id } => write!(f, "request {id} has no keys"),
+            TraceError::DuplicateKey { id, key } => {
+                write!(f, "request {id} lists key {key} twice")
+            }
+            TraceError::StrayWriteKey { id, key } => write!(
+                f,
+                "request {id} writes key {key} that it does not read (write would be \
+                 dropped at replay)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Writes requests as one JSON object per line.
 ///
@@ -33,36 +94,57 @@ pub fn write_trace<W: Write>(mut w: W, requests: &[RequestSpec]) -> io::Result<(
 }
 
 /// Reads a JSON-lines trace produced by [`write_trace`]. Blank lines are
-/// skipped; malformed lines produce an error naming the line number.
+/// skipped; malformed lines produce an [`io::ErrorKind::InvalidData`] error
+/// naming the line number, and I/O errors keep their kind and gain the line
+/// number too.
 pub fn read_trace<R: io::Read>(r: R) -> io::Result<Vec<RequestSpec>> {
     let reader = io::BufReader::new(r);
     let mut out = Vec::new();
     for (i, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line =
+            line.map_err(|e| io::Error::new(e.kind(), format!("trace line {}: {e}", i + 1)))?;
         if line.trim().is_empty() {
             continue;
         }
-        let req: RequestSpec = serde_json::from_str(&line)
-            .map_err(|e| io::Error::other(format!("trace line {}: {e}", i + 1)))?;
+        let req: RequestSpec = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {e}", i + 1),
+            )
+        })?;
         out.push(req);
     }
     Ok(out)
 }
 
 /// Validates a trace for replay: ids strictly increasing, arrivals
-/// non-decreasing, every request non-empty. Returns the first problem
-/// found.
-pub fn validate_trace(requests: &[RequestSpec]) -> Result<(), String> {
+/// non-decreasing, every request reading at least one key with no
+/// duplicates, and every written key also read (replay derives the op set
+/// from `keys`, so a stray `write_keys` entry or a repeated key would make
+/// the replayed workload differ from the recorded one). Returns the first
+/// problem found.
+pub fn validate_trace(requests: &[RequestSpec]) -> Result<(), TraceError> {
     for w in requests.windows(2) {
         if w[1].id <= w[0].id {
-            return Err(format!("ids not strictly increasing at id {}", w[1].id));
+            return Err(TraceError::IdsNotIncreasing { id: w[1].id });
         }
         if w[1].arrival < w[0].arrival {
-            return Err(format!("arrivals go backwards at id {}", w[1].id));
+            return Err(TraceError::ArrivalsBackwards { id: w[1].id });
         }
     }
-    if let Some(r) = requests.iter().find(|r| r.keys.is_empty()) {
-        return Err(format!("request {} has no keys", r.id));
+    for r in requests {
+        if r.keys.is_empty() {
+            return Err(TraceError::NoKeys { id: r.id });
+        }
+        let mut seen = std::collections::HashSet::with_capacity(r.keys.len());
+        for &key in &r.keys {
+            if !seen.insert(key) {
+                return Err(TraceError::DuplicateKey { id: r.id, key });
+            }
+        }
+        if let Some(&key) = r.write_keys.iter().find(|k| !seen.contains(k)) {
+            return Err(TraceError::StrayWriteKey { id: r.id, key });
+        }
     }
     Ok(())
 }
@@ -104,7 +186,29 @@ mod tests {
     fn malformed_line_reports_position() {
         let data = b"{\"id\":0,\"arrival\":1,\"keys\":[1]}\nnot json\n";
         let err = read_trace(&data[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("line 2"), "err = {err}");
+    }
+
+    #[test]
+    fn io_error_keeps_kind_and_gains_line_number() {
+        struct FailAfterFirstLine {
+            sent: bool,
+        }
+        impl io::Read for FailAfterFirstLine {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.sent {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "disk fell over"));
+                }
+                self.sent = true;
+                let line = b"{\"id\":0,\"arrival\":1,\"keys\":[1],\"write_keys\":[]}\n";
+                buf[..line.len()].copy_from_slice(line);
+                Ok(line.len())
+            }
+        }
+        let err = read_trace(FailAfterFirstLine { sent: false }).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("trace line 2"), "err = {err}");
     }
 
     #[test]
@@ -116,14 +220,68 @@ mod tests {
             write_keys: vec![],
         };
         assert!(validate_trace(&[mk(0, 1, vec![1]), mk(1, 2, vec![2])]).is_ok());
-        assert!(validate_trace(&[mk(1, 1, vec![1]), mk(1, 2, vec![2])])
-            .unwrap_err()
+        assert_eq!(
+            validate_trace(&[mk(1, 1, vec![1]), mk(1, 2, vec![2])]),
+            Err(TraceError::IdsNotIncreasing { id: 1 })
+        );
+        assert_eq!(
+            validate_trace(&[mk(0, 2, vec![1]), mk(1, 1, vec![2])]),
+            Err(TraceError::ArrivalsBackwards { id: 1 })
+        );
+        assert_eq!(
+            validate_trace(&[mk(0, 1, vec![])]),
+            Err(TraceError::NoKeys { id: 0 })
+        );
+        // The Display texts keep naming the offender for CLI users.
+        assert!(TraceError::IdsNotIncreasing { id: 1 }
+            .to_string()
             .contains("ids"));
-        assert!(validate_trace(&[mk(0, 2, vec![1]), mk(1, 1, vec![2])])
-            .unwrap_err()
+        assert!(TraceError::ArrivalsBackwards { id: 1 }
+            .to_string()
             .contains("backwards"));
-        assert!(validate_trace(&[mk(0, 1, vec![])])
+        assert!(TraceError::NoKeys { id: 0 }.to_string().contains("no keys"));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_keys() {
+        let r = RequestSpec {
+            id: 0,
+            arrival: SimTime::from_millis(1),
+            keys: vec![4, 7, 4],
+            write_keys: vec![],
+        };
+        assert_eq!(
+            validate_trace(std::slice::from_ref(&r)),
+            Err(TraceError::DuplicateKey { id: 0, key: 4 })
+        );
+        assert!(r_err_mentions(&r, "twice"));
+    }
+
+    #[test]
+    fn validation_rejects_stray_write_keys() {
+        let r = RequestSpec {
+            id: 3,
+            arrival: SimTime::from_millis(1),
+            keys: vec![4, 7],
+            write_keys: vec![7, 9],
+        };
+        assert_eq!(
+            validate_trace(std::slice::from_ref(&r)),
+            Err(TraceError::StrayWriteKey { id: 3, key: 9 })
+        );
+        assert!(r_err_mentions(&r, "does not read"));
+        // A write key that IS read is fine.
+        let ok = RequestSpec {
+            write_keys: vec![7],
+            ..r
+        };
+        assert!(validate_trace(std::slice::from_ref(&ok)).is_ok());
+    }
+
+    fn r_err_mentions(r: &RequestSpec, needle: &str) -> bool {
+        validate_trace(std::slice::from_ref(r))
             .unwrap_err()
-            .contains("no keys"));
+            .to_string()
+            .contains(needle)
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests on the structured trace layer: every traced
 //! request terminates exactly once, critical-path segments telescope
-//! exactly to the request's RCT, and enabling tracing never perturbs the
-//! simulation — on clean *and* fault-injected random configurations.
+//! exactly to the request's RCT, enabling tracing never perturbs the
+//! simulation, and paired blame diffs telescope exactly per request — on
+//! clean *and* fault-injected random configurations.
 
 use proptest::prelude::*;
 
@@ -10,7 +11,9 @@ use das_repro::sim::fault::CrashWindow;
 use das_repro::sim::time::SimTime;
 use das_repro::store::engine::{run_simulation, KeyRead, StoreRequest};
 use das_repro::store::SimulationConfig;
-use das_repro::trace::{critical_paths, request_outcomes, TraceConfig, TraceLog};
+use das_repro::trace::{
+    critical_paths, diff_traces, request_outcomes, TraceConfig, TraceLog,
+};
 
 fn requests(n: u64, gap_us: u64, max_keys: usize) -> Vec<StoreRequest> {
     (0..n)
@@ -122,6 +125,100 @@ proptest! {
             // Retries, hedges, crashes, and duplicate deliveries must not
             // break single-termination or exact path telescoping.
             assert_trace_invariants(log, r.completed, r.recovery.aborted);
+        }
+    }
+
+    #[test]
+    fn blame_diff_telescopes_between_policies(
+        servers in 2u32..8,
+        n_requests in 20u64..100,
+        gap_us in 20u64..300,
+        max_keys in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut logs = Vec::new();
+        for policy in [PolicyKind::Fcfs, PolicyKind::das()] {
+            let mut cfg = SimulationConfig::new(policy, 5.0);
+            cfg.cluster.servers = servers;
+            cfg.warmup_secs = 0.0;
+            cfg.seed = seed;
+            cfg.trace = TraceConfig::enabled();
+            let r = run_simulation(&cfg, requests(n_requests, gap_us, max_keys)).unwrap();
+            prop_assert_eq!(r.completed, n_requests);
+            // Round-trip through the JSONL exporter, as the CLI does.
+            let mut buf = Vec::new();
+            das_repro::trace::export::write_jsonl(r.trace.as_ref().unwrap(), &mut buf).unwrap();
+            logs.push(das_repro::trace::export::read_jsonl(&buf[..]).unwrap());
+        }
+        let d = diff_traces(&logs[0], &logs[1]).unwrap();
+        // Same seed, full sampling: every request matches, none dangle.
+        prop_assert_eq!(d.matched, n_requests);
+        prop_assert_eq!((d.only_a, d.only_b), (0, 0));
+        // The telescoping-delta invariant: per-request segment deltas sum
+        // exactly (integer ns) to that request's RCT delta.
+        for rd in &d.deltas {
+            prop_assert_eq!(rd.sum_ns(), rd.rct_delta_ns);
+        }
+        // Migration matrix accounts for every matched request once.
+        let mig: u64 = d.migration.iter().flatten().sum();
+        prop_assert_eq!(mig, d.matched);
+    }
+
+    #[test]
+    fn blame_diff_invariants_survive_faults(
+        servers in 2u32..8,
+        seed in 0u64..500,
+        crash_at_us in 1_000u64..5_000,
+        crash_for_us in 500u64..4_000,
+        req_loss in 0.0f64..0.2,
+        deadline_us in 2_000u64..20_000,
+        max_attempts in 2u32..=5,
+    ) {
+        let mut logs = Vec::new();
+        let mut completed = Vec::new();
+        for policy in [PolicyKind::Fcfs, PolicyKind::das()] {
+            let mut cfg = SimulationConfig::new(policy, 1.0);
+            cfg.cluster.servers = servers;
+            cfg.cluster.replication = 2.min(servers);
+            cfg.warmup_secs = 0.0;
+            cfg.seed = seed;
+            cfg.faults.crashes.crashes.push(CrashWindow {
+                server: seed as u32 % servers,
+                down_secs: crash_at_us as f64 * 1e-6,
+                up_secs: (crash_at_us + crash_for_us) as f64 * 1e-6,
+            });
+            cfg.faults.request_faults.loss = req_loss;
+            cfg.faults.retry.deadline_secs = deadline_us as f64 * 1e-6;
+            cfg.faults.retry.max_attempts = max_attempts;
+            cfg.trace = TraceConfig::enabled();
+            let r = run_simulation(&cfg, requests(150, 40, 6)).unwrap();
+            completed.push(r.completed);
+            logs.push(r.trace.unwrap());
+        }
+        // Aborts may differ per policy, so the matched set is the
+        // intersection of completions; either way every matched request's
+        // deltas must telescope, and the only-counts must account for the
+        // rest.
+        match diff_traces(&logs[0], &logs[1]) {
+            Ok(d) => {
+                prop_assert_eq!(d.matched + d.only_a, completed[0]);
+                prop_assert_eq!(d.matched + d.only_b, completed[1]);
+                for rd in &d.deltas {
+                    prop_assert_eq!(rd.sum_ns(), rd.rct_delta_ns);
+                }
+                let mig: u64 = d.migration.iter().flatten().sum();
+                prop_assert_eq!(mig, d.matched);
+            }
+            Err(das_repro::trace::DiffError::NoMatchedRequests) => {
+                // Legal only when the two completion sets are disjoint.
+                let ids = |log: &TraceLog| -> std::collections::HashSet<u64> {
+                    critical_paths(log).iter().map(|p| p.request).collect()
+                };
+                prop_assert!(ids(&logs[0]).is_disjoint(&ids(&logs[1])));
+            }
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "same-seed traces must never mismatch arrivals: {e}"
+            ))),
         }
     }
 
