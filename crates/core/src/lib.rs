@@ -45,7 +45,11 @@
 //! println!("{}", das_core::report::render_experiment(&result));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Test code asserts on exact deterministic outputs and unwraps freely;
+// the machine-checked rules apply to shipped library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 #![warn(missing_debug_implementations)]
 
 pub mod adapter;

@@ -217,7 +217,7 @@ pub fn blame_diff_tables(a_name: &str, b_name: &str, d: &TraceDiff) -> Vec<Compa
     );
     let total_delta = d.mean_rct_delta_secs();
     for s in Segment::ALL {
-        let (a, b) = (d.mean_a_secs[s.index()], d.mean_b_secs[s.index()]);
+        let (a, b) = (d.mean_a_secs(s), d.mean_b_secs(s));
         let delta = d.mean_delta_secs(s);
         seg.push_row(
             s.label(),
@@ -238,11 +238,11 @@ pub fn blame_diff_tables(a_name: &str, b_name: &str, d: &TraceDiff) -> Vec<Compa
     seg.push_row(
         "total RCT",
         vec![
-            d.mean_rct_a_secs * 1e3,
-            d.mean_rct_b_secs * 1e3,
+            d.mean_rct_a_secs() * 1e3,
+            d.mean_rct_b_secs() * 1e3,
             total_delta * 1e3,
-            if d.mean_rct_a_secs > 0.0 {
-                total_delta / d.mean_rct_a_secs * 100.0
+            if d.mean_rct_a_secs() > 0.0 {
+                total_delta / d.mean_rct_a_secs() * 100.0
             } else {
                 0.0
             },

@@ -223,6 +223,7 @@ pub fn bursty_experiment(low_rho: f64, high_rho: f64, sojourn_secs: [f64; 2]) ->
     let unit_rate = probe
         .arrival
         .average_rate()
+        // das-lint: allow(unwrap-lib): constructor always produces a Poisson arrival, which has a rate
         .expect("base workload is Poisson");
     let mut workload = probe;
     workload.arrival = ArrivalConfig::Mmpp {

@@ -1,0 +1,875 @@
+//! # das-lint — determinism & integer-ns invariant linter
+//!
+//! Every headline number this reproduction publishes rests on bit-identical
+//! seeded determinism: the CI golden byte-diffs (fig06, table8), the paired
+//! replay-determinism test, and `das-trace`'s exact integer-ns telescoping
+//! all break *silently* if a refactor introduces a randomized-hasher map
+//! iteration, a wall-clock read, OS entropy, or float accumulation into a
+//! hot accounting path. This crate enforces those invariants at the source
+//! level, before a single golden is built.
+//!
+//! The scanner is deliberately primitive: std-only, line/token-level, no
+//! `syn` (the vendor tree is offline and the linter must never be broken by
+//! the code it checks). It strips comments and string literals with a small
+//! state machine, skips `#[cfg(test)]` items and test-only files, and then
+//! matches per-rule token patterns scoped by workspace-relative path. See
+//! [`RuleId`] for the rule set and DESIGN.md ("Determinism invariants") for
+//! the rationale behind each rule.
+//!
+//! ## Suppressions
+//!
+//! A violation can be waived per line — on the offending line or the line
+//! directly above — with a mandatory reason:
+//!
+//! ```text
+//! // das-lint: allow(default-hash): keyed access only, never iterated
+//! ```
+//!
+//! Reasonless allows, unknown rule names, and allows that suppress nothing
+//! are themselves violations (`bad-allow`), and every *used* suppression is
+//! echoed in the report's summary table so waivers stay auditable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The enforced rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` with the default `RandomState` hasher in the
+    /// deterministic simulation crates: iteration order differs per
+    /// process, so any order leak breaks seeded reproducibility.
+    DefaultHash,
+    /// `Instant::now` / `SystemTime::now` / `thread_rng` / `from_entropy` /
+    /// `OsRng` outside `das-rt` and `bench`: simulated time and seeded
+    /// streams are the only clocks and entropy the model may see.
+    WallClock,
+    /// `f32`/`f64` arithmetic (types, casts, or float literals) in the
+    /// integer-ns accounting modules (`trace::analysis`, `trace::diff`):
+    /// the telescoping "segments sum exactly to RCT" contract only holds
+    /// in integer nanoseconds. Float presentation lives in
+    /// `trace::present`.
+    FloatAccounting,
+    /// `thread::spawn` / `Mutex` / `RwLock` / `Condvar` in pure-simulation
+    /// crates: the simulator is single-threaded by construction; real
+    /// concurrency belongs in `das-rt`.
+    ThreadInSim,
+    /// `.unwrap()` / `.expect(` in library (non-bin, non-test) code of the
+    /// simulation crates: every panic path must either be refactored away
+    /// or carry an explicit invariant justification.
+    UnwrapLib,
+    /// A malformed `das-lint: allow(...)` comment: missing reason, unknown
+    /// rule name, or an allow that suppressed nothing.
+    BadAllow,
+}
+
+impl RuleId {
+    /// Every real (matchable) rule; `BadAllow` is synthesized by the
+    /// suppression checker, not matched against source tokens.
+    pub const MATCHED: [RuleId; 5] = [
+        RuleId::DefaultHash,
+        RuleId::WallClock,
+        RuleId::FloatAccounting,
+        RuleId::ThreadInSim,
+        RuleId::UnwrapLib,
+    ];
+
+    /// The stable kebab-case name used in reports and allow comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::DefaultHash => "default-hash",
+            RuleId::WallClock => "wall-clock",
+            RuleId::FloatAccounting => "float-accounting",
+            RuleId::ThreadInSim => "thread-in-sim",
+            RuleId::UnwrapLib => "unwrap-lib",
+            RuleId::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses an allow-comment rule name.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "default-hash" => Some(RuleId::DefaultHash),
+            "wall-clock" => Some(RuleId::WallClock),
+            "float-accounting" => Some(RuleId::FloatAccounting),
+            "thread-in-sim" => Some(RuleId::ThreadInSim),
+            "unwrap-lib" => Some(RuleId::UnwrapLib),
+            "bad-allow" => Some(RuleId::BadAllow),
+            _ => None,
+        }
+    }
+
+    /// One-line description shown by `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::DefaultHash => {
+                "no std HashMap/HashSet (RandomState iteration order) in sim/sched/store/net/trace/workload"
+            }
+            RuleId::WallClock => {
+                "no Instant::now/SystemTime::now/thread_rng/from_entropy/OsRng outside das-rt and bench"
+            }
+            RuleId::FloatAccounting => {
+                "no f32/f64 arithmetic in integer-ns accounting modules (trace::analysis, trace::diff)"
+            }
+            RuleId::ThreadInSim => {
+                "no thread::spawn/Mutex/RwLock/Condvar in pure-simulation crates"
+            }
+            RuleId::UnwrapLib => {
+                "no .unwrap()/.expect( in simulation-crate library code without a justified allow"
+            }
+            RuleId::BadAllow => "das-lint allow comments must name a known rule and carry a reason",
+        }
+    }
+
+    /// Remediation hint appended to each finding.
+    fn hint(self) -> &'static str {
+        match self {
+            RuleId::DefaultHash => "use BTreeMap/BTreeSet or an explicitly seeded hasher",
+            RuleId::WallClock => "thread sim-time / seeded RNG streams through instead",
+            RuleId::FloatAccounting => "keep integer nanoseconds; convert in trace::present",
+            RuleId::ThreadInSim => "the simulator is single-threaded; real concurrency lives in das-rt",
+            RuleId::UnwrapLib => "return an error, or justify: // das-lint: allow(unwrap-lib): <why>",
+            RuleId::BadAllow => "syntax: // das-lint: allow(<rule>): <non-empty reason>",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What matched, e.g. "`HashMap`".
+    pub what: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.what,
+            self.rule.hint()
+        )
+    }
+}
+
+/// One *used* suppression (an allow comment that waived a real match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule that was waived.
+    pub rule: RuleId,
+    /// Workspace-relative path of the waived line.
+    pub path: String,
+    /// 1-based line of the waived match.
+    pub line: usize,
+    /// The mandatory justification from the allow comment.
+    pub reason: String,
+}
+
+/// The result of scanning a tree or file set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All violations, in path/line order.
+    pub findings: Vec<Finding>,
+    /// All used suppressions, in path/line order.
+    pub suppressions: Vec<Suppression>,
+    /// Files scanned (after test-file skipping).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree is clean (suppressions are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report: findings, the suppression
+    /// summary table, and the verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        if !self.suppressions.is_empty() {
+            out.push_str("\nsuppressions (justified waivers):\n");
+            let width = self
+                .suppressions
+                .iter()
+                .map(|s| format!("{}:{}", s.path, s.line).len())
+                .max()
+                .unwrap_or(0);
+            for s in &self.suppressions {
+                let loc = format!("{}:{}", s.path, s.line);
+                out.push_str(&format!(
+                    "  {:16} {:w$}  {}\n",
+                    s.rule.name(),
+                    loc,
+                    s.reason,
+                    w = width
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\ndas-lint: {} violation(s), {} suppression(s), {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressions.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+/// Crates whose in-simulation state must be iteration-order deterministic.
+const DETERMINISTIC_CRATES: [&str; 6] = ["sim", "sched", "store", "net", "trace", "workload"];
+
+/// Crates that are pure simulation: no OS threads, no locks.
+const PURE_SIM_CRATES: [&str; 8] = [
+    "sim", "sched", "store", "net", "trace", "workload", "metrics", "core",
+];
+
+/// Crates allowed to read real clocks and OS entropy (the real-time
+/// harness and the benchmark driver).
+const WALL_CLOCK_ALLOWED: [&str; 2] = ["rt", "bench"];
+
+/// Files whose contract is exact integer-ns telescoping. Float math here —
+/// even for "just a mean" — silently breaks the residue-free attribution
+/// the blame tables advertise.
+const ACCOUNTING_FILES: [&str; 2] = ["crates/trace/src/analysis.rs", "crates/trace/src/diff.rs"];
+
+/// The crate subdirectory of a `crates/<name>/src/...` path, if any.
+fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+fn in_crates(rel: &str, names: &[&str]) -> bool {
+    crate_of(rel).is_some_and(|c| names.contains(&c))
+}
+
+/// Whether `rule` applies to the file at workspace-relative path `rel`.
+fn rule_applies(rule: RuleId, rel: &str) -> bool {
+    match rule {
+        RuleId::DefaultHash => in_crates(rel, &DETERMINISTIC_CRATES),
+        RuleId::WallClock => {
+            // Everything under crates/*/src plus the facade src/, except
+            // the real-time harness and the benchmark driver.
+            (crate_of(rel).is_some() || rel.starts_with("src/"))
+                && !in_crates(rel, &WALL_CLOCK_ALLOWED)
+        }
+        RuleId::FloatAccounting => ACCOUNTING_FILES.contains(&rel),
+        RuleId::ThreadInSim => in_crates(rel, &PURE_SIM_CRATES),
+        RuleId::UnwrapLib => in_crates(rel, &PURE_SIM_CRATES) && !rel.contains("/bin/"),
+        RuleId::BadAllow => true,
+    }
+}
+
+/// Test-only files are exempt from every rule: unit-test modules are also
+/// skipped inline via `#[cfg(test)]` tracking, but whole files named
+/// `tests*.rs` / `*_test(s).rs` (e.g. `sched/src/tests_edge.rs`, which is
+/// `#[cfg(test)] mod`-included from lib.rs) never reach the matchers.
+fn is_test_file(rel: &str) -> bool {
+    let name = rel.rsplit('/').next().unwrap_or(rel);
+    name.starts_with("tests")
+        || name.ends_with("_test.rs")
+        || name.ends_with("_tests.rs")
+        || rel.split('/').any(|seg| seg == "tests" || seg == "benches")
+}
+
+// ---------------------------------------------------------------------------
+// Lexical stripping
+// ---------------------------------------------------------------------------
+
+/// Replaces comment and string-literal contents with spaces, preserving
+/// line structure, so token matching never fires on prose. Handles nested
+/// `/* */`, `//` line comments, `"..."` with escapes, raw strings
+/// `r"..."`/`r#"..."#`, char literals, and leaves lifetimes (`'a`) alone.
+fn strip_code(src: &str) -> String {
+    strip(src, true)
+}
+
+/// Blanks string and char literals but keeps comments, for allow-comment
+/// parsing: a `das-lint: allow(` inside a string constant must not read as
+/// a waiver, while the same marker in a `//` comment must.
+fn strip_strings(src: &str) -> String {
+    strip(src, false)
+}
+
+fn strip(src: &str, blank_comments: bool) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(if blank_comments { b' ' } else { b[i] });
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                let put = |byte: u8, out: &mut Vec<u8>| {
+                    out.push(if blank_comments && byte != b'\n' { b' ' } else { byte });
+                };
+                put(b[i], &mut out);
+                put(b[i + 1], &mut out);
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        put(b[i], &mut out);
+                        put(b[i + 1], &mut out);
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        put(b[i], &mut out);
+                        put(b[i + 1], &mut out);
+                        i += 2;
+                    } else {
+                        put(b[i], &mut out);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."# / r##"..."## .
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    // Consume through the matching `"###...` terminator.
+                    let n = out.len() + (j - i + 1);
+                    out.resize(n, b' ');
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = i + 1;
+                            let mut h = 0;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                let n = out.len() + (k - i);
+                                out.resize(n, b' ');
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    // `r#ident` raw identifier or bare `r#` — not a string.
+                    out.push(b'r');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal closes with `'`
+                // within a short window; a lifetime never closes.
+                let mut j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    j += 2;
+                    while j < b.len() && b[j] != b'\'' && j - i < 12 {
+                        j += 1;
+                    }
+                } else if j < b.len() {
+                    // Possible `'x'`; multi-byte UTF-8 chars also land here.
+                    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' && j - i < 6 {
+                        j += 1;
+                    }
+                }
+                if j < b.len() && b[j] == b'\'' && j > i + 1 {
+                    let n = out.len() + (j - i + 1);
+                    out.resize(n, b' ');
+                    i = j + 1;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Lossless for our purposes: only ASCII punctuation/content was
+    // replaced, multi-byte sequences inside literals became spaces.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Token matching
+// ---------------------------------------------------------------------------
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whole-word occurrence of `word` in `line` (identifier boundaries on
+/// both sides), so `FxHashMap` does not match `HashMap`.
+fn has_word(line: &str, word: &str) -> bool {
+    let lb = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(lb[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= lb.len() || !is_ident(lb[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Detects a float literal on a stripped line: `1.5`, `1e-9`, `2.0e3`,
+/// `1_000.25`. Hex literals (`0x1e5`) and tuple-field access (`x.0`,
+/// `pair.0.1`) are excluded. Trailing-dot floats (`1.`) are not detected —
+/// clippy's `lossy_float_literal`-adjacent style already keeps those out.
+fn has_float_literal(line: &str) -> bool {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if !b[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        // A numeric token starts here only if not preceded by an
+        // identifier char (8u64's `u64` never restarts) or a `.` (tuple
+        // field access / method call on a literal).
+        if i > 0 && (is_ident(b[i - 1]) || b[i - 1] == b'.') {
+            i += 1;
+            while i < b.len() && (is_ident(b[i]) || b[i] == b'.') {
+                i += 1;
+            }
+            continue;
+        }
+        // Hex/octal/binary literals can contain `e`/`E`; skip them whole.
+        if b[i] == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+            i += 2;
+            while i < b.len() && (is_ident(b[i]) || b[i] == b'.') {
+                i += 1;
+            }
+            continue;
+        }
+        let mut j = i;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+        // Fraction: `.` followed by a digit.
+        if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+            return true;
+        }
+        // Exponent: `e`/`E` with optional sign, then a digit.
+        if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+            let mut k = j + 1;
+            if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+                k += 1;
+            }
+            if k < b.len() && b[k].is_ascii_digit() {
+                return true;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    false
+}
+
+/// What a rule matched on a line, for the finding message.
+fn match_rule(rule: RuleId, line: &str) -> Option<&'static str> {
+    match rule {
+        RuleId::DefaultHash => {
+            if has_word(line, "HashMap") {
+                Some("`HashMap` (RandomState iteration order is nondeterministic)")
+            } else if has_word(line, "HashSet") {
+                Some("`HashSet` (RandomState iteration order is nondeterministic)")
+            } else {
+                None
+            }
+        }
+        RuleId::WallClock => {
+            if line.contains("Instant::now") {
+                Some("`Instant::now` (wall clock in simulated time)")
+            } else if line.contains("SystemTime::now") {
+                Some("`SystemTime::now` (wall clock in simulated time)")
+            } else if has_word(line, "thread_rng") {
+                Some("`thread_rng` (OS entropy; streams must be seeded)")
+            } else if has_word(line, "from_entropy") {
+                Some("`from_entropy` (OS entropy; streams must be seeded)")
+            } else if has_word(line, "OsRng") {
+                Some("`OsRng` (OS entropy; streams must be seeded)")
+            } else {
+                None
+            }
+        }
+        RuleId::FloatAccounting => {
+            if has_word(line, "f64") {
+                Some("`f64` in an integer-ns accounting module")
+            } else if has_word(line, "f32") {
+                Some("`f32` in an integer-ns accounting module")
+            } else if has_float_literal(line) {
+                Some("float literal in an integer-ns accounting module")
+            } else {
+                None
+            }
+        }
+        RuleId::ThreadInSim => {
+            if line.contains("thread::spawn") {
+                Some("`thread::spawn` in a pure-simulation crate")
+            } else if has_word(line, "Mutex") {
+                Some("`Mutex` in a pure-simulation crate")
+            } else if has_word(line, "RwLock") {
+                Some("`RwLock` in a pure-simulation crate")
+            } else if has_word(line, "Condvar") {
+                Some("`Condvar` in a pure-simulation crate")
+            } else {
+                None
+            }
+        }
+        RuleId::UnwrapLib => {
+            if line.contains(".unwrap()") {
+                Some("`.unwrap()` in library code")
+            } else if line.contains(".expect(") {
+                Some("`.expect(` in library code")
+            } else {
+                None
+            }
+        }
+        RuleId::BadAllow => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allow comments
+// ---------------------------------------------------------------------------
+
+/// A parsed `// das-lint: allow(rule, ...): reason` comment.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rules: Vec<RuleId>,
+    unknown: Vec<String>,
+    reason: String,
+    used: bool,
+}
+
+const ALLOW_MARKER: &str = "das-lint: allow(";
+
+/// Parses the allow comment on `line` (1-based `line_no`), if any.
+///
+/// `line` must come from [`strip_strings`]: string literals are blanked but
+/// comments survive, so a marker inside a string constant (this crate has
+/// several) is never mistaken for a waiver. Only plain `//` comments count —
+/// doc comments (`///`, `//!`) *document* the syntax, they don't invoke it.
+fn parse_allow(line: &str, line_no: usize) -> Option<Allow> {
+    let at = line.find(ALLOW_MARKER)?;
+    let comment = line[..at].find("//")?;
+    let after_slashes = line.as_bytes().get(comment + 2).copied();
+    if matches!(after_slashes, Some(b'/') | Some(b'!')) {
+        return None;
+    }
+    let rest = &line[at + ALLOW_MARKER.len()..];
+    let close = rest.find(')')?;
+    let mut rules = Vec::new();
+    let mut unknown = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match RuleId::parse(name) {
+            Some(r) => rules.push(r),
+            None => unknown.push(name.to_string()),
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("").to_string();
+    Some(Allow {
+        line: line_no,
+        rules,
+        unknown,
+        reason,
+        used: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File scanning
+// ---------------------------------------------------------------------------
+
+/// Scans one file's source, given its workspace-relative path. Pure; the
+/// fixture tests drive this directly.
+pub fn scan_source(rel_path: &str, src: &str) -> (Vec<Finding>, Vec<Suppression>) {
+    let mut findings = Vec::new();
+    let mut suppressions = Vec::new();
+    if is_test_file(rel_path) {
+        return (findings, suppressions);
+    }
+    let rules: Vec<RuleId> = RuleId::MATCHED
+        .into_iter()
+        .filter(|&r| rule_applies(r, rel_path))
+        .collect();
+
+    let stripped = strip_code(src);
+    let comments_kept = strip_strings(src);
+    let code_lines: Vec<&str> = stripped.lines().collect();
+
+    let mut allows: Vec<Allow> = comments_kept
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| parse_allow(l, i + 1))
+        .collect();
+
+    // `#[cfg(test)]` item skipping: from the attribute until the guarded
+    // item closes (matching `}`) or ends as a declaration (`;` at depth 0).
+    let mut skip_pending = false; // saw the attr, waiting for the item body
+    let mut skip_depth = 0usize; // >0: inside the guarded item's braces
+    for (idx, code) in code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let mut in_skip = false;
+        if skip_depth > 0 {
+            in_skip = true;
+            for c in code.bytes() {
+                match c {
+                    b'{' => skip_depth += 1,
+                    b'}' => {
+                        skip_depth -= 1;
+                        if skip_depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        } else if skip_pending {
+            in_skip = true;
+            for c in code.bytes() {
+                match c {
+                    b'{' => {
+                        skip_pending = false;
+                        skip_depth += 1;
+                    }
+                    b'}' if skip_depth > 0 => {
+                        skip_depth -= 1;
+                        if skip_depth == 0 {
+                            break;
+                        }
+                    }
+                    b';' if skip_depth == 0 => {
+                        // `#[cfg(test)] mod tests_edge;` — declaration only.
+                        skip_pending = false;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if skip_depth > 0 {
+                skip_pending = false;
+            }
+        }
+        if !in_skip && (code.contains("cfg(test") || code.contains("cfg(all(test")) {
+            // The attribute line itself (and anything sharing it) is part
+            // of the skipped item.
+            skip_pending = true;
+            let mut depth = 0usize;
+            for c in code.bytes() {
+                match c {
+                    b'{' => {
+                        skip_pending = false;
+                        depth += 1;
+                    }
+                    b'}' if depth > 0 => depth -= 1,
+                    // `#[cfg(test)] use x;` — guarded declaration inline.
+                    b';' if depth == 0 => skip_pending = false,
+                    _ => {}
+                }
+            }
+            skip_depth = depth;
+            continue;
+        }
+        if in_skip {
+            continue;
+        }
+
+        for &rule in &rules {
+            let Some(what) = match_rule(rule, code) else {
+                continue;
+            };
+            // An allow on this line or the line directly above waives it.
+            let allow = allows
+                .iter_mut()
+                .find(|a| (a.line == line_no || a.line + 1 == line_no) && a.rules.contains(&rule));
+            match allow {
+                Some(a) if !a.reason.is_empty() => {
+                    a.used = true;
+                    suppressions.push(Suppression {
+                        rule,
+                        path: rel_path.to_string(),
+                        line: line_no,
+                        reason: a.reason.clone(),
+                    });
+                }
+                _ => findings.push(Finding {
+                    rule,
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    what: what.to_string(),
+                }),
+            }
+        }
+    }
+
+    // Malformed or dead allows are violations themselves: a waiver that no
+    // longer waives anything must be deleted, not silently carried.
+    for a in &allows {
+        if !a.unknown.is_empty() {
+            findings.push(Finding {
+                rule: RuleId::BadAllow,
+                path: rel_path.to_string(),
+                line: a.line,
+                what: format!("unknown rule(s) {:?} in allow comment", a.unknown),
+            });
+        } else if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: RuleId::BadAllow,
+                path: rel_path.to_string(),
+                line: a.line,
+                what: "allow comment without a reason".to_string(),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                rule: RuleId::BadAllow,
+                path: rel_path.to_string(),
+                line: a.line,
+                what: "unused allow comment (suppresses nothing)".to_string(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    (findings, suppressions)
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let path = e.path();
+        let ty = e.file_type()?;
+        if ty.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().and_then(|x| x.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The directories `--workspace` scans, relative to the root: every
+/// workspace crate's `src/` plus the facade crate's `src/`. `vendor/`
+/// (offline shims), `target/`, `tests/`, and `examples/` are out of scope
+/// by construction.
+fn workspace_roots(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for e in entries {
+            let src = e.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        roots.push(facade);
+    }
+    Ok(roots)
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scans the whole workspace under `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for r in workspace_roots(root)? {
+        walk(&r, &mut files)?;
+    }
+    scan_files(root, &files)
+}
+
+/// Scans an explicit file list, reporting paths relative to `root`.
+pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in files {
+        let rel = rel_str(root, path);
+        if is_test_file(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(path)?;
+        let (f, s) = scan_source(&rel, &src);
+        report.findings.extend(f);
+        report.suppressions.extend(s);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}

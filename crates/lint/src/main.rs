@@ -1,0 +1,114 @@
+//! `das_lint` — the determinism & integer-ns invariant linter CLI.
+//!
+//! ```text
+//! das_lint --workspace [--root <dir>] [--quiet]
+//! das_lint [--root <dir>] <file-or-dir>...
+//! das_lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. CI runs
+//! `cargo run -p das-lint --release -- --workspace` as the first tier; see
+//! DESIGN.md ("Determinism invariants (machine-checked)") for the rules.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use das_lint::{scan_files, scan_workspace, Report, RuleId};
+
+fn usage() -> &'static str {
+    "usage: das_lint --workspace [--root <dir>] [--quiet]\n\
+     \x20      das_lint [--root <dir>] [--quiet] <file-or-dir>...\n\
+     \x20      das_lint --list-rules"
+}
+
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(path)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for e in entries {
+            collect(&e.path(), out)?;
+        }
+    } else if path.extension().and_then(|x| x.to_str()) == Some("rs") {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut workspace = false;
+    let mut quiet = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--quiet" | "-q" => quiet = true,
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("das_lint: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--list-rules" => {
+                for r in RuleId::MATCHED {
+                    println!("{:16} {}", r.name(), r.describe());
+                }
+                println!("{:16} {}", RuleId::BadAllow.name(), RuleId::BadAllow.describe());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("das_lint: unknown flag `{flag}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+        i += 1;
+    }
+
+    let report: std::io::Result<Report> = if workspace {
+        if !paths.is_empty() {
+            eprintln!("das_lint: --workspace takes no paths\n{}", usage());
+            return ExitCode::from(2);
+        }
+        scan_workspace(&root)
+    } else if paths.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            if let Err(e) = collect(p, &mut files) {
+                eprintln!("das_lint: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+        scan_files(&root, &files)
+    };
+
+    match report {
+        Ok(r) => {
+            if !quiet || !r.is_clean() {
+                print!("{}", r.render());
+            }
+            if r.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("das_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

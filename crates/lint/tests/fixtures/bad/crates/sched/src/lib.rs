@@ -1,0 +1,18 @@
+//! Bad fixture: trips wall-clock in a deterministic crate.
+
+pub fn now_ns() -> u128 {
+    let t = std::time::Instant::now();
+    let _w = std::time::SystemTime::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn in_string_is_fine() -> &'static str {
+    // Matches inside string literals and comments must not fire:
+    // Instant::now() HashMap thread_rng
+    "Instant::now() HashMap thread_rng"
+}

@@ -1,0 +1,53 @@
+//! Bad fixture: trips default-hash, thread-in-sim, unwrap-lib, and the
+//! allow-comment audit. Never compiled — scanned as data by the lint tests.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+pub fn state() -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn members() -> HashSet<u64> {
+    HashSet::new()
+}
+
+pub fn guarded() -> Mutex<u64> {
+    std::thread::spawn(|| {});
+    Mutex::new(0)
+}
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u64]) -> u64 {
+    // das-lint: allow(no-such-rule): unknown rules must be reported
+    *v.get(1).unwrap()
+}
+
+pub fn third(v: &[u64]) -> u64 {
+    // das-lint: allow(unwrap-lib)
+    *v.get(2).unwrap()
+}
+
+// das-lint: allow(unwrap-lib): this allow waives nothing and must be flagged
+pub fn fourth() -> u64 {
+    4
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,13 @@
+//! Bad fixture: trips float-accounting in an integer-ns accounting module.
+
+pub fn mean_secs(samples: &[u64]) -> f64 {
+    let sum: u64 = samples.iter().sum();
+    sum as f64 * 1e-9 / samples.len() as f64
+}
+
+pub fn literal() -> u64 {
+    let _x = 0.5;
+    let _hex_is_not_a_float = 0x1e5;
+    let _tuple = (1u64, 2u64);
+    _tuple.0
+}

@@ -1,0 +1,11 @@
+//! Clean fixture: the real-time harness may read real clocks and spawn
+//! threads — no wall-clock rule applies under `crates/rt/`.
+
+pub fn wall_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

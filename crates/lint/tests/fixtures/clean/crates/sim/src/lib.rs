@@ -1,0 +1,14 @@
+//! Clean fixture: deterministic collections, one justified suppression.
+
+use std::collections::BTreeMap;
+
+pub fn state() -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    // das-lint: allow(unwrap-lib): callers uphold the non-empty invariant
+    *v.first().expect("non-empty")
+}

@@ -1,0 +1,157 @@
+//! Fixture-driven self-tests: every rule must fire on the bad corpus, the
+//! allow escape hatch must waive (and be audited), and the binary must exit
+//! nonzero on violations.
+
+use std::path::Path;
+use std::process::Command;
+
+use das_lint::{scan_workspace, Report, RuleId};
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan(name: &str) -> Report {
+    scan_workspace(&fixture(name)).expect("fixture tree scans")
+}
+
+fn count(report: &Report, rule: RuleId) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn default_hash_fires_in_deterministic_crates() {
+    let r = scan("bad");
+    // HashMap (type + constructor) and HashSet (type + constructor) in
+    // crates/sim/src/lib.rs; the use-declarations count too.
+    assert!(count(&r, RuleId::DefaultHash) >= 4, "{}", r.render());
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == RuleId::DefaultHash && f.path == "crates/sim/src/lib.rs"));
+}
+
+#[test]
+fn wall_clock_fires_outside_rt_and_bench() {
+    let r = scan("bad");
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::WallClock)
+        .collect();
+    assert!(hits.iter().any(|f| f.what.contains("Instant::now")), "{}", r.render());
+    assert!(hits.iter().any(|f| f.what.contains("SystemTime::now")));
+    assert!(hits.iter().any(|f| f.what.contains("thread_rng")));
+    assert!(hits.iter().all(|f| f.path == "crates/sched/src/lib.rs"));
+}
+
+#[test]
+fn float_accounting_fires_in_accounting_files_only() {
+    let r = scan("bad");
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::FloatAccounting)
+        .collect();
+    assert!(!hits.is_empty(), "{}", r.render());
+    assert!(hits.iter().all(|f| f.path == "crates/trace/src/analysis.rs"));
+    // `f64` words and the 0.5 literal fire; hex 0x1e5 and tuple .0 must not.
+    assert!(hits.iter().any(|f| f.what.contains("f64")));
+    assert!(hits.iter().any(|f| f.what.contains("float literal")));
+    let float_literals = hits
+        .iter()
+        .filter(|f| f.what.contains("float literal"))
+        .count();
+    assert_eq!(float_literals, 1, "hex/tuple-field false positive: {}", r.render());
+}
+
+#[test]
+fn thread_and_mutex_fire_in_pure_sim_crates() {
+    let r = scan("bad");
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::ThreadInSim)
+        .collect();
+    assert!(hits.iter().any(|f| f.what.contains("thread::spawn")), "{}", r.render());
+    assert!(hits.iter().any(|f| f.what.contains("Mutex")));
+}
+
+#[test]
+fn unwrap_fires_in_library_code() {
+    let r = scan("bad");
+    assert!(count(&r, RuleId::UnwrapLib) >= 1, "{}", r.render());
+}
+
+#[test]
+fn bad_allows_are_flagged() {
+    let r = scan("bad");
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::BadAllow)
+        .collect();
+    // Unknown rule name, missing reason, and an allow that waives nothing.
+    assert!(hits.iter().any(|f| f.what.contains("no-such-rule")), "{}", r.render());
+    assert!(hits.iter().any(|f| f.what.contains("reason")));
+    assert!(hits.iter().any(|f| f.what.contains("nothing")));
+}
+
+#[test]
+fn cfg_test_modules_and_strings_are_exempt() {
+    let r = scan("bad");
+    // The #[cfg(test)] module in sim/lib.rs uses HashMap and Instant::now;
+    // sched/lib.rs mentions all the tokens inside a string and a comment.
+    // None of those lines may produce findings.
+    for f in &r.findings {
+        assert!(
+            !(f.path == "crates/sim/src/lib.rs" && f.line >= 42),
+            "fired inside #[cfg(test)]: {f}"
+        );
+        assert!(
+            !(f.path == "crates/sched/src/lib.rs" && f.line >= 14),
+            "fired inside a string/comment: {f}"
+        );
+    }
+}
+
+#[test]
+fn clean_tree_passes_with_audited_suppression() {
+    let r = scan("clean");
+    assert!(r.is_clean(), "{}", r.render());
+    assert_eq!(r.suppressions.len(), 1);
+    let s = &r.suppressions[0];
+    assert_eq!(s.rule, RuleId::UnwrapLib);
+    assert_eq!(s.path, "crates/sim/src/lib.rs");
+    assert!(s.reason.contains("non-empty invariant"));
+    // The suppression table is part of the rendered report.
+    assert!(r.render().contains("suppressions (justified waivers):"));
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_das_lint");
+    let bad = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(fixture("bad"))
+        .output()
+        .expect("run das_lint on bad fixture");
+    assert_eq!(bad.status.code(), Some(1), "bad fixture must fail");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("violation(s)"), "{stdout}");
+
+    let clean = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("run das_lint on clean fixture");
+    assert_eq!(clean.status.code(), Some(0), "clean fixture must pass");
+
+    let usage = Command::new(bin)
+        .arg("--no-such-flag")
+        .output()
+        .expect("run das_lint with a bad flag");
+    assert_eq!(usage.status.code(), Some(2), "usage errors exit 2");
+}

@@ -27,7 +27,11 @@
 //! assert!((s.mean() - 0.005).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Test code asserts on exact deterministic outputs and unwraps freely;
+// the machine-checked rules apply to shipped library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 #![warn(missing_debug_implementations)]
 
 pub mod ascii;

@@ -240,7 +240,12 @@ impl Das {
                 local
             };
             let r = remaining - slope * slot.op.wait_at(now).as_secs_f64();
-            if r < best_rank || (r == best_rank && slot.seq < best_seq) {
+            // Exact tie-break on equal ranks (an epsilon would make the
+            // dequeue order depend on unrelated float noise).
+            let ord = r.total_cmp(&best_rank);
+            if ord == std::cmp::Ordering::Less
+                || (ord == std::cmp::Ordering::Equal && slot.seq < best_seq)
+            {
                 best = i;
                 best_rank = r;
                 best_seq = slot.seq;

@@ -36,7 +36,11 @@
 //! assert_eq!(sched.dequeue(now).unwrap().tag.op.request, RequestId(1));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Test code asserts on exact deterministic outputs and unwraps freely;
+// the machine-checked rules apply to shipped library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;

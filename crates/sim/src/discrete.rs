@@ -65,7 +65,9 @@ impl AliasTable {
             }
         }
         while !small.is_empty() && !large.is_empty() {
+            // das-lint: allow(unwrap-lib): loop condition guarantees both stacks are non-empty
             let s = small.pop().expect("checked non-empty");
+            // das-lint: allow(unwrap-lib): loop condition guarantees both stacks are non-empty
             let l = *large.last().expect("checked non-empty");
             prob[s] = scaled[s];
             alias[s] = l;
@@ -131,6 +133,7 @@ impl Zipf {
         assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
         let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-theta)).collect();
         Zipf {
+            // das-lint: allow(unwrap-lib): k^-theta weights are finite and positive for theta >= 0
             table: AliasTable::new(&weights).expect("weights are positive"),
             theta,
         }
@@ -234,6 +237,7 @@ impl WeightedInt {
         let mut weights = vec![0.0; b - a + 1];
         weights[0] = p_a;
         weights[b - a] = 1.0 - p_a;
+        // das-lint: allow(unwrap-lib): weights built from asserted a < b and p_a in [0, 1]
         WeightedInt::new(a, &weights).expect("valid weights")
     }
 }
@@ -264,6 +268,7 @@ impl TruncatedGeometric {
             .map(|k| p * (1.0 - p).powi(k as i32 - 1))
             .collect();
         TruncatedGeometric {
+            // das-lint: allow(unwrap-lib): geometric weights are positive for the asserted p range
             inner: WeightedInt::new(1, &weights).expect("valid weights"),
         }
     }

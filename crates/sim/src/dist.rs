@@ -375,7 +375,8 @@ impl Sample for Mixture {
             pick -= *w;
         }
         // Floating-point slack: fall back to the last component.
-        self.components.last().unwrap().1.sample(rng)
+        // das-lint: allow(unwrap-lib): Mixture::new asserts the component list is non-empty
+        self.components.last().expect("non-empty mixture").1.sample(rng)
     }
     fn mean(&self) -> Option<f64> {
         let mut acc = 0.0;

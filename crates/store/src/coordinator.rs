@@ -5,7 +5,7 @@
 //! servers synchronously — everything it knows rides on responses it was
 //! receiving anyway.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use das_sched::types::{RequestId, ServerId, ServerReport};
 use das_sim::stats::Ewma;
@@ -142,7 +142,7 @@ impl RequestState {
 #[derive(Debug)]
 pub struct Coordinator {
     estimates: Vec<ServerEstimate>,
-    requests: HashMap<RequestId, RequestState>,
+    requests: BTreeMap<RequestId, RequestState>,
     /// Highest backlog estimate seen recently — a cheap cluster-load signal.
     peak_wait: Ewma,
 }
@@ -154,7 +154,7 @@ impl Coordinator {
             estimates: (0..servers)
                 .map(|_| ServerEstimate::new(nominal_rate))
                 .collect(),
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             peak_wait: Ewma::new(0.1),
         }
     }

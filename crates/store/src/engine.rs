@@ -6,7 +6,7 @@
 //! one operation per target server, as real multi-get RPCs are. The engine
 //! is fully deterministic given the configuration seed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use das_metrics::batch::BatchMeans;
 use das_metrics::quantile::P2Quantile;
@@ -235,9 +235,9 @@ struct FaultRuntime {
     /// Dedicated stream: fault randomness never perturbs the net/noise
     /// streams.
     rng: SimRng,
-    ops: HashMap<OpId, OpRuntime>,
+    ops: BTreeMap<OpId, OpRuntime>,
     /// Requests that saw at least one timeout/retry/hedge/crash/duplicate.
-    exposed: HashSet<RequestId>,
+    exposed: BTreeSet<RequestId>,
     /// Online op-latency quantile that sets the hedge delay.
     latency: P2Quantile,
     stats: RecoveryStats,
@@ -273,7 +273,7 @@ struct Engine<'a> {
     traffic: TrafficAccounting,
     /// True byte accounting per in-flight op (the scheduler only sees
     /// estimates).
-    op_bytes: HashMap<OpId, OpBytes>,
+    op_bytes: BTreeMap<OpId, OpBytes>,
     // Policy capabilities, read once.
     wants_hints: bool,
     wants_piggyback: bool,
@@ -332,7 +332,7 @@ impl<'a> Engine<'a> {
             noise_rng: seeds.stream("engine-noise", 0),
             noise,
             traffic: TrafficAccounting::new(),
-            op_bytes: HashMap::new(),
+            op_bytes: BTreeMap::new(),
             wants_hints: probe.wants_hints(),
             wants_piggyback: probe.wants_piggyback(),
             metadata_bytes: probe.metadata_bytes(),
@@ -352,8 +352,8 @@ impl<'a> Engine<'a> {
             accepted: 0,
             fault: config.faults.is_active().then(|| FaultRuntime {
                 rng: seeds.stream("engine-fault", 0),
-                ops: HashMap::new(),
-                exposed: HashSet::new(),
+                ops: BTreeMap::new(),
+                exposed: BTreeSet::new(),
                 latency: P2Quantile::new(if config.faults.hedge.enabled() {
                     config.faults.hedge.quantile
                 } else {
@@ -480,6 +480,7 @@ impl<'a> Engine<'a> {
                     let req = self
                         .pending_next
                         .take()
+                        // das-lint: allow(unwrap-lib): NextArrival is only scheduled after pending_next is set
                         .expect("NextArrival without a pending request");
                     debug_assert_eq!(req.arrival, now);
                     self.pending_next = requests.next();
@@ -710,6 +711,7 @@ impl<'a> Engine<'a> {
                             + read.bytes as f64 / coord.estimate(b).rate();
                         ea.total_cmp(&eb)
                     })
+                    // das-lint: allow(unwrap-lib): placement never yields an empty replica set
                     .expect("non-empty replica set")
             };
             if self.fault.is_some() {
@@ -873,6 +875,7 @@ impl<'a> Engine<'a> {
         req_bytes: u64,
         now: SimTime,
     ) {
+        // das-lint: allow(unwrap-lib): fault state is only taken within one handler at a time
         let mut fr = self.fault.take().expect("fault mode");
         let op_id = tag.op;
         let fate = self.config.faults.request_faults.decide(&mut fr.rng);
@@ -944,6 +947,7 @@ impl<'a> Engine<'a> {
         let request = op_id.request;
         let bytes = self.op_bytes.get(&op_id).map_or(0, |b| b.service);
         let (keys, written) = {
+            // das-lint: allow(unwrap-lib): op runtime is created at dispatch and outlives the attempt
             let rt = fr.ops.get(&op_id).expect("dispatch for live op");
             (rt.keys, rt.written)
         };
@@ -965,6 +969,7 @@ impl<'a> Engine<'a> {
             let state = self
                 .coord_mut(request)
                 .request_mut(request)
+                // das-lint: allow(unwrap-lib): request state lives until its last op completes
                 .expect("attempt dispatched for a live request");
             let p = &mut state.ops[op_id.index as usize];
             p.server = server;
@@ -986,6 +991,7 @@ impl<'a> Engine<'a> {
             bottleneck_demand: bneck_demand,
         };
         let attempt_index = {
+            // das-lint: allow(unwrap-lib): op runtime is created at dispatch and outlives the attempt
             let rt = fr.ops.get_mut(&op_id).expect("dispatch for live op");
             rt.attempts.push(Attempt {
                 server,
@@ -1278,6 +1284,7 @@ impl<'a> Engine<'a> {
                 let state = self
                     .coord_mut(op.request)
                     .finish(op.request)
+                    // das-lint: allow(unwrap-lib): finish() follows a successful request_mut on the same id
                     .expect("state present: we just touched it");
                 let rct = now.saturating_since(state.arrival).as_secs_f64();
                 if self.traced(op.request) {
@@ -1374,6 +1381,7 @@ impl<'a> Engine<'a> {
     /// detector closes the attempt immediately and the retry machinery
     /// takes over.
     fn fail_attempt_at(&mut self, op: OpId, server: ServerId, now: SimTime) {
+        // das-lint: allow(unwrap-lib): fault state is only taken within one handler at a time
         let mut fr = self.fault.take().expect("fault mode");
         if let Some(rt) = fr.ops.get_mut(&op) {
             if let Some(a) = rt
@@ -1407,6 +1415,7 @@ impl<'a> Engine<'a> {
     /// (ideal failure detection) and retries or aborts.
     fn handle_server_crash(&mut self, server: ServerId, now: SimTime) {
         let (queued, in_service) = self.servers[server.0 as usize].crash(now);
+        // das-lint: allow(unwrap-lib): fault state is only taken within one handler at a time
         let mut fr = self.fault.take().expect("fault mode");
         for e in &in_service {
             // Partial service performed before the crash was spent for
@@ -1456,6 +1465,7 @@ impl<'a> Engine<'a> {
     /// Per-attempt deadline expired: close the attempt if still open and
     /// retry or abort.
     fn handle_op_timeout(&mut self, op: OpId, attempt: u32, now: SimTime) {
+        // das-lint: allow(unwrap-lib): fault state is only taken within one handler at a time
         let mut fr = self.fault.take().expect("fault mode");
         if let Some(rt) = fr.ops.get_mut(&op) {
             let a = &mut rt.attempts[attempt as usize];
@@ -1539,6 +1549,7 @@ impl<'a> Engine<'a> {
 
     /// Backoff expired: re-dispatch the op to the best live candidate.
     fn handle_retry_dispatch(&mut self, op: OpId, now: SimTime) {
+        // das-lint: allow(unwrap-lib): fault state is only taken within one handler at a time
         let mut fr = self.fault.take().expect("fault mode");
         let target = match fr.ops.get_mut(&op) {
             Some(rt) => {
@@ -1561,6 +1572,7 @@ impl<'a> Engine<'a> {
     /// Hedge timer fired: if the op is still waiting on an open attempt,
     /// speculatively duplicate it to its best other replica.
     fn handle_hedge_fire(&mut self, op: OpId, now: SimTime) {
+        // das-lint: allow(unwrap-lib): fault state is only taken within one handler at a time
         let mut fr = self.fault.take().expect("fault mode");
         let target = match fr.ops.get(&op) {
             Some(rt) if rt.open_attempts() > 0 => {

@@ -17,7 +17,7 @@
 //! The five segments telescope: they sum *exactly* to the request's RCT in
 //! integer nanoseconds (the property `tests/trace_properties.rs` asserts).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -77,14 +77,14 @@ fn latest_at_or_before<T: Copy>(entries: &[(u64, T)], t: u64) -> Option<(u64, T)
 /// completed sampled request yields a path.
 pub fn critical_paths(log: &TraceLog) -> Vec<CriticalPath> {
     type ChainKey = (u64, u32, u32); // (request, op, server)
-    let mut arrivals: HashMap<u64, u64> = HashMap::new();
-    let mut dispatches: HashMap<ChainKey, Vec<(u64, ())>> = HashMap::new();
-    let mut attempts: HashMap<(u64, u32), u32> = HashMap::new();
-    let mut enqueues: HashMap<ChainKey, Vec<(u64, ())>> = HashMap::new();
-    let mut ends: HashMap<ChainKey, Vec<(u64, u64)>> = HashMap::new();
+    let mut arrivals: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut dispatches: BTreeMap<ChainKey, Vec<(u64, ())>> = BTreeMap::new();
+    let mut attempts: BTreeMap<(u64, u32), u32> = BTreeMap::new();
+    let mut enqueues: BTreeMap<ChainKey, Vec<(u64, ())>> = BTreeMap::new();
+    let mut ends: BTreeMap<ChainKey, Vec<(u64, u64)>> = BTreeMap::new();
     // Last accepted response per request; the engine records the accepted
     // response immediately before the RequestComplete it causes.
-    let mut last_accept: HashMap<u64, (u64, u32, u32)> = HashMap::new();
+    let mut last_accept: BTreeMap<u64, (u64, u32, u32)> = BTreeMap::new();
     let mut paths = Vec::new();
 
     for ev in &log.events {
@@ -178,7 +178,7 @@ pub fn critical_paths(log: &TraceLog) -> Vec<CriticalPath> {
 
 /// Indexes [`critical_paths`] by request id, for paired-trace lookups
 /// ([`crate::diff`] matches the two sides of a blame diff through this).
-pub fn path_index(log: &TraceLog) -> HashMap<u64, CriticalPath> {
+pub fn path_index(log: &TraceLog) -> BTreeMap<u64, CriticalPath> {
     critical_paths(log).into_iter().map(|p| (p.request, p)).collect()
 }
 
@@ -187,8 +187,8 @@ pub fn path_index(log: &TraceLog) -> HashMap<u64, CriticalPath> {
 /// Two traces of the same seeded workload must agree on every shared id's
 /// arrival time; [`crate::diff::diff_traces`] refuses to diff logs that
 /// disagree.
-pub fn arrival_times(log: &TraceLog) -> HashMap<u64, u64> {
-    let mut arrivals = HashMap::new();
+pub fn arrival_times(log: &TraceLog) -> BTreeMap<u64, u64> {
+    let mut arrivals = BTreeMap::new();
     for ev in &log.events {
         if let TraceEvent::RequestArrive { t_ns, request, .. } = *ev {
             arrivals.insert(request, t_ns);
@@ -201,7 +201,7 @@ pub fn arrival_times(log: &TraceLog) -> HashMap<u64, u64> {
 /// request that has a [`TraceEvent::RequestArrive`] in the log, how many
 /// completes and aborts were recorded.
 pub fn request_outcomes(log: &TraceLog) -> Vec<(u64, u32, u32)> {
-    let mut seen: HashMap<u64, (u32, u32)> = HashMap::new();
+    let mut seen: BTreeMap<u64, (u32, u32)> = BTreeMap::new();
     let mut order: Vec<u64> = Vec::new();
     for ev in &log.events {
         match *ev {
@@ -233,72 +233,10 @@ pub fn request_outcomes(log: &TraceLog) -> Vec<(u64, u32, u32)> {
         .collect()
 }
 
-/// Aggregated blame: mean per-segment time over all reconstructed paths.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct BlameBreakdown {
-    /// Paths aggregated.
-    pub requests: u64,
-    /// Mean RCT over those paths, seconds.
-    pub mean_rct_secs: f64,
-    /// Mean coordinator stall (retries/backoff/hedging), seconds.
-    pub stall_secs: f64,
-    /// Mean request-side network time, seconds.
-    pub net_request_secs: f64,
-    /// Mean queue wait, seconds.
-    pub queue_secs: f64,
-    /// Mean service time, seconds.
-    pub service_secs: f64,
-    /// Mean response-side network time, seconds.
-    pub net_response_secs: f64,
-}
-
-impl BlameBreakdown {
-    /// Aggregates a set of critical paths.
-    pub fn from_paths(paths: &[CriticalPath]) -> Self {
-        let n = paths.len() as f64;
-        let mean = |f: fn(&CriticalPath) -> u64| {
-            if paths.is_empty() {
-                0.0
-            } else {
-                paths.iter().map(|p| f(p) as f64).sum::<f64>() * 1e-9 / n
-            }
-        };
-        BlameBreakdown {
-            requests: paths.len() as u64,
-            mean_rct_secs: mean(|p| p.rct_ns),
-            stall_secs: mean(|p| p.stall_ns),
-            net_request_secs: mean(|p| p.net_request_ns),
-            queue_secs: mean(|p| p.queue_ns),
-            service_secs: mean(|p| p.service_ns),
-            net_response_secs: mean(|p| p.net_response_ns),
-        }
-    }
-
-    /// Reconstructs paths from a log and aggregates them.
-    pub fn from_log(log: &TraceLog) -> Self {
-        Self::from_paths(&critical_paths(log))
-    }
-
-    /// The labeled segment means in critical-path order, seconds.
-    pub fn segments(&self) -> [(&'static str, f64); 5] {
-        [
-            ("stall", self.stall_secs),
-            ("net req", self.net_request_secs),
-            ("queue", self.queue_secs),
-            ("service", self.service_secs),
-            ("net resp", self.net_response_secs),
-        ]
-    }
-
-    /// `segment mean / mean RCT`, as a percentage; 0 when empty.
-    pub fn percent_of_rct(&self, segment_secs: f64) -> f64 {
-        if self.mean_rct_secs > 0.0 {
-            segment_secs / self.mean_rct_secs * 100.0
-        } else {
-            0.0
-        }
-    }
-}
+// The float aggregation of these paths (mean seconds per segment) lives in
+// the presentation layer: this module is machine-checked to stay in exact
+// integer nanoseconds.
+pub use crate::present::BlameBreakdown;
 
 #[cfg(test)]
 mod tests {
@@ -413,17 +351,6 @@ mod tests {
         assert_eq!(p.service_ns, 150);
         assert_eq!(p.net_response_ns, 50);
         assert_eq!(p.sum_ns(), p.rct_ns);
-    }
-
-    #[test]
-    fn blame_aggregates_means() {
-        let b = BlameBreakdown::from_log(&two_op_log());
-        assert_eq!(b.requests, 1);
-        assert!((b.mean_rct_secs - 400e-9).abs() < 1e-15);
-        assert!((b.queue_secs - 170e-9).abs() < 1e-15);
-        let total: f64 = b.segments().iter().map(|(_, v)| v).sum();
-        assert!((total - b.mean_rct_secs).abs() < 1e-15);
-        assert!((b.percent_of_rct(b.queue_secs) - 42.5).abs() < 1e-9);
     }
 
     #[test]

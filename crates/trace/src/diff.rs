@@ -97,7 +97,7 @@ pub fn dominant_segment(p: &CriticalPath) -> Segment {
 /// One matched request's signed per-segment delta (B minus A), integer
 /// nanoseconds. The five segment deltas always sum exactly to
 /// [`RequestDelta::rct_delta_ns`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct RequestDelta {
     /// Request id (identical in both traces).
     pub request: u64,
@@ -194,7 +194,11 @@ impl fmt::Display for DiffError {
 impl std::error::Error for DiffError {}
 
 /// A paired blame diff of two traces (B minus A).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Everything in this struct is exact integer accounting; the mean/p99
+/// seconds views (and the serializable [`DiffSummary`]) are presentation
+/// methods defined in [`crate::present`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceDiff {
     /// Requests with a reconstructed critical path on both sides.
     pub matched: u64,
@@ -204,15 +208,15 @@ pub struct TraceDiff {
     pub only_b: u64,
     /// One signed delta per matched request, ascending by request id.
     pub deltas: Vec<RequestDelta>,
-    /// Mean RCT over the matched requests in A, seconds.
-    pub mean_rct_a_secs: f64,
-    /// Mean RCT over the matched requests in B, seconds.
-    pub mean_rct_b_secs: f64,
-    /// Per-segment mean over the matched A-side paths, seconds (path
-    /// order).
-    pub mean_a_secs: [f64; 5],
-    /// Per-segment mean over the matched B-side paths, seconds.
-    pub mean_b_secs: [f64; 5],
+    /// Exact sum of matched A-side RCTs, nanoseconds.
+    pub sum_rct_a_ns: u64,
+    /// Exact sum of matched B-side RCTs, nanoseconds.
+    pub sum_rct_b_ns: u64,
+    /// Exact per-segment sums over the matched A-side paths, nanoseconds
+    /// (path order).
+    pub sum_a_ns: [u64; 5],
+    /// Exact per-segment sums over the matched B-side paths, nanoseconds.
+    pub sum_b_ns: [u64; 5],
     /// Matched requests whose completing response came from a different
     /// server under B.
     pub moved_server: u64,
@@ -223,141 +227,9 @@ pub struct TraceDiff {
     pub migration: [[u64; 5]; 5],
 }
 
-/// Signed quantile of `values` (which need not be sorted): the smallest
-/// value v such that a fraction `q` of the samples are `<= v`.
-fn quantile(values: &mut [i64], q: f64) -> i64 {
-    debug_assert!(!values.is_empty());
-    values.sort_unstable();
-    let idx = ((values.len() as f64 - 1.0) * q).ceil() as usize;
-    values[idx.min(values.len() - 1)]
-}
-
-impl TraceDiff {
-    /// Mean delta of one segment over the matched requests, seconds.
-    pub fn mean_delta_secs(&self, s: Segment) -> f64 {
-        if self.deltas.is_empty() {
-            return 0.0;
-        }
-        self.deltas
-            .iter()
-            .map(|d| d.segment_delta(s) as f64)
-            .sum::<f64>()
-            * 1e-9
-            / self.deltas.len() as f64
-    }
-
-    /// Mean RCT delta over the matched requests, seconds; exactly
-    /// `mean_rct_b_secs - mean_rct_a_secs` and exactly the sum of the five
-    /// per-segment mean deltas.
-    pub fn mean_rct_delta_secs(&self) -> f64 {
-        if self.deltas.is_empty() {
-            return 0.0;
-        }
-        self.deltas
-            .iter()
-            .map(|d| d.rct_delta_ns as f64)
-            .sum::<f64>()
-            * 1e-9
-            / self.deltas.len() as f64
-    }
-
-    /// p99 of one segment's signed per-request delta distribution, seconds.
-    pub fn p99_delta_secs(&self, s: Segment) -> f64 {
-        if self.deltas.is_empty() {
-            return 0.0;
-        }
-        let mut v: Vec<i64> = self.deltas.iter().map(|d| d.segment_delta(s)).collect();
-        quantile(&mut v, 0.99) as f64 * 1e-9
-    }
-
-    /// p99 of the signed per-request RCT delta distribution, seconds.
-    pub fn p99_rct_delta_secs(&self) -> f64 {
-        if self.deltas.is_empty() {
-            return 0.0;
-        }
-        let mut v: Vec<i64> = self.deltas.iter().map(|d| d.rct_delta_ns).collect();
-        quantile(&mut v, 0.99) as f64 * 1e-9
-    }
-
-    /// The segment with the largest mean improvement (most negative mean
-    /// delta), if any segment improved at all.
-    pub fn dominant_negative_segment(&self) -> Option<Segment> {
-        Segment::ALL
-            .into_iter()
-            .min_by(|&x, &y| self.mean_delta_secs(x).total_cmp(&self.mean_delta_secs(y)))
-            .filter(|&s| self.mean_delta_secs(s) < 0.0)
-    }
-
-    /// The serializable summary (everything except the per-request deltas).
-    pub fn summary(&self) -> DiffSummary {
-        let segments = Segment::ALL
-            .iter()
-            .map(|&s| SegmentDelta {
-                segment: s.label().to_string(),
-                mean_a_secs: self.mean_a_secs[s.index()],
-                mean_b_secs: self.mean_b_secs[s.index()],
-                mean_delta_secs: self.mean_delta_secs(s),
-                p99_delta_secs: self.p99_delta_secs(s),
-            })
-            .collect();
-        DiffSummary {
-            matched: self.matched,
-            only_a: self.only_a,
-            only_b: self.only_b,
-            mean_rct_a_secs: self.mean_rct_a_secs,
-            mean_rct_b_secs: self.mean_rct_b_secs,
-            mean_rct_delta_secs: self.mean_rct_delta_secs(),
-            p99_rct_delta_secs: self.p99_rct_delta_secs(),
-            segments,
-            moved_server: self.moved_server,
-            moved_segment: self.moved_segment,
-            migration: self.migration,
-        }
-    }
-}
-
-/// One segment's aggregate delta in a [`DiffSummary`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct SegmentDelta {
-    /// Segment label.
-    pub segment: String,
-    /// Mean over matched A-side paths, seconds.
-    pub mean_a_secs: f64,
-    /// Mean over matched B-side paths, seconds.
-    pub mean_b_secs: f64,
-    /// Mean signed delta (B − A), seconds.
-    pub mean_delta_secs: f64,
-    /// p99 of the signed per-request delta distribution, seconds.
-    pub p99_delta_secs: f64,
-}
-
-/// The serializable aggregate view of a [`TraceDiff`] (what
-/// `das_experiment blame-diff --out` writes).
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct DiffSummary {
-    /// Requests matched across both traces.
-    pub matched: u64,
-    /// Requests completing only in trace A.
-    pub only_a: u64,
-    /// Requests completing only in trace B.
-    pub only_b: u64,
-    /// Mean RCT over matched requests in A, seconds.
-    pub mean_rct_a_secs: f64,
-    /// Mean RCT over matched requests in B, seconds.
-    pub mean_rct_b_secs: f64,
-    /// Mean RCT delta, seconds.
-    pub mean_rct_delta_secs: f64,
-    /// p99 signed RCT delta, seconds.
-    pub p99_rct_delta_secs: f64,
-    /// Per-segment aggregates, in path order.
-    pub segments: Vec<SegmentDelta>,
-    /// Matched requests completed by a different server under B.
-    pub moved_server: u64,
-    /// Matched requests whose dominant segment changed under B.
-    pub moved_segment: u64,
-    /// Dominant-segment migration counts, `[from][to]` in path order.
-    pub migration: [[u64; 5]; 5],
-}
+// Seconds-facing views of the exact sums live in the presentation layer;
+// re-exported here so `diff::DiffSummary` keeps working.
+pub use crate::present::{DiffSummary, SegmentDelta};
 
 /// Diffs two traces of the same seeded workload: matches completed
 /// requests by id and attributes the RCT delta per segment.
@@ -391,10 +263,10 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
     let only_b = (paths_b.len() - ids.len()) as u64;
 
     let mut deltas = Vec::with_capacity(ids.len());
-    let mut mean_a_secs = [0.0f64; 5];
-    let mut mean_b_secs = [0.0f64; 5];
-    let mut rct_a = 0.0f64;
-    let mut rct_b = 0.0f64;
+    let mut sum_a_ns = [0u64; 5];
+    let mut sum_b_ns = [0u64; 5];
+    let mut sum_rct_a_ns = 0u64;
+    let mut sum_rct_b_ns = 0u64;
     let mut moved_server = 0u64;
     let mut migration = [[0u64; 5]; 5];
     for &id in &ids {
@@ -402,18 +274,14 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
         let d = RequestDelta::new(pa, pb);
         debug_assert_eq!(d.sum_ns(), d.rct_delta_ns);
         for s in Segment::ALL {
-            mean_a_secs[s.index()] += s.of(pa) as f64;
-            mean_b_secs[s.index()] += s.of(pb) as f64;
+            sum_a_ns[s.index()] += s.of(pa);
+            sum_b_ns[s.index()] += s.of(pb);
         }
-        rct_a += pa.rct_ns as f64;
-        rct_b += pb.rct_ns as f64;
+        sum_rct_a_ns += pa.rct_ns;
+        sum_rct_b_ns += pb.rct_ns;
         moved_server += (d.server_a != d.server_b) as u64;
         migration[d.dominant_a.index()][d.dominant_b.index()] += 1;
         deltas.push(d);
-    }
-    let n = ids.len() as f64;
-    for v in mean_a_secs.iter_mut().chain(mean_b_secs.iter_mut()) {
-        *v *= 1e-9 / n;
     }
     let moved_segment = deltas
         .iter()
@@ -425,10 +293,10 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
         only_a,
         only_b,
         deltas,
-        mean_rct_a_secs: rct_a * 1e-9 / n,
-        mean_rct_b_secs: rct_b * 1e-9 / n,
-        mean_a_secs,
-        mean_b_secs,
+        sum_rct_a_ns,
+        sum_rct_b_ns,
+        sum_a_ns,
+        sum_b_ns,
         moved_server,
         moved_segment,
         migration,
@@ -536,7 +404,7 @@ mod tests {
         let total: f64 = Segment::ALL.iter().map(|&s| d.mean_delta_secs(s)).sum();
         assert!((total - d.mean_rct_delta_secs()).abs() < 1e-15);
         assert!(
-            (d.mean_rct_delta_secs() - (d.mean_rct_b_secs - d.mean_rct_a_secs)).abs() < 1e-15
+            (d.mean_rct_delta_secs() - (d.mean_rct_b_secs() - d.mean_rct_a_secs())).abs() < 1e-15
         );
         assert_eq!(d.dominant_negative_segment(), Some(Segment::Queue));
         // Request 2's dominant segment migrated queue -> service.
@@ -623,15 +491,5 @@ mod tests {
             net_response_ns: 0,
         };
         assert_eq!(dominant_segment(&p), Segment::Stall);
-    }
-
-    #[test]
-    fn signed_quantile_is_order_statistic() {
-        let mut v = vec![-5i64, -1, 0, 3, 100];
-        assert_eq!(quantile(&mut v, 0.99), 100);
-        assert_eq!(quantile(&mut v, 0.0), -5);
-        assert_eq!(quantile(&mut v, 0.5), 0);
-        let mut one = vec![7i64];
-        assert_eq!(quantile(&mut one, 0.99), 7);
     }
 }

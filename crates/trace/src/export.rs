@@ -119,8 +119,8 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
     // Request spans (arrival -> terminal), lane-packed on pid 0.
     let mut requests: Vec<(u64, u64, u64, bool)> = Vec::new(); // (req, start, end, completed)
     {
-        use std::collections::HashMap;
-        let mut arrivals: HashMap<u64, u64> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut arrivals: BTreeMap<u64, u64> = BTreeMap::new();
         for ev in &log.events {
             match *ev {
                 TraceEvent::RequestArrive { t_ns, request, .. } => {

@@ -33,12 +33,17 @@
 //! a traced run and an untraced run of the same config are bit-identical in
 //! every simulation output.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Test code asserts on exact deterministic outputs and unwraps freely;
+// the machine-checked rules apply to shipped library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 pub mod analysis;
 pub mod diff;
 pub mod event;
 pub mod export;
+pub mod present;
 pub mod recorder;
 
 pub use analysis::{critical_paths, request_outcomes, BlameBreakdown, CriticalPath};

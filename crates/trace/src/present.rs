@@ -1,0 +1,338 @@
+//! Float presentation of the integer-ns accounting layer.
+//!
+//! [`crate::analysis`] and [`crate::diff`] are machine-checked (das_lint's
+//! `float-accounting` rule) to contain **no float arithmetic**: their
+//! telescoping contracts — five segments sum *exactly* to the RCT, five
+//! segment deltas sum *exactly* to the RCT delta — only hold in integer
+//! nanoseconds. This module is the one sanctioned place where those exact
+//! sums become human-facing seconds.
+//!
+//! ## Bit-stability of the conversions
+//!
+//! Every mean here is computed as `(exact integer sum as f64) * 1e-9 / n`.
+//! An `f64` represents integers exactly up to 2^53; the summed quantities
+//! are nanosecond durations (≤ ~1e9 each), so the conversion is lossless
+//! until a trace accumulates ~104 days of summed segment time — far beyond
+//! any experiment here. The CI goldens byte-diff the serialized output, so
+//! any future change to these expressions is caught immediately.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{critical_paths, CriticalPath};
+use crate::diff::{Segment, TraceDiff};
+use crate::recorder::TraceLog;
+
+/// Aggregated blame: mean per-segment time over all reconstructed paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlameBreakdown {
+    /// Paths aggregated.
+    pub requests: u64,
+    /// Mean RCT over those paths, seconds.
+    pub mean_rct_secs: f64,
+    /// Mean coordinator stall (retries/backoff/hedging), seconds.
+    pub stall_secs: f64,
+    /// Mean request-side network time, seconds.
+    pub net_request_secs: f64,
+    /// Mean queue wait, seconds.
+    pub queue_secs: f64,
+    /// Mean service time, seconds.
+    pub service_secs: f64,
+    /// Mean response-side network time, seconds.
+    pub net_response_secs: f64,
+}
+
+impl BlameBreakdown {
+    /// Aggregates a set of critical paths.
+    pub fn from_paths(paths: &[CriticalPath]) -> Self {
+        let n = paths.len() as f64;
+        let mean = |f: fn(&CriticalPath) -> u64| {
+            if paths.is_empty() {
+                0.0
+            } else {
+                paths.iter().map(|p| f(p) as f64).sum::<f64>() * 1e-9 / n
+            }
+        };
+        BlameBreakdown {
+            requests: paths.len() as u64,
+            mean_rct_secs: mean(|p| p.rct_ns),
+            stall_secs: mean(|p| p.stall_ns),
+            net_request_secs: mean(|p| p.net_request_ns),
+            queue_secs: mean(|p| p.queue_ns),
+            service_secs: mean(|p| p.service_ns),
+            net_response_secs: mean(|p| p.net_response_ns),
+        }
+    }
+
+    /// Reconstructs paths from a log and aggregates them.
+    pub fn from_log(log: &TraceLog) -> Self {
+        Self::from_paths(&critical_paths(log))
+    }
+
+    /// The labeled segment means in critical-path order, seconds.
+    pub fn segments(&self) -> [(&'static str, f64); 5] {
+        [
+            ("stall", self.stall_secs),
+            ("net req", self.net_request_secs),
+            ("queue", self.queue_secs),
+            ("service", self.service_secs),
+            ("net resp", self.net_response_secs),
+        ]
+    }
+
+    /// `segment mean / mean RCT`, as a percentage; 0 when empty.
+    pub fn percent_of_rct(&self, segment_secs: f64) -> f64 {
+        if self.mean_rct_secs > 0.0 {
+            segment_secs / self.mean_rct_secs * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Signed quantile of `values` (which need not be sorted): the smallest
+/// value v such that a fraction `q` of the samples are `<= v`.
+fn quantile(values: &mut [i64], q: f64) -> i64 {
+    debug_assert!(!values.is_empty());
+    values.sort_unstable();
+    let idx = ((values.len() as f64 - 1.0) * q).ceil() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+impl TraceDiff {
+    /// Mean RCT over the matched requests in A, seconds.
+    pub fn mean_rct_a_secs(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.sum_rct_a_ns as f64 * 1e-9 / self.deltas.len() as f64
+    }
+
+    /// Mean RCT over the matched requests in B, seconds.
+    pub fn mean_rct_b_secs(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.sum_rct_b_ns as f64 * 1e-9 / self.deltas.len() as f64
+    }
+
+    /// Mean of one segment over the matched A-side paths, seconds.
+    pub fn mean_a_secs(&self, s: Segment) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.sum_a_ns[s.index()] as f64 * (1e-9 / self.deltas.len() as f64)
+    }
+
+    /// Mean of one segment over the matched B-side paths, seconds.
+    pub fn mean_b_secs(&self, s: Segment) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.sum_b_ns[s.index()] as f64 * (1e-9 / self.deltas.len() as f64)
+    }
+
+    /// Mean delta of one segment over the matched requests, seconds.
+    pub fn mean_delta_secs(&self, s: Segment) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.deltas
+            .iter()
+            .map(|d| d.segment_delta(s) as f64)
+            .sum::<f64>()
+            * 1e-9
+            / self.deltas.len() as f64
+    }
+
+    /// Mean RCT delta over the matched requests, seconds; exactly
+    /// `mean_rct_b_secs() - mean_rct_a_secs()` and exactly the sum of the
+    /// five per-segment mean deltas.
+    pub fn mean_rct_delta_secs(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        self.deltas
+            .iter()
+            .map(|d| d.rct_delta_ns as f64)
+            .sum::<f64>()
+            * 1e-9
+            / self.deltas.len() as f64
+    }
+
+    /// p99 of one segment's signed per-request delta distribution, seconds.
+    pub fn p99_delta_secs(&self, s: Segment) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<i64> = self.deltas.iter().map(|d| d.segment_delta(s)).collect();
+        quantile(&mut v, 0.99) as f64 * 1e-9
+    }
+
+    /// p99 of the signed per-request RCT delta distribution, seconds.
+    pub fn p99_rct_delta_secs(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<i64> = self.deltas.iter().map(|d| d.rct_delta_ns).collect();
+        quantile(&mut v, 0.99) as f64 * 1e-9
+    }
+
+    /// The segment with the largest mean improvement (most negative mean
+    /// delta), if any segment improved at all.
+    pub fn dominant_negative_segment(&self) -> Option<Segment> {
+        Segment::ALL
+            .into_iter()
+            .min_by(|&x, &y| self.mean_delta_secs(x).total_cmp(&self.mean_delta_secs(y)))
+            .filter(|&s| self.mean_delta_secs(s) < 0.0)
+    }
+
+    /// The serializable summary (everything except the per-request deltas).
+    pub fn summary(&self) -> DiffSummary {
+        let segments = Segment::ALL
+            .iter()
+            .map(|&s| SegmentDelta {
+                segment: s.label().to_string(),
+                mean_a_secs: self.mean_a_secs(s),
+                mean_b_secs: self.mean_b_secs(s),
+                mean_delta_secs: self.mean_delta_secs(s),
+                p99_delta_secs: self.p99_delta_secs(s),
+            })
+            .collect();
+        DiffSummary {
+            matched: self.matched,
+            only_a: self.only_a,
+            only_b: self.only_b,
+            mean_rct_a_secs: self.mean_rct_a_secs(),
+            mean_rct_b_secs: self.mean_rct_b_secs(),
+            mean_rct_delta_secs: self.mean_rct_delta_secs(),
+            p99_rct_delta_secs: self.p99_rct_delta_secs(),
+            segments,
+            moved_server: self.moved_server,
+            moved_segment: self.moved_segment,
+            migration: self.migration,
+        }
+    }
+}
+
+/// One segment's aggregate delta in a [`DiffSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SegmentDelta {
+    /// Segment label.
+    pub segment: String,
+    /// Mean over matched A-side paths, seconds.
+    pub mean_a_secs: f64,
+    /// Mean over matched B-side paths, seconds.
+    pub mean_b_secs: f64,
+    /// Mean signed delta (B − A), seconds.
+    pub mean_delta_secs: f64,
+    /// p99 of the signed per-request delta distribution, seconds.
+    pub p99_delta_secs: f64,
+}
+
+/// The serializable aggregate view of a [`TraceDiff`] (what
+/// `das_experiment blame-diff --out` writes).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DiffSummary {
+    /// Requests matched across both traces.
+    pub matched: u64,
+    /// Requests completing only in trace A.
+    pub only_a: u64,
+    /// Requests completing only in trace B.
+    pub only_b: u64,
+    /// Mean RCT over matched requests in A, seconds.
+    pub mean_rct_a_secs: f64,
+    /// Mean RCT over matched requests in B, seconds.
+    pub mean_rct_b_secs: f64,
+    /// Mean RCT delta, seconds.
+    pub mean_rct_delta_secs: f64,
+    /// p99 signed RCT delta, seconds.
+    pub p99_rct_delta_secs: f64,
+    /// Per-segment aggregates, in path order.
+    pub segments: Vec<SegmentDelta>,
+    /// Matched requests completed by a different server under B.
+    pub moved_server: u64,
+    /// Matched requests whose dominant segment changed under B.
+    pub moved_segment: u64,
+    /// Dominant-segment migration counts, `[from][to]` in path order.
+    pub migration: [[u64; 5]; 5],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DispatchKind, TraceEvent};
+
+    /// A two-op request: op 0 fast, op 1 slow (sets the RCT); mirrors the
+    /// fixture in `analysis::tests`.
+    fn two_op_log() -> TraceLog {
+        TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events: vec![
+                TraceEvent::RequestArrive {
+                    t_ns: 100,
+                    request: 1,
+                    keys: 2,
+                    fanout: 2,
+                },
+                TraceEvent::OpDispatch {
+                    t_ns: 100,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    attempt: 0,
+                    kind: DispatchKind::First,
+                    est_ns: 50,
+                    bytes: 64,
+                },
+                TraceEvent::OpEnqueue {
+                    t_ns: 130,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    queue_len: 2,
+                },
+                TraceEvent::ServiceEnd {
+                    t_ns: 450,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    service_ns: 150,
+                },
+                TraceEvent::OpResponse {
+                    t_ns: 500,
+                    request: 1,
+                    op: 1,
+                    server: 3,
+                    accepted: true,
+                },
+                TraceEvent::RequestComplete {
+                    t_ns: 500,
+                    request: 1,
+                    rct_ns: 400,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn blame_aggregates_means() {
+        let b = BlameBreakdown::from_log(&two_op_log());
+        assert_eq!(b.requests, 1);
+        assert!((b.mean_rct_secs - 400e-9).abs() < 1e-15);
+        assert!((b.queue_secs - 170e-9).abs() < 1e-15);
+        let total: f64 = b.segments().iter().map(|(_, v)| v).sum();
+        assert!((total - b.mean_rct_secs).abs() < 1e-15);
+        assert!((b.percent_of_rct(b.queue_secs) - 42.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_quantile_is_order_statistic() {
+        let mut v = vec![-5i64, -1, 0, 3, 100];
+        assert_eq!(quantile(&mut v, 0.99), 100);
+        assert_eq!(quantile(&mut v, 0.0), -5);
+        assert_eq!(quantile(&mut v, 0.5), 0);
+        let mut one = vec![7i64];
+        assert_eq!(quantile(&mut one, 0.99), 7);
+    }
+}

@@ -136,7 +136,7 @@ pub fn validate_trace(requests: &[RequestSpec]) -> Result<(), TraceError> {
         if r.keys.is_empty() {
             return Err(TraceError::NoKeys { id: r.id });
         }
-        let mut seen = std::collections::HashSet::with_capacity(r.keys.len());
+        let mut seen = std::collections::BTreeSet::new();
         for &key in &r.keys {
             if !seen.insert(key) {
                 return Err(TraceError::DuplicateKey { id: r.id, key });

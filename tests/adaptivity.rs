@@ -1,6 +1,9 @@
 //! Focused tests of the adaptive machinery: time-varying server
 //! performance, estimate noise, worker scaling, replication balancing.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use das_repro::core::prelude::*;
 use das_repro::core::scenarios;
 use das_repro::sched::das::DasConfig;

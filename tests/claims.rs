@@ -2,6 +2,9 @@
 //! scenarios with generous margins — they verify the *direction and rough
 //! magnitude* of the effects, not exact numbers.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use das_repro::core::prelude::*;
 use das_repro::core::scenarios;
 use das_repro::sched::policy::PolicyKind;

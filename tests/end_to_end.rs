@@ -2,6 +2,9 @@
 //! engine replay → reporting, plus the real-threaded prototype driven by
 //! the same workload machinery.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use bytes::Bytes;
 use das_repro::core::adapter::{trace_to_requests, RequestStream};
 use das_repro::core::prelude::*;

@@ -3,6 +3,9 @@
 //! aborted, never both, never lost), runs stay deterministic, and the
 //! scheduling claims survive failures.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use das_repro::core::prelude::*;

@@ -1,6 +1,9 @@
 //! Cross-crate invariants that must hold for *every* scheduling policy:
 //! completion, lower bounds, work conservation, determinism.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use das_repro::core::prelude::*;
 use das_repro::core::scenarios;
 use das_repro::sched::policy::PolicyKind;

@@ -2,6 +2,9 @@
 //! conservation, event-queue ordering, partitioner correctness, histogram
 //! bounds, and end-to-end engine sanity on random small configurations.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use das_repro::metrics::histogram::LogHistogram;

@@ -4,6 +4,9 @@
 //! stands on — it matches requests by id across traces, which is only
 //! sound if recording/replaying a workload changes nothing.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use das_repro::core::adapter::{trace_to_requests, RequestStream};
 use das_repro::sched::policy::PolicyKind;
 use das_repro::sim::rng::SeedFactory;

@@ -4,6 +4,9 @@
 //! simulation, and paired blame diffs telescope exactly per request — on
 //! clean *and* fault-injected random configurations.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use das_repro::sched::policy::PolicyKind;

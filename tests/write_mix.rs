@@ -1,6 +1,9 @@
 //! Mixed read/write workloads: the write path must compose with every
 //! scheduling policy without breaking the invariants.
 
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
 use das_repro::core::prelude::*;
 use das_repro::core::scenarios;
 use das_repro::sched::policy::PolicyKind;
