@@ -23,6 +23,7 @@ fn run_once(policy: PolicyKind) -> u64 {
         warmup_secs: 0.0,
         rct_timeseries_bin_secs: None,
         faults: Default::default(),
+        overload: Default::default(),
         trace: Default::default(),
     };
     let stream = RequestStream::new(&workload, &SeedFactory::new(7), horizon);

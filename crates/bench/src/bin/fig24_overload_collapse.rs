@@ -1,0 +1,6 @@
+//! Fig. 24: overload collapse vs graceful degradation past saturation.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::fig24(output::quick_mode()).emit();
+}

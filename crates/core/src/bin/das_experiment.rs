@@ -330,6 +330,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             warmup_secs: config.warmup_secs,
             rct_timeseries_bin_secs: None,
             faults: config.faults.clone(),
+            overload: config.overload,
             trace: config.trace,
         };
         let requests = trace_to_requests(&trace, &config.workload, &seeds);

@@ -8,7 +8,7 @@ use das_net::accounting::TrafficClass;
 use das_sched::policy::PolicyKind;
 use das_sim::rng::SeedFactory;
 use das_sim::time::SimTime;
-use das_store::config::{ClusterConfig, FaultProfile, SimulationConfig};
+use das_store::config::{ClusterConfig, FaultProfile, OverloadProfile, SimulationConfig};
 use das_trace::TraceConfig;
 use das_store::engine::{run_simulation, RunResult};
 use das_workload::generator::WorkloadSpec;
@@ -40,6 +40,10 @@ pub struct ExperimentConfig {
     /// Fault injection and recovery policy (defaults to none).
     #[serde(default)]
     pub faults: FaultProfile,
+    /// Overload control: admission, bounded queues, retry budget, and
+    /// batching (defaults to all off).
+    #[serde(default)]
+    pub overload: OverloadProfile,
     /// Structured event tracing, applied to every policy's run (defaults
     /// to off).
     #[serde(default)]
@@ -60,6 +64,7 @@ impl ExperimentConfig {
             warmup_secs: 1.0,
             rct_timeseries_bin_secs: None,
             faults: FaultProfile::none(),
+            overload: OverloadProfile::none(),
             trace: TraceConfig::default(),
         }
     }
@@ -78,6 +83,7 @@ impl ExperimentConfig {
                 warmup_secs: self.warmup_secs,
                 rct_timeseries_bin_secs: self.rct_timeseries_bin_secs,
                 faults: self.faults.clone(),
+                overload: self.overload,
                 trace: self.trace,
             };
             let stream = RequestStream::new(&self.workload, &seeds, horizon);
@@ -195,6 +201,27 @@ pub struct PolicySummary {
     /// Fraction of service time spent on work that was thrown away.
     #[serde(default)]
     pub wasted_work_fraction: f64,
+    /// Requests shed by deadline-aware admission (never dispatched).
+    #[serde(default)]
+    pub shed_admission: u64,
+    /// Requests shed at a full server queue.
+    #[serde(default)]
+    pub shed_queue: u64,
+    /// Shed requests / offered requests, in `[0, 1]`.
+    #[serde(default)]
+    pub shed_fraction: f64,
+    /// Retry dispatches denied by the backpressure token budget.
+    #[serde(default)]
+    pub retries_denied: u64,
+    /// Hedge dispatches denied by the backpressure token budget.
+    #[serde(default)]
+    pub hedges_denied: u64,
+    /// Coalesced batch visits (0 when batching is off).
+    #[serde(default)]
+    pub batches: u64,
+    /// Mean ops per coalesced visit (0.0 when no batch formed).
+    #[serde(default)]
+    pub mean_batch_size: f64,
 }
 
 fn default_availability() -> f64 {
@@ -229,6 +256,17 @@ impl PolicySummary {
             hedges: run.recovery.hedges,
             availability: run.recovery.availability(),
             wasted_work_fraction: run.recovery.wasted_fraction(),
+            shed_admission: run.recovery.shed_admission,
+            shed_queue: run.recovery.shed_queue,
+            shed_fraction: run.recovery.shed_fraction(),
+            retries_denied: run.recovery.retries_denied,
+            hedges_denied: run.recovery.hedges_denied,
+            batches: run.recovery.batching.batches,
+            mean_batch_size: if run.recovery.batching.batches == 0 {
+                0.0
+            } else {
+                run.recovery.batching.mean_batch_size()
+            },
         }
     }
 }

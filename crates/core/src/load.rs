@@ -26,10 +26,10 @@ pub fn offered_load(rate: f64, workload: &WorkloadSpec, cluster: &ClusterConfig)
 /// `rho`.
 ///
 /// # Panics
-/// Panics unless `0 < rho < 1.5` (loads ≥ 1 are unstable but occasionally
-/// useful for overload experiments).
+/// Panics unless `0 < rho < 2` (loads ≥ 1 are unstable but deliberately
+/// used by the overload experiments, which sweep past saturation).
 pub fn arrival_rate_for_load(rho: f64, workload: &WorkloadSpec, cluster: &ClusterConfig) -> f64 {
-    assert!(rho > 0.0 && rho < 1.5, "rho = {rho} out of range");
+    assert!(rho > 0.0 && rho < 2.0, "rho = {rho} out of range");
     rho * cluster.servers as f64 * cluster.workers_per_server as f64
         / work_per_request_secs(workload, cluster)
 }

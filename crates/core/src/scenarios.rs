@@ -313,6 +313,51 @@ pub fn hedging_experiment(rho: f64, hedge_quantile: f64) -> ExperimentConfig {
     e
 }
 
+/// Fig. 24's overload-collapse scenario: offered load swept past
+/// saturation with timeout-based retries armed (20 ms per-attempt
+/// deadline, 3 attempts, R=2 replicas). Past `rho = 1` queues grow
+/// without bound, every attempt blows its deadline, and the retry storm
+/// multiplies the offered work — the classic congestion-collapse spiral.
+///
+/// With `controlled = true` the overload-control layer is switched on:
+/// deadline-aware admission at the same 20 ms budget with 128-deep
+/// bounded queues, a 2000 tokens/s retry budget (burst 16) so recovery
+/// cannot storm, and pairwise coalescing of tiny ops (a ~1.25x capacity
+/// recovery — deliberately not enough to absorb the top of the sweep,
+/// so deadline admission visibly takes over as the relief valve).
+/// Goodput then degrades gracefully instead of collapsing.
+pub fn overload_experiment(rho: f64, controlled: bool) -> ExperimentConfig {
+    let mut cluster = base_cluster();
+    cluster.replication = 2;
+    let workload = base_workload(rho, &cluster);
+    let label = if controlled { "controlled" } else { "uncontrolled" };
+    let mut e = ExperimentConfig::new(format!("rho={rho} {label}"), workload, cluster);
+    // Shorter than the base horizon: past saturation the uncontrolled
+    // store's backlog (and with it the cost of simulating each dequeue)
+    // grows for the whole run, so horizon cost is superlinear — and the
+    // collapse signal is unambiguous well before the base horizon.
+    e.horizon_secs = 2.0;
+    e.warmup_secs = 0.25;
+    // Timeout-based retries: generous at moderate load, but past
+    // saturation every attempt times out and is retried.
+    e.faults.retry.deadline_secs = OVERLOAD_SLO_SECS;
+    e.faults.retry.max_attempts = 3;
+    if controlled {
+        e.overload.admission.deadline_secs = OVERLOAD_SLO_SECS;
+        e.overload.admission.queue_capacity = 128;
+        e.overload.admission.write_penalty = 1.0;
+        e.overload.backpressure.tokens_per_sec = 2000.0;
+        e.overload.backpressure.burst = 16.0;
+        e.overload.batch.max_ops = 2;
+    }
+    e
+}
+
+/// The SLO used by Fig. 24's goodput metric, and the retry/admission
+/// deadline of [`overload_experiment`]: requests completing within this
+/// bound count toward goodput.
+pub const OVERLOAD_SLO_SECS: f64 = 0.02;
+
 /// A scaled variant of the base experiment with `servers` servers at the
 /// same per-server load (Fig. 13).
 pub fn cluster_size_experiment(rho: f64, servers: u32, horizon_secs: f64) -> ExperimentConfig {
@@ -403,6 +448,27 @@ mod tests {
         assert_eq!(e.cluster.validate(), Ok(()));
         let off = hedging_experiment(0.7, 0.0);
         assert!(!off.faults.is_active());
+    }
+
+    #[test]
+    fn overload_scenario_validates_in_both_modes() {
+        let un = overload_experiment(1.3, false);
+        assert!(un.faults.retry.enabled());
+        assert!(!un.overload.is_active());
+        assert_eq!(un.faults.validate(un.cluster.servers), Ok(()));
+
+        let ctl = overload_experiment(1.3, true);
+        assert!(ctl.overload.admission.enabled());
+        assert!(ctl.overload.backpressure.enabled());
+        assert!(ctl.overload.batch.enabled());
+        assert_eq!(
+            ctl.overload.validate(ctl.faults.retry.deadline_secs),
+            Ok(())
+        );
+        // Same workload/cluster in both arms: only the control knobs differ.
+        let ru = un.workload.arrival.average_rate().unwrap();
+        let rc = ctl.workload.arrival.average_rate().unwrap();
+        assert_eq!(ru, rc);
     }
 
     #[test]

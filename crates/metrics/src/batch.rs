@@ -109,6 +109,48 @@ impl BatchMeans {
     }
 }
 
+/// Accounting for engine-level batch coalescing: how many server visits
+/// were merged and how much fixed per-op overhead the merging amortized
+/// away.
+///
+/// One accumulator is filled per run; with batching off it stays all-zero
+/// and serializes to the same shape, so results stay comparable across
+/// configurations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchingStats {
+    /// Coalesced batches formed (each occupied one worker visit).
+    pub batches: u64,
+    /// Ops that rode along as batch followers (excludes each batch's
+    /// leader; `0` when batching never fired).
+    pub batched_ops: u64,
+    /// Server-seconds of fixed per-op overhead saved by amortization.
+    pub overhead_saved_secs: f64,
+}
+
+impl BatchingStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one coalesced batch of `size` ops (leader included,
+    /// `size >= 2`) that saved `overhead_saved_secs` of fixed overhead.
+    pub fn record(&mut self, size: u32, overhead_saved_secs: f64) {
+        self.batches += 1;
+        self.batched_ops += u64::from(size.saturating_sub(1));
+        self.overhead_saved_secs += overhead_saved_secs;
+    }
+
+    /// Mean ops per coalesced batch, leader included (0 when none formed).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.batched_ops + self.batches) as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Two-sided 97.5 % Student-t quantile by degrees of freedom (tabulated for
 /// small df, converging to the normal 1.96).
 fn t_quantile_975(df: usize) -> f64 {
@@ -227,6 +269,21 @@ mod tests {
         b.record(1.0);
         assert_eq!(b.count(), 1);
         assert_eq!(b.mean(), 1.0);
+    }
+
+    #[test]
+    fn batching_stats_accumulate() {
+        let mut b = BatchingStats::new();
+        assert_eq!(b.mean_batch_size(), 0.0);
+        b.record(4, 3e-6);
+        b.record(2, 1e-6);
+        assert_eq!(b.batches, 2);
+        assert_eq!(b.batched_ops, 4);
+        assert!((b.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert!((b.overhead_saved_secs - 4e-6).abs() < 1e-15);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BatchingStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
     }
 
     #[test]

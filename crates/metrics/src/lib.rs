@@ -43,7 +43,7 @@ pub mod slowdown;
 pub mod summary;
 pub mod timeseries;
 
-pub use batch::BatchMeans;
+pub use batch::{BatchMeans, BatchingStats};
 pub use histogram::LogHistogram;
 pub use slowdown::SlowdownTracker;
 pub use summary::{ComparisonTable, LatencySummary, SummarySet};

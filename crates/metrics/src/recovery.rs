@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::BatchingStats;
 use crate::summary::LatencySummary;
 
 /// Everything measured about fault handling in one run.
@@ -41,6 +42,25 @@ pub struct RecoveryStats {
     /// RCT of completed requests that saw at least one timeout, retry,
     /// hedge, duplicate, or crash-drop (measured window only).
     pub rct_fault_exposed: LatencySummary,
+    /// Requests shed at the coordinator by deadline-aware admission
+    /// (never dispatched; excluded from `accepted`).
+    #[serde(default)]
+    pub shed_admission: u64,
+    /// Requests shed at a full server queue (dispatched, then dropped;
+    /// included in `accepted`).
+    #[serde(default)]
+    pub shed_queue: u64,
+    /// Retry dispatches denied by the backpressure token budget (each
+    /// denial aborts its request).
+    #[serde(default)]
+    pub retries_denied: u64,
+    /// Hedge dispatches suppressed by the backpressure token budget (the
+    /// primary attempt keeps running).
+    #[serde(default)]
+    pub hedges_denied: u64,
+    /// Engine-level batch coalescing accounting.
+    #[serde(default)]
+    pub batching: BatchingStats,
 }
 
 impl RecoveryStats {
@@ -77,6 +97,35 @@ impl RecoveryStats {
             || self.duplicate_responses > 0
             || self.crash_drops > 0
     }
+
+    /// Requests offered to the system: admitted plus shed at admission.
+    pub fn offered(&self) -> u64 {
+        self.accepted + self.shed_admission
+    }
+
+    /// Requests shed anywhere (admission or full queue).
+    pub fn shed(&self) -> u64 {
+        self.shed_admission + self.shed_queue
+    }
+
+    /// Shed / offered, in `[0, 1]`; 0.0 for an idle run.
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / offered as f64
+        }
+    }
+
+    /// True when any overload-control machinery fired during the run.
+    pub fn any_overload_seen(&self) -> bool {
+        self.shed_admission > 0
+            || self.shed_queue > 0
+            || self.retries_denied > 0
+            || self.hedges_denied > 0
+            || self.batching.batches > 0
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +160,51 @@ mod tests {
             ..Default::default()
         };
         assert!((s.wasted_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_accounting() {
+        let s = RecoveryStats {
+            accepted: 90,
+            completed: 85,
+            shed_admission: 10,
+            shed_queue: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.offered(), 100);
+        assert_eq!(s.shed(), 15);
+        assert!((s.shed_fraction() - 0.15).abs() < 1e-12);
+        assert!(s.any_overload_seen());
+        assert!(!RecoveryStats::new().any_overload_seen());
+        assert_eq!(RecoveryStats::new().shed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overload_fields_default_when_missing() {
+        // Stats serialized before the overload layer still deserialize.
+        let mut s = RecoveryStats::new();
+        s.accepted = 3;
+        s.completed = 3;
+        s.rct_clean.record(0.002);
+        s.rct_fault_exposed.record(0.010);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json
+            .replace(",\"shed_admission\":0", "")
+            .replace(",\"shed_queue\":0", "")
+            .replace(",\"retries_denied\":0", "")
+            .replace(",\"hedges_denied\":0", "")
+            .replace(
+                &format!(
+                    ",\"batching\":{}",
+                    serde_json::to_string(&s.batching).unwrap()
+                ),
+                "",
+            );
+        assert_ne!(json, stripped, "overload fields expected in serialized form");
+        let back: RecoveryStats = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.accepted, 3);
+        assert_eq!(back.shed(), 0);
+        assert!(!back.any_overload_seen());
     }
 
     #[test]

@@ -129,6 +129,44 @@ pub enum ConfigError {
     },
     /// Tracing was enabled with a zero-capacity ring buffer.
     ZeroTraceCapacity,
+    /// The admission deadline was negative or non-finite.
+    InvalidAdmissionDeadline {
+        /// The offending value.
+        value: f64,
+    },
+    /// Admission was enabled with a zero-capacity server queue: every op
+    /// would be shed on arrival and no request could ever complete.
+    ZeroQueueCapacity,
+    /// The admission write penalty was below one (writes may never be
+    /// *cheaper* to admit than the bytes they carry).
+    WritePenaltyBelowOne {
+        /// The offending value.
+        value: f64,
+    },
+    /// The backpressure token rate was negative or non-finite.
+    InvalidTokenRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// The backpressure token burst was below one: no retry or hedge could
+    /// ever be granted.
+    TokenBurstBelowOne {
+        /// The offending value.
+        value: f64,
+    },
+    /// The per-attempt retry budget exceeds the request admission deadline:
+    /// every retried attempt would outlive the request it serves.
+    BudgetExceedsDeadline {
+        /// The per-attempt retry deadline, seconds.
+        budget_secs: f64,
+        /// The request admission deadline, seconds.
+        deadline_secs: f64,
+    },
+    /// The batch-coalescing bounds were inconsistent.
+    BatchBoundsInconsistent {
+        /// What was wrong.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -215,6 +253,41 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroTraceCapacity => {
                 write!(f, "trace capacity must be >= 1 when tracing is enabled")
+            }
+            ConfigError::InvalidAdmissionDeadline { value } => {
+                write!(
+                    f,
+                    "admission deadline_secs must be finite and >= 0, got {value}"
+                )
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "admission queue_capacity must be >= 1 when admission is enabled"
+                )
+            }
+            ConfigError::WritePenaltyBelowOne { value } => {
+                write!(f, "admission write_penalty must be >= 1, got {value}")
+            }
+            ConfigError::InvalidTokenRate { value } => {
+                write!(
+                    f,
+                    "backpressure tokens_per_sec must be finite and >= 0, got {value}"
+                )
+            }
+            ConfigError::TokenBurstBelowOne { value } => {
+                write!(f, "backpressure burst must be >= 1, got {value}")
+            }
+            ConfigError::BudgetExceedsDeadline {
+                budget_secs,
+                deadline_secs,
+            } => write!(
+                f,
+                "retry deadline_secs {budget_secs} exceeds the admission deadline \
+                 {deadline_secs}: every retried attempt would outlive its request"
+            ),
+            ConfigError::BatchBoundsInconsistent { reason } => {
+                write!(f, "batch coalescing bounds: {reason}")
             }
         }
     }
@@ -458,6 +531,222 @@ impl FaultProfile {
     }
 }
 
+fn default_queue_capacity() -> u32 {
+    1024
+}
+
+fn default_write_penalty() -> f64 {
+    1.0
+}
+
+/// Deadline- and size-aware admission control: a request-level completion
+/// deadline at the coordinator plus bounded per-server queues.
+///
+/// Disabled by default (`deadline_secs == 0`): no request is ever shed and
+/// queues stay unbounded, keeping every default-config run bit-identical to
+/// builds without the overload layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Request-level completion deadline, seconds; `0` disables admission
+    /// control (and queue bounding) entirely.
+    #[serde(default)]
+    pub deadline_secs: f64,
+    /// Bounded per-server queue capacity, in queued ops. Arrivals beyond
+    /// it shed their whole request (>= 1 when admission is enabled).
+    #[serde(default = "default_queue_capacity")]
+    pub queue_capacity: u32,
+    /// Multiplier on written bytes when estimating a request's cost at
+    /// admission (>= 1). Values above one make large writes look more
+    /// expensive than same-size reads, so under pressure they are shed
+    /// first — "reject cheapest to lose".
+    #[serde(default = "default_write_penalty")]
+    pub write_penalty: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            deadline_secs: 0.0,
+            queue_capacity: default_queue_capacity(),
+            write_penalty: default_write_penalty(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// True when deadline-aware admission (and queue bounding) is in effect.
+    pub fn enabled(&self) -> bool {
+        self.deadline_secs > 0.0
+    }
+}
+
+fn default_token_burst() -> f64 {
+    16.0
+}
+
+/// Coordinator backpressure: a token bucket shared by retries and hedges,
+/// so the recovery layer cannot retry-storm a saturated cluster.
+///
+/// Disabled by default (`tokens_per_sec == 0`): retries and hedges are
+/// never denied.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackpressureConfig {
+    /// Token refill rate, tokens/second; `0` disables the budget. Each
+    /// retry or hedge dispatch consumes one token.
+    #[serde(default)]
+    pub tokens_per_sec: f64,
+    /// Bucket capacity (>= 1 when enabled): the largest retry/hedge burst
+    /// the coordinator may emit back-to-back.
+    #[serde(default = "default_token_burst")]
+    pub burst: f64,
+}
+
+impl Default for BackpressureConfig {
+    fn default() -> Self {
+        BackpressureConfig {
+            tokens_per_sec: 0.0,
+            burst: default_token_burst(),
+        }
+    }
+}
+
+impl BackpressureConfig {
+    /// True when the retry/hedge token budget is in effect.
+    pub fn enabled(&self) -> bool {
+        self.tokens_per_sec > 0.0
+    }
+}
+
+fn default_tiny_op_bytes() -> u64 {
+    4096
+}
+
+fn default_batch_overhead_fraction() -> f64 {
+    0.2
+}
+
+/// Value-size-aware batch coalescing: when a worker frees up, tiny queued
+/// ops are coalesced into one server visit, amortizing the fixed per-op
+/// overhead across the batch.
+///
+/// Disabled by default (`max_ops <= 1`): every op is its own server visit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Largest number of ops coalesced into one visit; `0` or `1`
+    /// disables batching.
+    #[serde(default)]
+    pub max_ops: u32,
+    /// Only ops of at most this many service bytes are batchable
+    /// (> 0 when batching is enabled).
+    #[serde(default = "default_tiny_op_bytes")]
+    pub tiny_op_bytes: u64,
+    /// Fraction of the fixed per-op overhead each batch *follower* still
+    /// pays, in `(0, 1]`. Strictly positive so follower completions keep
+    /// strictly increasing timestamps (the engine's completion identity).
+    #[serde(default = "default_batch_overhead_fraction")]
+    pub overhead_fraction: f64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_ops: 0,
+            tiny_op_bytes: default_tiny_op_bytes(),
+            overhead_fraction: default_batch_overhead_fraction(),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// True when batch coalescing is in effect.
+    pub fn enabled(&self) -> bool {
+        self.max_ops > 1
+    }
+}
+
+/// The complete overload-control model of one run: deadline-aware
+/// admission with bounded queues, a retry/hedge token budget, and tiny-op
+/// batch coalescing. Everything defaults to "off"; a default profile sheds
+/// nothing, denies nothing, batches nothing, and draws no randomness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverloadProfile {
+    /// Deadline-aware admission and bounded per-server queues.
+    #[serde(default)]
+    pub admission: AdmissionConfig,
+    /// Retry/hedge token-bucket budget.
+    #[serde(default)]
+    pub backpressure: BackpressureConfig,
+    /// Tiny-op batch coalescing.
+    #[serde(default)]
+    pub batch: BatchConfig,
+}
+
+impl OverloadProfile {
+    /// A profile with every overload knob off.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when any part of the overload machinery is switched on.
+    pub fn is_active(&self) -> bool {
+        self.admission.enabled() || self.backpressure.enabled() || self.batch.enabled()
+    }
+
+    /// Validates the profile. `retry_deadline_secs` is the fault layer's
+    /// per-attempt retry deadline (`0` = retries off), cross-checked so a
+    /// retry budget can never exceed the request admission deadline.
+    pub fn validate(&self, retry_deadline_secs: f64) -> Result<(), ConfigError> {
+        let a = &self.admission;
+        if !(a.deadline_secs.is_finite() && a.deadline_secs >= 0.0) {
+            return Err(ConfigError::InvalidAdmissionDeadline {
+                value: a.deadline_secs,
+            });
+        }
+        if a.enabled() {
+            if a.queue_capacity == 0 {
+                return Err(ConfigError::ZeroQueueCapacity);
+            }
+            if !(a.write_penalty.is_finite() && a.write_penalty >= 1.0) {
+                return Err(ConfigError::WritePenaltyBelowOne {
+                    value: a.write_penalty,
+                });
+            }
+            if retry_deadline_secs > a.deadline_secs {
+                return Err(ConfigError::BudgetExceedsDeadline {
+                    budget_secs: retry_deadline_secs,
+                    deadline_secs: a.deadline_secs,
+                });
+            }
+        }
+        let b = &self.backpressure;
+        if !(b.tokens_per_sec.is_finite() && b.tokens_per_sec >= 0.0) {
+            return Err(ConfigError::InvalidTokenRate {
+                value: b.tokens_per_sec,
+            });
+        }
+        if b.enabled() && !(b.burst.is_finite() && b.burst >= 1.0) {
+            return Err(ConfigError::TokenBurstBelowOne { value: b.burst });
+        }
+        let c = &self.batch;
+        if c.enabled() {
+            if c.tiny_op_bytes == 0 {
+                return Err(ConfigError::BatchBoundsInconsistent {
+                    reason: "tiny_op_bytes must be >= 1 when batching is enabled",
+                });
+            }
+            if !(c.overhead_fraction.is_finite()
+                && c.overhead_fraction > 0.0
+                && c.overhead_fraction <= 1.0)
+            {
+                return Err(ConfigError::BatchBoundsInconsistent {
+                    reason: "overhead_fraction must be in (0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Static description of the simulated cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -594,6 +883,11 @@ pub struct SimulationConfig {
     /// bit-identical to a build without the trace layer).
     #[serde(default)]
     pub trace: TraceConfig,
+    /// Overload control: admission, backpressure, batching (defaults to
+    /// off; off keeps every result bit-identical to a build without the
+    /// overload layer).
+    #[serde(default)]
+    pub overload: OverloadProfile,
 }
 
 impl SimulationConfig {
@@ -608,6 +902,7 @@ impl SimulationConfig {
             rct_timeseries_bin_secs: None,
             faults: FaultProfile::none(),
             trace: TraceConfig::default(),
+            overload: OverloadProfile::none(),
         }
     }
 
@@ -615,6 +910,7 @@ impl SimulationConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.cluster.validate()?;
         self.faults.validate(self.cluster.servers)?;
+        self.overload.validate(self.faults.retry.deadline_secs)?;
         if !(self.horizon_secs.is_finite() && self.horizon_secs > 0.0) {
             return Err(ConfigError::NonPositiveHorizon {
                 value: self.horizon_secs,
@@ -755,6 +1051,9 @@ mod tests {
         });
         s.faults.retry.deadline_secs = 0.05;
         s.faults.hedge.quantile = 0.95;
+        s.overload.admission.deadline_secs = 0.08;
+        s.overload.backpressure.tokens_per_sec = 50.0;
+        s.overload.batch.max_ops = 4;
         let json = serde_json::to_string(&s).unwrap();
         let back: SimulationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
@@ -889,6 +1188,109 @@ mod tests {
         ));
         p.hedge.min_samples = 100;
         assert_eq!(p.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn overload_field_defaults_when_missing() {
+        // Configs written before the overload layer still deserialize.
+        let s = SimulationConfig::new(PolicyKind::Fcfs, 5.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json.replace(
+            &format!(
+                ",\"overload\":{}",
+                serde_json::to_string(&s.overload).unwrap()
+            ),
+            "",
+        );
+        assert_ne!(json, stripped, "overload field expected in serialized form");
+        let back: SimulationConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.overload, OverloadProfile::none());
+        assert!(!back.overload.is_active());
+    }
+
+    #[test]
+    fn overload_profile_validation() {
+        let mut p = OverloadProfile::none();
+        assert_eq!(p.validate(0.0), Ok(()));
+        assert!(!p.is_active());
+
+        // Bad admission knobs.
+        p.admission.deadline_secs = f64::NAN;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::InvalidAdmissionDeadline { .. })
+        ));
+        p.admission.deadline_secs = 0.05;
+        assert!(p.is_active());
+        p.admission.queue_capacity = 0;
+        assert_eq!(p.validate(0.0), Err(ConfigError::ZeroQueueCapacity));
+        p.admission.queue_capacity = 64;
+        p.admission.write_penalty = 0.5;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::WritePenaltyBelowOne { .. })
+        ));
+        p.admission.write_penalty = 2.0;
+        assert_eq!(p.validate(0.0), Ok(()));
+
+        // A per-attempt retry budget longer than the request deadline is
+        // rejected: every retried attempt would outlive its request.
+        assert!(matches!(
+            p.validate(0.2),
+            Err(ConfigError::BudgetExceedsDeadline { .. })
+        ));
+        assert_eq!(p.validate(0.05), Ok(()));
+
+        // Bad backpressure knobs.
+        p.backpressure.tokens_per_sec = -1.0;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::InvalidTokenRate { .. })
+        ));
+        p.backpressure.tokens_per_sec = 100.0;
+        p.backpressure.burst = 0.0;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::TokenBurstBelowOne { .. })
+        ));
+        p.backpressure.burst = 8.0;
+        assert_eq!(p.validate(0.0), Ok(()));
+
+        // Inconsistent batch bounds.
+        p.batch.max_ops = 1;
+        assert!(!p.batch.enabled());
+        p.batch.max_ops = 8;
+        p.batch.tiny_op_bytes = 0;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::BatchBoundsInconsistent { .. })
+        ));
+        p.batch.tiny_op_bytes = 4096;
+        p.batch.overhead_fraction = 0.0;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::BatchBoundsInconsistent { .. })
+        ));
+        p.batch.overhead_fraction = 1.5;
+        assert!(matches!(
+            p.validate(0.0),
+            Err(ConfigError::BatchBoundsInconsistent { .. })
+        ));
+        p.batch.overhead_fraction = 0.25;
+        assert_eq!(p.validate(0.0), Ok(()));
+    }
+
+    #[test]
+    fn overload_cross_check_through_simulation_config() {
+        let mut s = SimulationConfig::new(PolicyKind::das(), 5.0);
+        s.faults.retry.deadline_secs = 0.5;
+        s.overload.admission.deadline_secs = 0.1;
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::BudgetExceedsDeadline { .. })
+        ));
+        s.faults.retry.deadline_secs = 0.05;
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]

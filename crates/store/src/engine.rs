@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use das_metrics::batch::BatchMeans;
+use das_metrics::batch::{BatchMeans, BatchingStats};
 use das_metrics::quantile::P2Quantile;
 use das_metrics::recovery::RecoveryStats;
 use das_metrics::slowdown::SlowdownTracker;
@@ -23,9 +23,9 @@ use das_sim::queue::EventQueue;
 use das_sim::rng::{SeedFactory, SimRng};
 use das_sim::stats::OnlineStats;
 use das_sim::time::{SimDuration, SimTime};
-use das_trace::{DispatchKind, TraceEvent, TraceLog, TraceRecorder};
+use das_trace::{DispatchKind, ShedReason, TraceEvent, TraceLog, TraceRecorder};
 
-use crate::config::SimulationConfig;
+use crate::config::{BackpressureConfig, OverloadProfile, SimulationConfig};
 use crate::coordinator::{Coordinator, PendingOp, RequestState};
 use crate::partition::Partitioner;
 use crate::server::{InServiceOp, Server};
@@ -247,6 +247,68 @@ struct FaultRuntime {
     goodput_service_secs: f64,
 }
 
+/// Everything the engine tracks only when any overload-control knob is
+/// active (admission, bounded queues, retry budget, or batching). Kept
+/// behind an `Option` so defaults-off runs take none of these code paths
+/// and stay bit-identical to builds without overload control.
+#[derive(Debug)]
+struct OverloadRuntime {
+    /// Retry/hedge token budget. Refilled purely from elapsed simulation
+    /// time, so the bucket is deterministic and draws no randomness.
+    tokens: f64,
+    last_refill: SimTime,
+    /// Requests shed at a full server queue. Their remaining deliveries
+    /// and responses are dropped at the door instead of tripping the
+    /// untracked-request assertions.
+    shed_requests: BTreeSet<RequestId>,
+    shed_admission: u64,
+    shed_queue: u64,
+    retries_denied: u64,
+    hedges_denied: u64,
+    batching: BatchingStats,
+    /// Fault-free mode only: service-seconds behind accepted responses.
+    /// (Fault mode already splits goodput/wasted in `FaultRuntime`.)
+    goodput_service_secs: f64,
+    /// Fault-free mode only: service-seconds of responses discarded
+    /// because their request had been shed.
+    wasted_service_secs: f64,
+}
+
+impl OverloadRuntime {
+    fn new(profile: &OverloadProfile) -> Self {
+        OverloadRuntime {
+            tokens: profile.backpressure.burst,
+            last_refill: SimTime::ZERO,
+            shed_requests: BTreeSet::new(),
+            shed_admission: 0,
+            shed_queue: 0,
+            retries_denied: 0,
+            hedges_denied: 0,
+            batching: BatchingStats::new(),
+            goodput_service_secs: 0.0,
+            wasted_service_secs: 0.0,
+        }
+    }
+
+    /// Refills from simulated elapsed time and takes one token if a whole
+    /// one is available.
+    fn try_take_token(&mut self, cfg: &BackpressureConfig, now: SimTime) -> bool {
+        let elapsed = now.saturating_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * cfg.tokens_per_sec).min(cfg.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_shed(&self, request: RequestId) -> bool {
+        self.shed_requests.contains(&request)
+    }
+}
+
 /// Runs one simulation over `requests` (which must arrive in
 /// non-decreasing order). Returns an error message for invalid configs.
 pub fn run_simulation<I>(config: &SimulationConfig, requests: I) -> Result<RunResult, String>
@@ -297,6 +359,10 @@ struct Engine<'a> {
     /// Present iff any fault knob is active; `None` keeps every hot path
     /// identical to a fault-free build.
     fault: Option<FaultRuntime>,
+    /// Present iff any overload-control knob is active; `None` keeps
+    /// defaults-off runs bit-identical (admission, queue bounds, the
+    /// retry budget, and batching all cost a single `Option` check).
+    overload: Option<OverloadRuntime>,
     /// Present iff tracing is enabled; `None` keeps untraced runs at a
     /// single `Option` check per would-be event. The recorder never draws
     /// randomness and never schedules events, so a traced run's simulation
@@ -363,6 +429,10 @@ impl<'a> Engine<'a> {
                 total_service_secs: 0.0,
                 goodput_service_secs: 0.0,
             }),
+            overload: config
+                .overload
+                .is_active()
+                .then(|| OverloadRuntime::new(&config.overload)),
             trace: config
                 .trace
                 .enabled
@@ -498,13 +568,25 @@ impl<'a> Engine<'a> {
                     self.handle_request(req, now);
                 }
                 Event::OpArrival { server, op } => {
-                    if self.fault.is_some() && !self.servers[server.0 as usize].is_up() {
+                    let op_id = op.tag.op;
+                    if self
+                        .overload
+                        .as_ref()
+                        .is_some_and(|ov| ov.is_shed(op_id.request))
+                    {
+                        // A sibling delivery already shed this request:
+                        // the op is dropped at the door.
+                        self.op_bytes.remove(&op_id);
+                    } else if self.fault.is_some() && !self.servers[server.0 as usize].is_up() {
                         // Crash-stop server: the op is lost on arrival and
                         // the (ideal) failure detector tells the
                         // coordinator immediately.
-                        self.fail_attempt_at(op.tag.op, server, now);
+                        self.fail_attempt_at(op_id, server, now);
+                    } else if self.queue_full(server) {
+                        // Bounded queue rejected the delivery: shed the
+                        // whole request (partial answers are useless).
+                        self.shed_at_queue(op_id, server, now);
                     } else {
-                        let op_id = op.tag.op;
                         self.servers[server.0 as usize].enqueue(op, now);
                         if self.traced(op_id.request) {
                             let s = &self.servers[server.0 as usize];
@@ -618,7 +700,10 @@ impl<'a> Engine<'a> {
         let mean_utilization = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
         let max_utilization = utils.iter().copied().fold(0.0, f64::max);
         let per_server_utilization = utils;
-        let recovery = match self.fault {
+        let fault_mode = self.fault.is_some();
+        let overload = self.overload.take();
+        let shed_queue = overload.as_ref().map_or(0, |o| o.shed_queue);
+        let mut recovery = match self.fault {
             Some(fr) => {
                 let mut s = fr.stats;
                 s.accepted = self.accepted;
@@ -627,18 +712,36 @@ impl<'a> Engine<'a> {
                 s.wasted_service_secs = (fr.total_service_secs - fr.goodput_service_secs).max(0.0);
                 debug_assert_eq!(
                     s.accepted,
-                    s.completed + s.aborted,
-                    "every accepted request must complete or abort exactly once"
+                    s.completed + s.aborted + shed_queue,
+                    "every accepted request must complete, abort, or shed exactly once"
                 );
                 debug_assert!(fr.ops.is_empty(), "op runtimes leaked past the run");
                 s
             }
-            None => RecoveryStats {
-                accepted: self.accepted,
-                completed: self.completed,
-                ..RecoveryStats::new()
-            },
+            None => {
+                debug_assert_eq!(
+                    self.accepted,
+                    self.completed + shed_queue,
+                    "every accepted request must complete or shed exactly once"
+                );
+                RecoveryStats {
+                    accepted: self.accepted,
+                    completed: self.completed,
+                    ..RecoveryStats::new()
+                }
+            }
         };
+        if let Some(ov) = overload {
+            recovery.shed_admission = ov.shed_admission;
+            recovery.shed_queue = ov.shed_queue;
+            recovery.retries_denied = ov.retries_denied;
+            recovery.hedges_denied = ov.hedges_denied;
+            recovery.batching = ov.batching;
+            if !fault_mode {
+                recovery.goodput_service_secs = ov.goodput_service_secs;
+                recovery.wasted_service_secs = ov.wasted_service_secs;
+            }
+        }
         Ok(RunResult {
             policy: self.config.policy.name().to_string(),
             completed: self.completed,
@@ -757,6 +860,48 @@ impl<'a> Engine<'a> {
             ideal = ideal.max(2.0 * self.net_mean_secs + true_secs);
         }
         let bottleneck_eta = etas.iter().map(|&(_, _, eta)| eta).max().unwrap_or(now);
+
+        // Deadline-aware admission: shed the request up front when even
+        // the optimistic completion estimate cannot meet its deadline.
+        // Written bytes are inflated by the configured penalty, so under
+        // pressure large writes are preferentially rejected — they are
+        // the cheapest requests to lose (their response is a small ack
+        // and they occupy the most service time per key).
+        if self.overload.is_some() && self.config.overload.admission.enabled() {
+            let adm = &self.config.overload.admission;
+            let written_total: u64 = per_server.iter().map(|&(_, _, _, w)| w).sum();
+            let penalty_secs = (adm.write_penalty - 1.0) * written_total as f64
+                / self.config.cluster.base_rate_bytes_per_sec;
+            let projected = bottleneck_eta + SimDuration::from_secs_f64(penalty_secs);
+            let deadline_at = now + SimDuration::from_secs_f64(adm.deadline_secs);
+            if projected > deadline_at {
+                let bottleneck = etas
+                    .iter()
+                    .max_by(|a, b| a.2.cmp(&b.2))
+                    .map_or(0, |&(s, _, _)| s.0);
+                if let Some(ov) = &mut self.overload {
+                    ov.shed_admission += 1;
+                }
+                if self.traced(request_id) {
+                    self.trace_event(TraceEvent::Shed {
+                        t_ns: now.as_nanos(),
+                        request: req.id,
+                        reason: ShedReason::Admission,
+                        server: bottleneck,
+                    });
+                }
+                // Nothing was dispatched, charged, or tracked yet: the
+                // reject costs the system only this estimate pass.
+                return;
+            }
+            if self.traced(request_id) {
+                self.trace_event(TraceEvent::Admitted {
+                    t_ns: now.as_nanos(),
+                    request: req.id,
+                    slack_ns: deadline_at.saturating_since(projected).as_nanos(),
+                });
+            }
+        }
 
         let mut ops = Vec::with_capacity(per_server.len());
         for (index, (&(server, bytes, keys, written), &(_, service_est, eta))) in
@@ -1106,9 +1251,178 @@ impl<'a> Engine<'a> {
                             });
                         }
                     }
+                    if self.overload.is_some() {
+                        self.maybe_batch(server, op.tag.op, served.service, end, incarnation, now);
+                    }
                 }
                 None => return,
             }
+        }
+    }
+
+    /// Value-size-aware coalescing: when the op that just started service
+    /// is tiny, drain up to `max_ops - 1` further queued ops into the
+    /// same worker visit, in scheduler order. Tiny followers pay only a
+    /// fraction of the per-op overhead (the visit's setup cost is
+    /// amortized); the first non-tiny follower still joins the visit at
+    /// full cost but terminates the pull. Follower service slices are
+    /// strictly increasing, so completion events stay totally ordered
+    /// and the run deterministic.
+    fn maybe_batch(
+        &mut self,
+        server: ServerId,
+        leader: OpId,
+        leader_bytes: u64,
+        leader_end: SimTime,
+        incarnation: u64,
+        now: SimTime,
+    ) {
+        let cfg = self.config;
+        let batch = &cfg.overload.batch;
+        if !batch.enabled() || leader_bytes > batch.tiny_op_bytes {
+            return;
+        }
+        let rate = cfg.cluster.base_rate_bytes_per_sec
+            * cfg.cluster.rate_multiplier(server.0, now.as_secs_f64());
+        let full_overhead = cfg.cluster.per_op_overhead.as_secs_f64();
+        let mut prev_end = leader_end;
+        let mut overhead_saved = 0.0f64;
+        let mut members: Vec<OpId> = vec![leader];
+        while (members.len() as u32) < batch.max_ops {
+            let Some(fop) = self.servers[server.0 as usize].dequeue_batch_follower(now) else {
+                break;
+            };
+            let fid = fop.tag.op;
+            let fbytes = self.op_bytes.get(&fid).copied().unwrap_or(OpBytes {
+                service: 0,
+                response: 0,
+            });
+            let tiny = fbytes.service <= batch.tiny_op_bytes;
+            let overhead = if tiny {
+                batch.overhead_fraction * full_overhead
+            } else {
+                full_overhead
+            };
+            let mut slice =
+                SimDuration::from_secs_f64(overhead + fbytes.service as f64 / rate);
+            if prev_end + slice <= prev_end {
+                // Degenerate zero-length slice (zero overhead and zero
+                // bytes): keep completion order strict anyway.
+                slice = SimDuration::from_secs_f64(1e-9);
+            }
+            let fend = prev_end + slice;
+            self.servers[server.0 as usize].attach_batch_follower(fid, prev_end, fend);
+            self.queue.schedule(
+                fend,
+                Event::ServiceDone {
+                    server,
+                    op: fid,
+                    bytes: fbytes.response,
+                    service: slice,
+                    incarnation,
+                },
+            );
+            if tiny {
+                overhead_saved += (1.0 - batch.overhead_fraction) * full_overhead;
+            }
+            members.push(fid);
+            prev_end = fend;
+            if !tiny {
+                break;
+            }
+        }
+        if members.len() > 1 {
+            let size = members.len() as u32;
+            if let Some(ov) = &mut self.overload {
+                ov.batching.record(size, overhead_saved);
+            }
+            if self.trace.is_some() {
+                for id in members {
+                    if self.traced(id.request) {
+                        self.trace_event(TraceEvent::Batched {
+                            t_ns: now.as_nanos(),
+                            request: id.request.0,
+                            op: id.index,
+                            server: server.0,
+                            size,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the bounded-queue knob is armed and `server`'s queue is
+    /// at capacity.
+    fn queue_full(&self, server: ServerId) -> bool {
+        self.overload.is_some()
+            && self.config.overload.admission.enabled()
+            && self.servers[server.0 as usize].queue_len() as u32
+                >= self.config.overload.admission.queue_capacity
+    }
+
+    /// A full queue rejected one delivery of `op`: the whole request is
+    /// shed (a partially answered multi-get is useless). Mirrors the
+    /// `abort_request` teardown — the coordinator state leaves the table,
+    /// open attempt charges are released — but the loss is accounted as
+    /// `shed_queue`, and the request id is remembered so late sibling
+    /// deliveries and responses are dropped quietly.
+    fn shed_at_queue(&mut self, op: OpId, server: ServerId, now: SimTime) {
+        let request = op.request;
+        let Some(state) = self.coord_mut(request).finish(request) else {
+            // The request already completed or aborted (e.g. a duplicated
+            // late delivery hit the full queue): nothing left to shed.
+            self.op_bytes.remove(&op);
+            return;
+        };
+        if let Some(ov) = &mut self.overload {
+            ov.shed_queue += 1;
+            ov.shed_requests.insert(request);
+        }
+        if self.traced(request) {
+            self.trace_event(TraceEvent::Shed {
+                t_ns: now.as_nanos(),
+                request: request.0,
+                reason: ShedReason::QueueFull,
+                server: server.0,
+            });
+        }
+        if let Some(mut fr) = self.fault.take() {
+            fr.exposed.remove(&request);
+            for index in 0..state.ops.len() {
+                let op_id = OpId {
+                    request,
+                    index: index as u32,
+                };
+                if let Some(rt) = fr.ops.remove(&op_id) {
+                    for a in rt.attempts.iter().filter(|a| a.open) {
+                        self.coord_mut(request)
+                            .estimate_mut(a.server)
+                            .complete_dispatch(a.estimate);
+                    }
+                }
+            }
+            self.fault = Some(fr);
+        } else {
+            for p in state.ops.iter().filter(|p| !p.done) {
+                self.coord_mut(request)
+                    .estimate_mut(p.server)
+                    .complete_dispatch(p.demand_est.as_secs_f64());
+            }
+        }
+        self.op_bytes.remove(&op);
+    }
+
+    /// True when the backpressure budget (if armed) grants one token for
+    /// a retry or hedge dispatch at `now`.
+    fn take_retry_token(&mut self, now: SimTime) -> bool {
+        let cfg = self.config;
+        if !cfg.overload.backpressure.enabled() {
+            return true;
+        }
+        match &mut self.overload {
+            Some(ov) => ov.try_take_token(&cfg.overload.backpressure, now),
+            None => true,
         }
     }
 
@@ -1172,6 +1486,22 @@ impl<'a> Engine<'a> {
     /// Processes an op response at the coordinator: progress tracking,
     /// hints, and (possibly) request completion.
     fn handle_op_done(&mut self, op: OpId, server: ServerId, service: SimDuration, now: SimTime) {
+        if self
+            .overload
+            .as_ref()
+            .is_some_and(|ov| ov.is_shed(op.request))
+        {
+            // Response for a shed request: real service, discarded. In
+            // fault mode the waste is already implied by goodput never
+            // crediting this response; fault-free mode counts it here.
+            self.op_bytes.remove(&op);
+            if self.fault.is_none() {
+                if let Some(ov) = &mut self.overload {
+                    ov.wasted_service_secs += service.as_secs_f64();
+                }
+            }
+            return;
+        }
         if let Some(mut fr) = self.fault.take() {
             let accepted = self.accept_response(&mut fr, op, server, service, now);
             self.fault = Some(fr);
@@ -1189,6 +1519,9 @@ impl<'a> Engine<'a> {
             }
         } else {
             self.op_bytes.remove(&op);
+            if let Some(ov) = &mut self.overload {
+                ov.goodput_service_secs += service.as_secs_f64();
+            }
             if self.traced(op.request) {
                 self.trace_event(TraceEvent::OpResponse {
                     t_ns: now.as_nanos(),
@@ -1502,6 +1835,16 @@ impl<'a> Engine<'a> {
             return;
         }
         if retry.enabled() && rt.seq_attempts < retry.max_attempts {
+            if !self.take_retry_token(now) {
+                // The backpressure budget is dry: retrying now would feed
+                // the overload that caused the failure. Fail fast instead
+                // of retry-storming past saturation.
+                if let Some(ov) = &mut self.overload {
+                    ov.retries_denied += 1;
+                }
+                self.abort_request(fr, op.request, now);
+                return;
+            }
             let mut backoff = retry.backoff_secs(rt.seq_attempts + 1);
             if retry.jitter > 0.0 {
                 backoff *= 1.0 + retry.jitter * das_sim::rng::open_unit(&mut fr.rng);
@@ -1589,9 +1932,17 @@ impl<'a> Engine<'a> {
             _ => None,
         };
         if let Some(server) = target {
-            fr.stats.hedges += 1;
-            fr.exposed.insert(op.request);
-            self.dispatch_attempt(&mut fr, op, server, true, now);
+            if self.take_retry_token(now) {
+                fr.stats.hedges += 1;
+                fr.exposed.insert(op.request);
+                self.dispatch_attempt(&mut fr, op, server, true, now);
+            } else {
+                // Budget dry: suppress the speculation quietly — the
+                // primary attempt keeps running and can still win.
+                if let Some(ov) = &mut self.overload {
+                    ov.hedges_denied += 1;
+                }
+            }
         }
         self.fault = Some(fr);
     }
@@ -2047,6 +2398,216 @@ mod tests {
         assert_eq!(r.aborted, 0, "hedging alone never aborts");
         assert!(r.hedges > 0, "gray server should trip the hedge timer");
         assert!(r.wasted_service_secs >= 0.0);
+    }
+
+    #[test]
+    fn overload_armed_but_inert_changes_nothing() {
+        // A generous deadline and roomy queues with light load: the
+        // overload layer is active but never fires, so every simulation
+        // output must stay bit-identical to the defaults-off run.
+        for policy in PolicyKind::standard_set() {
+            let plain = quick_config(policy);
+            let mut armed = plain.clone();
+            armed.overload.admission.deadline_secs = 10.0;
+            armed.overload.backpressure.tokens_per_sec = 100.0;
+            let a = run_simulation(&plain, requests(300, 80, 4)).unwrap();
+            let b = run_simulation(&armed, requests(300, 80, 4)).unwrap();
+            assert_eq!(
+                a.mean_rct().to_bits(),
+                b.mean_rct().to_bits(),
+                "{}",
+                b.policy
+            );
+            assert_eq!(a.p99_rct().to_bits(), b.p99_rct().to_bits(), "{}", b.policy);
+            assert_eq!(a.completed, b.completed, "{}", b.policy);
+            assert_eq!(a.events_processed, b.events_processed, "{}", b.policy);
+            assert_eq!(a.traffic, b.traffic, "{}", b.policy);
+            assert!(!b.recovery.any_overload_seen(), "{}", b.policy);
+        }
+    }
+
+    #[test]
+    fn admission_sheds_when_deadline_tight() {
+        // Offered load well past saturation with a deadline the growing
+        // backlog cannot meet: admission must start rejecting, and every
+        // admitted request must still complete (no retry machinery here).
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.overload.admission.deadline_secs = 0.003;
+        let result = run_simulation(&cfg, requests(3000, 3, 4)).unwrap();
+        let r = &result.recovery;
+        assert!(r.shed_admission > 0, "tight deadline must shed");
+        assert_eq!(r.accepted, r.completed, "admitted requests all complete");
+        assert_eq!(r.offered(), r.accepted + r.shed_admission);
+        assert!(r.shed_fraction() > 0.0 && r.shed_fraction() < 1.0);
+        assert!(r.completed > 0, "admission must not starve the system");
+    }
+
+    #[test]
+    fn write_penalty_prefers_shedding_writes() {
+        let mixed: Vec<StoreRequest> = (0..100)
+            .map(|i| {
+                let mut reads = vec![KeyRead::read(i * 13 + 1, 4096)];
+                if i % 2 == 0 {
+                    reads.push(KeyRead::write(i * 17 + 3, 1_000_000));
+                }
+                StoreRequest {
+                    id: i,
+                    arrival: SimTime::from_micros(i * 200),
+                    reads,
+                }
+            })
+            .collect();
+        let mut neutral = quick_config(PolicyKind::das());
+        neutral.overload.admission.deadline_secs = 0.01;
+        let mut penalized = neutral.clone();
+        penalized.overload.admission.write_penalty = 100.0;
+        let a = run_simulation(&neutral, mixed.clone()).unwrap();
+        let b = run_simulation(&penalized, mixed).unwrap();
+        // Light load: without the penalty everything fits the deadline;
+        // with it, exactly the write-bearing half is rejected.
+        assert_eq!(a.recovery.shed_admission, 0);
+        assert_eq!(b.recovery.shed_admission, 50);
+        assert_eq!(b.recovery.accepted, b.recovery.completed);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_whole_requests() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        // Generous deadline: only the queue bound bites.
+        cfg.overload.admission.deadline_secs = 1.0;
+        cfg.overload.admission.queue_capacity = 4;
+        let result = run_simulation(&cfg, requests(2000, 3, 4)).unwrap();
+        let r = &result.recovery;
+        assert!(r.shed_queue > 0, "full queues must shed");
+        assert_eq!(r.accepted, r.completed + r.shed_queue);
+        assert!(r.completed > 0);
+        // Shed requests never record an RCT.
+        assert_eq!(result.rct.count(), result.measured);
+        assert_eq!(result.completed + r.shed_queue, r.accepted);
+    }
+
+    #[test]
+    fn batching_coalesces_tiny_ops_and_helps_under_overload() {
+        let mut plain = quick_config(PolicyKind::Fcfs);
+        plain.horizon_secs = 0.1;
+        let mut batched = plain.clone();
+        batched.overload.batch.max_ops = 8;
+        batched.overload.batch.tiny_op_bytes = 8192;
+        // ~1.1x saturation on 4096-byte ops: queues grow without help.
+        let a = run_simulation(&plain, requests(3000, 4, 4)).unwrap();
+        let b = run_simulation(&batched, requests(3000, 4, 4)).unwrap();
+        let r = &b.recovery;
+        assert!(r.batching.batches > 0, "queued tiny ops must coalesce");
+        assert!(r.batching.mean_batch_size() > 1.0);
+        assert!(r.batching.overhead_saved_secs > 0.0);
+        assert_eq!(a.completed, b.completed);
+        assert!(
+            b.mean_rct() < a.mean_rct(),
+            "amortized overhead must relieve the overload: {} !< {}",
+            b.mean_rct(),
+            a.mean_rct()
+        );
+    }
+
+    #[test]
+    fn backpressure_denies_retries_past_budget() {
+        use das_sim::fault::CrashWindow;
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 2;
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 0,
+            down_secs: 0.02,
+            up_secs: 0.05,
+        });
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 3,
+            down_secs: 0.04,
+            up_secs: 0.08,
+        });
+        cfg.faults.retry.deadline_secs = 0.05;
+        cfg.faults.retry.max_attempts = 4;
+        // A near-empty budget: ~16 initial tokens, then 1/s refill over a
+        // ~0.1s run — almost every retry wave is denied.
+        cfg.overload.backpressure.tokens_per_sec = 1.0;
+        let result = run_simulation(&cfg, requests(2000, 50, 4)).unwrap();
+        let r = &result.recovery;
+        assert!(r.retries_denied > 0, "the budget must deny retries");
+        assert!(r.aborted > 0, "denied retries fail fast");
+        assert_eq!(r.accepted, r.completed + r.aborted + r.shed_queue);
+        assert!(r.retries <= 16 + r.crash_drops, "retry volume is bounded");
+    }
+
+    #[test]
+    fn hedges_draw_from_the_same_budget() {
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 3;
+        cfg.cluster.perf_events.push(crate::config::PerfEvent {
+            server: 2,
+            start_secs: 0.0,
+            end_secs: f64::INFINITY,
+            multiplier: 0.02,
+        });
+        cfg.faults.hedge.quantile = 0.9;
+        cfg.faults.hedge.min_samples = 20;
+        cfg.faults.hedge.min_delay_secs = 1e-4;
+        cfg.overload.backpressure.tokens_per_sec = 1.0;
+        cfg.overload.backpressure.burst = 2.0;
+        let result = run_simulation(&cfg, requests(1500, 60, 2)).unwrap();
+        let r = &result.recovery;
+        assert!(r.hedges_denied > 0, "the shared budget must deny hedges");
+        assert_eq!(r.aborted, 0, "a denied hedge never aborts the request");
+        assert_eq!(r.accepted, r.completed);
+        assert!(r.hedges <= 2 + 1, "hedge volume is bounded by the bucket");
+    }
+
+    #[test]
+    fn overloaded_runs_are_deterministic() {
+        use das_sim::fault::CrashWindow;
+        let mut cfg = quick_config(PolicyKind::das());
+        cfg.cluster.replication = 2;
+        cfg.faults.crashes.crashes.push(CrashWindow {
+            server: 2,
+            down_secs: 0.01,
+            up_secs: 0.04,
+        });
+        cfg.faults.retry.deadline_secs = 0.02;
+        cfg.overload.admission.deadline_secs = 0.03;
+        cfg.overload.admission.queue_capacity = 16;
+        cfg.overload.backpressure.tokens_per_sec = 500.0;
+        cfg.overload.backpressure.burst = 4.0;
+        cfg.overload.batch.max_ops = 4;
+        let a = run_simulation(&cfg, requests(2000, 5, 4)).unwrap();
+        let b = run_simulation(&cfg, requests(2000, 5, 4)).unwrap();
+        assert_eq!(a.mean_rct().to_bits(), b.mean_rct().to_bits());
+        assert_eq!(a.recovery.shed_admission, b.recovery.shed_admission);
+        assert_eq!(a.recovery.shed_queue, b.recovery.shed_queue);
+        assert_eq!(a.recovery.retries_denied, b.recovery.retries_denied);
+        assert_eq!(a.recovery.batching, b.recovery.batching);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(a.recovery.any_overload_seen());
+    }
+
+    #[test]
+    fn shed_traces_carry_terminal_shed_events() {
+        let mut cfg = quick_config(PolicyKind::Fcfs);
+        cfg.overload.admission.deadline_secs = 1.0;
+        cfg.overload.admission.queue_capacity = 4;
+        cfg.trace = das_trace::TraceConfig::enabled();
+        let result = run_simulation(&cfg, requests(2000, 3, 4)).unwrap();
+        let log = result.trace.unwrap();
+        let sheds = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Shed { .. }))
+            .count() as u64;
+        assert_eq!(sheds, result.recovery.shed_queue);
+        // Shed requests have no RequestComplete, so the critical-path
+        // reconstruction (which telescopes exactly) skips them cleanly.
+        let paths = das_trace::critical_paths(&log);
+        assert_eq!(paths.len() as u64, result.completed);
+        for p in &paths {
+            assert_eq!(p.sum_ns(), p.rct_ns, "request {}", p.request);
+        }
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod engine;
 pub mod partition;
 pub mod server;
 
-pub use config::{ClusterConfig, PerfEvent, SimulationConfig};
+pub use config::{ClusterConfig, OverloadProfile, PerfEvent, SimulationConfig};
 pub use engine::{run_simulation, KeyRead, RunResult, StoreRequest};
 pub use partition::{Partitioner, PartitionerConfig};

@@ -14,6 +14,10 @@ pub struct InServiceOp {
     pub end: SimTime,
     /// When service started (for partial-work accounting on a crash).
     pub started: SimTime,
+    /// Whether completing this entry releases its worker. True for every
+    /// ordinary op; inside a coalesced batch only the entry with the
+    /// latest end holds the worker (the earlier members ride along).
+    pub frees_worker: bool,
 }
 
 /// One storage server.
@@ -141,18 +145,49 @@ impl Server {
             op: op.tag.op,
             end,
             started: now,
+            frees_worker: true,
         });
         self.busy_time += service;
         (op, end)
     }
 
-    /// Marks the op that completes at `end` as done, freeing its worker.
+    /// Dequeues the scheduler's next pick *without* occupying a worker —
+    /// the op will ride an already-busy worker as a batch follower. The
+    /// caller must follow up with [`Server::attach_batch_follower`].
+    pub fn dequeue_batch_follower(&mut self, now: SimTime) -> Option<QueuedOp> {
+        self.scheduler.dequeue(now)
+    }
+
+    /// Books `op` onto the worker already occupied by the visit whose last
+    /// entry ends at `prev_end`: that entry stops holding the worker and
+    /// this one (ending at `end`, strictly later) takes over. Service for
+    /// the follower occupies the worker over `[prev_end, end)`.
+    pub fn attach_batch_follower(&mut self, op: OpId, prev_end: SimTime, end: SimTime) {
+        debug_assert!(end > prev_end, "batch follower must end strictly later");
+        if let Some(e) = self.in_service.iter_mut().find(|e| e.end == prev_end) {
+            e.frees_worker = false;
+        }
+        self.in_service.push(InServiceOp {
+            op,
+            end,
+            started: prev_end,
+            frees_worker: true,
+        });
+        self.busy_time += end.saturating_since(prev_end);
+    }
+
+    /// Marks the op that completes at `end` as done, freeing its worker —
+    /// unless the entry is a non-final batch member, whose worker stays
+    /// held by the rest of the visit.
     pub fn complete_service(&mut self, end: SimTime, bytes: u64) {
         debug_assert!(self.busy_workers > 0);
-        if let Some(pos) = self.in_service.iter().position(|e| e.end == end) {
-            self.in_service.swap_remove(pos);
+        let frees = match self.in_service.iter().position(|e| e.end == end) {
+            Some(pos) => self.in_service.swap_remove(pos).frees_worker,
+            None => true,
+        };
+        if frees {
+            self.busy_workers = self.busy_workers.saturating_sub(1);
         }
-        self.busy_workers = self.busy_workers.saturating_sub(1);
         self.ops_served += 1;
         self.bytes_served += bytes;
     }
@@ -169,7 +204,10 @@ impl Server {
         let queued = self.scheduler.drain(now);
         let in_service = std::mem::take(&mut self.in_service);
         for e in &in_service {
-            self.busy_time = self.busy_time.saturating_sub(e.end.saturating_since(now));
+            // Work not yet performed: for batch followers whose slice has
+            // not started, that's the whole slice, not `end - now`.
+            let undone = e.end.saturating_since(now).min(e.end.saturating_since(e.started));
+            self.busy_time = self.busy_time.saturating_sub(undone);
         }
         self.busy_workers = 0;
         (queued, in_service)
@@ -198,7 +236,15 @@ impl Server {
         let in_service: f64 = self
             .in_service
             .iter()
-            .map(|e| e.end.saturating_since(now).as_secs_f64())
+            // A batch follower's slice starts at its predecessor's end;
+            // counting `end - now` for it would double-bill the shared
+            // worker. The min is `end - now` for every ordinary entry.
+            .map(|e| {
+                e.end
+                    .saturating_since(now)
+                    .min(e.end.saturating_since(e.started))
+                    .as_secs_f64()
+            })
             .sum();
         in_service + self.scheduler.queued_work().as_secs_f64()
     }
@@ -372,6 +418,56 @@ mod tests {
         assert!(s
             .try_start_service(crash_at, |_| SimDuration::from_micros(10))
             .is_some());
+    }
+
+    #[test]
+    fn batch_visit_holds_one_worker_until_last_member() {
+        let mut s = server(1);
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100), now);
+        s.enqueue(op(2, 100), now);
+        s.enqueue(op(3, 100), now);
+        let (leader, end1) = s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        assert_eq!(leader.tag.op.request, RequestId(1));
+        // Coalesce op 2 onto the same worker.
+        let follower = s.dequeue_batch_follower(now).unwrap();
+        assert_eq!(follower.tag.op.request, RequestId(2));
+        let end2 = end1 + SimDuration::from_micros(30);
+        s.attach_batch_follower(follower.tag.op, end1, end2);
+        // Still the only worker, still busy; op 3 keeps waiting.
+        assert!(!s.has_idle_worker());
+        assert_eq!(s.queue_len(), 1);
+        // Backlog counts the visit once, not per member.
+        let b = s.backlog_secs(now);
+        assert!((b - 230e-6).abs() < 1e-9, "backlog = {b}");
+        // Leader completes: worker stays held by the follower.
+        s.complete_service(end1, 10);
+        assert!(!s.has_idle_worker());
+        // Last member completes: worker frees.
+        s.complete_service(end2, 10);
+        assert!(s.has_idle_worker());
+        assert_eq!(s.ops_served(), 2);
+        assert_eq!(s.busy_time(), SimDuration::from_micros(130));
+    }
+
+    #[test]
+    fn crash_mid_batch_keeps_only_performed_work() {
+        let mut s = server(1);
+        let now = SimTime::ZERO;
+        s.enqueue(op(1, 100), now);
+        s.enqueue(op(2, 100), now);
+        let (_, end1) = s
+            .try_start_service(now, |_| SimDuration::from_micros(100))
+            .unwrap();
+        let f = s.dequeue_batch_follower(now).unwrap();
+        let end2 = end1 + SimDuration::from_micros(40);
+        s.attach_batch_follower(f.tag.op, end1, end2);
+        // Crash halfway through the leader's slice: only 50us was real.
+        let (_, in_service) = s.crash(SimTime::from_micros(50));
+        assert_eq!(in_service.len(), 2);
+        assert_eq!(s.busy_time(), SimDuration::from_micros(50));
     }
 
     #[test]

@@ -32,6 +32,28 @@ impl DispatchKind {
     }
 }
 
+/// Where an overload shed happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ShedReason {
+    /// The coordinator's deadline-aware admission rejected the request
+    /// before dispatch (remaining deadline could not cover the estimated
+    /// service).
+    Admission,
+    /// An op hit a full bounded server queue; the whole request was shed.
+    QueueFull,
+}
+
+impl ShedReason {
+    /// Short display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::Admission => "admission",
+            ShedReason::QueueFull => "queue_full",
+        }
+    }
+}
+
 /// One structured event in the flight recorder.
 ///
 /// Per-request events are only recorded for sampled requests; cluster-level
@@ -186,6 +208,44 @@ pub enum TraceEvent {
         /// The server.
         server: u32,
     },
+    /// Admission control accepted the request (recorded only while the
+    /// overload layer is on — default-off runs never emit it).
+    Admitted {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Deadline slack at admission: deadline minus estimated
+        /// completion, nanoseconds.
+        slack_ns: u64,
+    },
+    /// The overload layer shed the request (admission reject or full
+    /// server queue). Terminal: a shed request never completes or aborts.
+    Shed {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Where the shed happened.
+        reason: ShedReason,
+        /// The bottleneck server (admission sheds) or the rejecting
+        /// server (queue sheds).
+        server: u32,
+    },
+    /// The op started service as part of a coalesced batch (one worker
+    /// visit serving several tiny ops back-to-back).
+    Batched {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id.
+        request: u64,
+        /// Op index within the request.
+        op: u32,
+        /// Server the batch runs on.
+        server: u32,
+        /// Ops coalesced into the visit, leader included.
+        size: u32,
+    },
     /// A per-server load sample (piggybacked on sampled-op enqueues).
     QueueSample {
         /// Simulation time, nanoseconds.
@@ -216,6 +276,9 @@ impl TraceEvent {
             | TraceEvent::CrashDrop { t_ns, .. }
             | TraceEvent::ServerCrash { t_ns, .. }
             | TraceEvent::ServerRecover { t_ns, .. }
+            | TraceEvent::Admitted { t_ns, .. }
+            | TraceEvent::Shed { t_ns, .. }
+            | TraceEvent::Batched { t_ns, .. }
             | TraceEvent::QueueSample { t_ns, .. } => t_ns,
         }
     }
@@ -232,7 +295,10 @@ impl TraceEvent {
             | TraceEvent::RequestComplete { request, .. }
             | TraceEvent::RequestAbort { request, .. }
             | TraceEvent::OpTimeout { request, .. }
-            | TraceEvent::CrashDrop { request, .. } => Some(request),
+            | TraceEvent::CrashDrop { request, .. }
+            | TraceEvent::Admitted { request, .. }
+            | TraceEvent::Shed { request, .. }
+            | TraceEvent::Batched { request, .. } => Some(request),
             TraceEvent::ServerCrash { .. }
             | TraceEvent::ServerRecover { .. }
             | TraceEvent::QueueSample { .. } => None,
@@ -277,6 +343,24 @@ mod tests {
                 request: 7,
                 rct_ns: 390,
             },
+            TraceEvent::Admitted {
+                t_ns: 10,
+                request: 8,
+                slack_ns: 90_000,
+            },
+            TraceEvent::Shed {
+                t_ns: 12,
+                request: 9,
+                reason: ShedReason::QueueFull,
+                server: 4,
+            },
+            TraceEvent::Batched {
+                t_ns: 50,
+                request: 8,
+                op: 0,
+                server: 2,
+                size: 3,
+            },
         ];
         for ev in &events {
             let json = serde_json::to_string(ev).unwrap();
@@ -304,5 +388,30 @@ mod tests {
         assert_eq!(ev.request(), None);
         let ev = TraceEvent::RequestAbort { t_ns: 9, request: 3 };
         assert_eq!(ev.request(), Some(3));
+        let ev = TraceEvent::Shed {
+            t_ns: 11,
+            request: 6,
+            reason: ShedReason::Admission,
+            server: 0,
+        };
+        assert_eq!(ev.t_ns(), 11);
+        assert_eq!(ev.request(), Some(6));
+    }
+
+    #[test]
+    fn shed_event_is_flat_and_tagged() {
+        let ev = TraceEvent::Shed {
+            t_ns: 8,
+            request: 2,
+            reason: ShedReason::QueueFull,
+            server: 7,
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(
+            json,
+            r#"{"ev":"shed","t_ns":8,"request":2,"reason":"queue_full","server":7}"#
+        );
+        assert_eq!(ShedReason::QueueFull.as_str(), "queue_full");
+        assert_eq!(ShedReason::Admission.as_str(), "admission");
     }
 }

@@ -96,6 +96,7 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
             | TraceEvent::ServiceEnd { server, .. }
             | TraceEvent::ServerCrash { server, .. }
             | TraceEvent::ServerRecover { server, .. }
+            | TraceEvent::Batched { server, .. }
             | TraceEvent::QueueSample { server, .. } => {
                 servers.insert(server);
             }
@@ -117,7 +118,7 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
     }
 
     // Request spans (arrival -> terminal), lane-packed on pid 0.
-    let mut requests: Vec<(u64, u64, u64, bool)> = Vec::new(); // (req, start, end, completed)
+    let mut requests: Vec<(u64, u64, u64, &'static str)> = Vec::new(); // (req, start, end, suffix)
     {
         use std::collections::BTreeMap;
         let mut arrivals: BTreeMap<u64, u64> = BTreeMap::new();
@@ -128,12 +129,17 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
                 }
                 TraceEvent::RequestComplete { t_ns, request, .. } => {
                     if let Some(a) = arrivals.remove(&request) {
-                        requests.push((request, a, t_ns, true));
+                        requests.push((request, a, t_ns, ""));
                     }
                 }
                 TraceEvent::RequestAbort { t_ns, request } => {
                     if let Some(a) = arrivals.remove(&request) {
-                        requests.push((request, a, t_ns, false));
+                        requests.push((request, a, t_ns, " (aborted)"));
+                    }
+                }
+                TraceEvent::Shed { t_ns, request, .. } => {
+                    if let Some(a) = arrivals.remove(&request) {
+                        requests.push((request, a, t_ns, " (shed)"));
                     }
                 }
                 _ => {}
@@ -142,16 +148,9 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
     }
     requests.sort_by_key(|&(_, start, _, _)| start);
     let spans: Vec<(u64, u64)> = requests.iter().map(|&(_, s, e, _)| (s, e)).collect();
-    for (&(req, start, end, completed), lane) in requests.iter().zip(assign_lanes(&spans)) {
+    for (&(req, start, end, suffix), lane) in requests.iter().zip(assign_lanes(&spans)) {
         out.push(obj(vec![
-            (
-                "name",
-                Value::Str(if completed {
-                    format!("request {req}")
-                } else {
-                    format!("request {req} (aborted)")
-                }),
-            ),
+            ("name", Value::Str(format!("request {req}{suffix}"))),
             ("cat", Value::Str("request".into())),
             ("ph", Value::Str("X".into())),
             ("pid", Value::U64(0)),
@@ -272,6 +271,39 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
                 0,
                 t_ns,
                 obj(vec![("server", Value::U64(server as u64))]),
+            )),
+            TraceEvent::Admitted {
+                t_ns,
+                request,
+                slack_ns,
+            } => out.push(instant(
+                format!("admit r{request}"),
+                0,
+                t_ns,
+                obj(vec![("slack_ms", Value::F64(slack_ns as f64 / 1e6))]),
+            )),
+            TraceEvent::Shed {
+                t_ns,
+                request,
+                reason,
+                server,
+            } => out.push(instant(
+                format!("shed {} r{request}", reason.as_str()),
+                0,
+                t_ns,
+                obj(vec![("server", Value::U64(server as u64))]),
+            )),
+            TraceEvent::Batched {
+                t_ns,
+                request,
+                op,
+                server,
+                size,
+            } => out.push(instant(
+                format!("batch r{request}.{op}"),
+                server as u64 + 1,
+                t_ns,
+                obj(vec![("size", Value::U64(size as u64))]),
             )),
             TraceEvent::ServerCrash { t_ns, server } => out.push(instant(
                 "crash".into(),
@@ -478,6 +510,55 @@ mod tests {
         let err = read_jsonl(FailAfterFirstLine { sent: false }).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
         assert!(err.to_string().contains("trace line 2"), "{err}");
+    }
+
+    #[test]
+    fn overload_events_render_in_chrome_trace() {
+        use crate::event::ShedReason;
+        let log = TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events: vec![
+                TraceEvent::RequestArrive {
+                    t_ns: 0,
+                    request: 1,
+                    keys: 1,
+                    fanout: 1,
+                },
+                TraceEvent::Admitted {
+                    t_ns: 0,
+                    request: 1,
+                    slack_ns: 2_000_000,
+                },
+                TraceEvent::Batched {
+                    t_ns: 40,
+                    request: 1,
+                    op: 0,
+                    server: 3,
+                    size: 2,
+                },
+                TraceEvent::RequestArrive {
+                    t_ns: 10,
+                    request: 2,
+                    keys: 1,
+                    fanout: 1,
+                },
+                TraceEvent::Shed {
+                    t_ns: 10,
+                    request: 2,
+                    reason: ShedReason::Admission,
+                    server: 3,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&chrome_trace(&log)).unwrap();
+        // The shed request closes its span with a "(shed)" marker, and all
+        // three overload instants appear (batch on the server's track).
+        assert!(json.contains("request 2 (shed)"), "{json}");
+        assert!(json.contains("admit r1"), "{json}");
+        assert!(json.contains("shed admission r2"), "{json}");
+        assert!(json.contains("batch r1.0"), "{json}");
+        assert!(json.contains("server 3"), "{json}");
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod recorder;
 
 pub use analysis::{critical_paths, request_outcomes, BlameBreakdown, CriticalPath};
 pub use diff::{diff_traces, DiffError, DiffSummary, RequestDelta, Segment, TraceDiff};
-pub use event::{DispatchKind, TraceEvent};
+pub use event::{DispatchKind, ShedReason, TraceEvent};
 pub use recorder::{TraceConfig, TraceLog, TraceRecorder};

@@ -46,6 +46,7 @@ fn main() {
             warmup_secs: 0.1,
             rct_timeseries_bin_secs: None,
             faults: Default::default(),
+            overload: Default::default(),
             trace: Default::default(),
         };
         let requests = trace_to_requests(&loaded, &workload, &seeds);

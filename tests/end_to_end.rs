@@ -36,6 +36,7 @@ fn trace_replay_equals_streaming() {
         warmup_secs: 0.0,
         rct_timeseries_bin_secs: None,
         faults: Default::default(),
+        overload: Default::default(),
         trace: Default::default(),
     };
     let streamed = run_simulation(&sim, RequestStream::new(&workload, &seeds, horizon)).unwrap();
