@@ -1,0 +1,7 @@
+//! Table 9 (extension): N-way policy-ladder blame diff FCFS → Rein-SBF →
+//! DAS → DAS-tuned at rho=0.7, plus per-server occupancy telemetry.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table9(output::quick_mode()).emit();
+}

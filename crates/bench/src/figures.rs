@@ -1076,11 +1076,20 @@ pub fn table7(quick: bool) -> FigureOutput {
     if let Some(das) = result.run("DAS").and_then(|r| r.trace.as_ref()) {
         let dir = crate::output::results_dir();
         let path = dir.join("table7_das.chrome.json");
+        // Per-server counter tracks (busy %, demand, depth, rates) folded
+        // from the same log ride along in the Perfetto view.
+        let telemetry = das_trace::telemetry::fold(
+            das,
+            &das_trace::TelemetryConfig {
+                workers: e.cluster.workers_per_server,
+                ..das_trace::TelemetryConfig::default()
+            },
+        );
         let write = || -> std::io::Result<()> {
             std::fs::create_dir_all(&dir)?;
             let file = std::fs::File::create(&path)?;
             let mut w = std::io::BufWriter::new(file);
-            das_trace::export::write_chrome(das, &mut w)?;
+            das_trace::export::write_chrome_with_telemetry(das, &telemetry, &mut w)?;
             std::io::Write::flush(&mut w)
         };
         match write() {
@@ -1148,6 +1157,122 @@ pub fn table8(quick: bool) -> FigureOutput {
     // be exercised on exactly this data — CI smokes that end to end.
     let dir = crate::output::results_dir();
     for (name, log) in [("table8_fcfs.jsonl", fcfs), ("table8_das.jsonl", das)] {
+        let path = dir.join(name);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let file = std::fs::File::create(&path)?;
+            let mut w = std::io::BufWriter::new(file);
+            das_trace::export::write_jsonl(log, &mut w)?;
+            std::io::Write::flush(&mut w)
+        };
+        match write() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("note: could not persist event log: {e}"),
+        }
+    }
+    f
+}
+
+/// Table 9 (extension): N-way policy-ladder blame diff at rho=0.7 — the
+/// same seeded workload traced under FCFS → Rein-SBF → DAS → DAS-tuned
+/// (stronger aging), requests matched by id across *all four* rungs, and
+/// each adjacent step's RCT delta attributed per critical-path segment.
+/// Because every step is diffed over the single common request population,
+/// the per-step deltas telescope exactly (integer ns) to the end-to-end
+/// FCFS → DAS-tuned delta. Also folds the DAS rung's event stream into
+/// per-server occupancy telemetry and persists all four JSONL event logs
+/// so `das_experiment blame-diff --ladder` can be run on them directly.
+pub fn table9(quick: bool) -> FigureOutput {
+    let mut e = tune(scenarios::base_experiment("rho=0.7", 0.7), quick);
+    // tune() resets the policy set; the ladder wants exactly these rungs,
+    // in this order. The tuned rung triples the aging strength — the knob
+    // Fig. 18 sweeps — so the last step isolates what aging alone buys.
+    // `Das::name()` still reports "DAS" for any aged config, so rung
+    // labels are fixed here (and in the CLI via `--ladder`), not derived
+    // from the scheduler.
+    let tuned = das_sched::das::DasConfig {
+        aging: 0.3,
+        ..das_sched::das::DasConfig::default()
+    };
+    e.policies = vec![
+        PolicyKind::Fcfs,
+        PolicyKind::ReinSbf,
+        PolicyKind::das(),
+        PolicyKind::Das { config: tuned },
+    ];
+    e.trace = das_trace::TraceConfig::enabled();
+    if !quick {
+        // Same deterministic per-request sample as tables 7/8: the
+        // sampling hash depends only on (seed, request id), so every rung
+        // traces the *same* request set.
+        e.trace.sample = 0.25;
+    }
+    let result = e.run().expect("valid base experiment");
+    let names: Vec<String> = ["FCFS", "Rein-SBF", "DAS", "DAS-tuned"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // Runs are positional: the two DAS configs share the name "DAS", so
+    // lookups by name would both find the default rung.
+    assert_eq!(result.runs.len(), names.len(), "one run per rung");
+    let logs: Vec<&das_trace::TraceLog> = result
+        .runs
+        .iter()
+        .map(|r| r.trace.as_ref().expect("every rung was traced"))
+        .collect();
+    let ladder = das_trace::ladder_diff(&logs).expect("same seeded workload");
+
+    let mut f = FigureOutput::new(
+        "table9_policy_ladder",
+        "Policy-ladder blame diff FCFS → Rein-SBF → DAS → DAS-tuned (rho=0.7)",
+    );
+    f.tables = report::ladder_tables(&names, &ladder);
+    // Fold the default-DAS rung into per-server occupancy telemetry — the
+    // same numbers `das_experiment top` prints from the persisted log.
+    let telemetry = das_trace::telemetry::fold(
+        logs[2],
+        &das_trace::TelemetryConfig {
+            workers: e.cluster.workers_per_server,
+            ..das_trace::TelemetryConfig::default()
+        },
+    );
+    f.tables.push(report::telemetry_table(&telemetry));
+    let mut notes = String::from(
+        "The pairwise blame diff generalized to a ladder: one seeded \
+         workload, four policies, requests matched by id across every rung, \
+         each adjacent step's RCT delta attributed per critical-path \
+         segment. All steps share one common request population, so the \
+         per-step deltas telescope exactly (integer ns) to the end-to-end \
+         column — improvements decompose rung by rung without residue. The \
+         telemetry table folds the DAS rung's event stream into per-server \
+         occupancy counters (busy + idle == workers x horizon, exactly).",
+    );
+    if let Some(chart) =
+        das_metrics::ascii::diverging_bars(&report::blame_diff_delta_rows(&ladder.end_to_end), 30)
+    {
+        notes.push_str("\n\nmean Δ per segment, ms (DAS-tuned − FCFS):\n");
+        notes.push_str(&chart);
+    }
+    if let Some(s) = ladder.end_to_end.dominant_negative_segment() {
+        notes.push_str(&format!(
+            "\ndominant end-to-end improvement: {} ({:+.3} ms mean)",
+            s.label(),
+            ladder.end_to_end.mean_delta_secs(s) * 1e3
+        ));
+    }
+    f.notes = notes;
+
+    // Persist the raw event logs so the CLI path (`das_experiment
+    // blame-diff --ladder FCFS,Rein-SBF,DAS,DAS-tuned <logs...>`) can be
+    // exercised on exactly this data — CI smokes that end to end.
+    let dir = crate::output::results_dir();
+    let stems = [
+        "table9_fcfs.jsonl",
+        "table9_rein_sbf.jsonl",
+        "table9_das.jsonl",
+        "table9_das_tuned.jsonl",
+    ];
+    for (name, log) in stems.iter().zip(&logs) {
         let path = dir.join(name);
         let write = || -> std::io::Result<()> {
             std::fs::create_dir_all(&dir)?;
@@ -1261,5 +1386,6 @@ pub fn all_figures() -> Vec<FigureOutput> {
         table6(quick),
         table7(quick),
         table8(quick),
+        table9(quick),
     ]
 }

@@ -7,9 +7,13 @@
 //! das_experiment policies                          list available policies
 //! das_experiment trace <config.json> <out.jsonl>   record the workload as a trace
 //! das_experiment replay <config.json> <trace.jsonl>  replay a recorded trace
-//! das_experiment blame-diff <a.jsonl> <b.jsonl> [--out <summary.json>]
+//! das_experiment blame-diff <a.jsonl> <b.jsonl> [<c.jsonl> ...]
+//!                           [--ladder n1,n2,...] [--out <summary.json>]
 //!                                                  attribute the RCT delta between
-//!                                                  two event traces per segment
+//!                                                  two or more event traces per segment
+//! das_experiment top <trace.jsonl> [--epoch-ms N] [--workers N]
+//!                                                  per-server telemetry report folded
+//!                                                  from one event trace
 //! ```
 //!
 //! `--trace <base>` enables structured event tracing and writes, per
@@ -18,11 +22,18 @@
 //! Perfetto / `chrome://tracing`), plus the critical-path blame table.
 //! `--trace-sample <rate>` traces that fraction of requests (default 1).
 //!
-//! `blame-diff` takes two such `.jsonl` event logs recorded from the *same
-//! seeded workload* under different policies, matches requests by id, and
-//! attributes the per-request RCT delta to the five critical-path segments
-//! (the signed deltas telescope exactly, in integer ns, to each RCT
-//! delta). It refuses traces whose arrival timestamps disagree.
+//! `blame-diff` takes two or more such `.jsonl` event logs recorded from
+//! the *same seeded workload* under different policies, matches requests by
+//! id across every trace, and attributes the per-request RCT delta to the
+//! five critical-path segments (the signed deltas telescope exactly, in
+//! integer ns, to each RCT delta — and with three or more traces the
+//! per-step deltas telescope exactly across the whole ladder). It refuses
+//! traces whose arrival timestamps disagree. `--ladder` overrides the rung
+//! labels (default: file stems).
+//!
+//! `top` folds one `.jsonl` event log into per-server occupancy telemetry
+//! (busy %, queue depth, reorder/shed/retry/hedge/batch/hint rates) and
+//! prints a sorted report with per-epoch busy sparklines.
 //!
 //! Configs are [`das_core::ExperimentConfig`] JSON — `template` prints one.
 
@@ -52,6 +63,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("blame-diff") => cmd_blame_diff(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -77,7 +89,8 @@ fn print_usage() {
          das_experiment check <config.json>\n  \
          das_experiment trace <config.json> <out.jsonl>\n  \
          das_experiment replay <config.json> <trace.jsonl>\n  \
-         das_experiment blame-diff <a.jsonl> <b.jsonl> [--out <summary.json>]"
+         das_experiment blame-diff <a.jsonl> <b.jsonl> [<c.jsonl> ...] [--ladder n1,n2,...] [--out <summary.json>]\n  \
+         das_experiment top <trace.jsonl> [--epoch-ms N] [--workers N]"
     );
 }
 
@@ -156,7 +169,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let chrome = format!("{base}-{policy}.chrome.json");
             let f = fs::File::create(&chrome).map_err(|e| format!("creating {chrome}: {e}"))?;
             let mut w = std::io::BufWriter::new(f);
-            das_trace::export::write_chrome(log, &mut w).map_err(|e| e.to_string())?;
+            // Enrich the Perfetto view with per-server counter tracks
+            // folded from the same log (busy %, demand, depth, rates).
+            let telemetry = das_trace::telemetry::fold(
+                log,
+                &das_trace::TelemetryConfig {
+                    workers: config.cluster.workers_per_server,
+                    ..das_trace::TelemetryConfig::default()
+                },
+            );
+            das_trace::export::write_chrome_with_telemetry(log, &telemetry, &mut w)
+                .map_err(|e| e.to_string())?;
             w.flush().map_err(|e| e.to_string())?;
             eprintln!(
                 "wrote {} events ({} dropped) to {jsonl} and {chrome}",
@@ -346,42 +369,116 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn read_event_log(path: &str) -> Result<das_trace::TraceLog, String> {
+    let f = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    das_trace::export::read_jsonl(std::io::BufReader::new(f))
+        .map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn file_stem(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
 fn cmd_blame_diff(args: &[String]) -> Result<(), String> {
-    let [a_path, b_path] = &args[..args.len().min(2)] else {
-        return Err("blame-diff: expected <a.jsonl> <b.jsonl> [--out <summary.json>]".into());
-    };
-    if a_path.starts_with("--") || b_path.starts_with("--") {
-        return Err("blame-diff: expected <a.jsonl> <b.jsonl> [--out <summary.json>]".into());
-    }
+    const USAGE: &str = "blame-diff: expected <a.jsonl> <b.jsonl> [<c.jsonl> ...] \
+                         [--ladder n1,n2,...] [--out <summary.json>]";
+    let mut paths: Vec<String> = Vec::new();
     let mut out_path: Option<String> = None;
-    let mut rest = args[2..].iter();
+    let mut labels: Option<Vec<String>> = None;
+    let mut rest = args.iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--out" => out_path = Some(rest.next().ok_or("--out: missing path")?.clone()),
-            other => return Err(format!("blame-diff: unexpected argument `{other}`")),
+            "--ladder" => {
+                let spec = rest.next().ok_or("--ladder: missing name1,name2,...")?;
+                labels = Some(spec.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("blame-diff: unexpected argument `{other}`"));
+            }
+            path => paths.push(path.to_string()),
         }
     }
-    let load = |path: &str| -> Result<das_trace::TraceLog, String> {
-        let f = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
-        das_trace::export::read_jsonl(std::io::BufReader::new(f))
-            .map_err(|e| format!("reading {path}: {e}"))
+    if paths.len() < 2 {
+        return Err(USAGE.into());
+    }
+    let names: Vec<String> = match labels {
+        Some(names) => {
+            if names.len() != paths.len() {
+                return Err(format!(
+                    "--ladder: {} names for {} traces",
+                    names.len(),
+                    paths.len()
+                ));
+            }
+            names
+        }
+        None => paths.iter().map(|p| file_stem(p)).collect(),
     };
-    let log_a = load(a_path)?;
-    let log_b = load(b_path)?;
-    let name = |p: &str| {
-        Path::new(p)
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| p.to_string())
-    };
-    let (a_name, b_name) = (name(a_path), name(b_path));
-    let diff = das_trace::diff_traces(&log_a, &log_b).map_err(|e| e.to_string())?;
-    println!("{}", report::render_blame_diff(&a_name, &b_name, &diff));
+    let logs: Vec<das_trace::TraceLog> = paths
+        .iter()
+        .map(|p| read_event_log(p))
+        .collect::<Result<_, _>>()?;
+    if logs.len() == 2 {
+        let diff = das_trace::diff_traces(&logs[0], &logs[1]).map_err(|e| e.to_string())?;
+        println!("{}", report::render_blame_diff(&names[0], &names[1], &diff));
+        if let Some(out) = out_path {
+            let json = serde_json::to_string_pretty(&diff.summary()).map_err(|e| e.to_string())?;
+            fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        return Ok(());
+    }
+    let refs: Vec<&das_trace::TraceLog> = logs.iter().collect();
+    let ladder = das_trace::ladder_diff(&refs).map_err(|e| e.to_string())?;
+    println!("{}", report::render_ladder(&names, &ladder));
     if let Some(out) = out_path {
-        let json = serde_json::to_string_pretty(&diff.summary()).map_err(|e| e.to_string())?;
+        let json =
+            serde_json::to_string_pretty(&ladder.summary(&names)).map_err(|e| e.to_string())?;
         fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("wrote {out}");
     }
+    Ok(())
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("top: missing <trace.jsonl>")?;
+    if path.starts_with("--") {
+        return Err("top: expected <trace.jsonl> [--epoch-ms N] [--workers N]".into());
+    }
+    let mut cfg = das_trace::TelemetryConfig::default();
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--epoch-ms" => {
+                let s = rest.next().ok_or("--epoch-ms: missing value")?;
+                let ms: u64 = s
+                    .parse()
+                    .map_err(|_| format!("--epoch-ms: `{s}` is not an integer"))?;
+                if ms == 0 {
+                    return Err("--epoch-ms: must be positive".into());
+                }
+                cfg.epoch_ns = ms * 1_000_000;
+            }
+            "--workers" => {
+                let s = rest.next().ok_or("--workers: missing value")?;
+                let w: u32 = s
+                    .parse()
+                    .map_err(|_| format!("--workers: `{s}` is not an integer"))?;
+                if w == 0 {
+                    return Err("--workers: must be positive".into());
+                }
+                cfg.workers = w;
+            }
+            other => return Err(format!("top: unexpected argument `{other}`")),
+        }
+    }
+    let log = read_event_log(path)?;
+    let telemetry = das_trace::telemetry::fold(&log, &cfg);
+    println!("{}", report::render_top(&telemetry));
     Ok(())
 }
 

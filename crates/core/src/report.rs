@@ -3,7 +3,8 @@
 
 use das_metrics::summary::ComparisonTable;
 use das_net::accounting::TrafficClass;
-use das_trace::diff::{Segment, TraceDiff};
+use das_trace::diff::{LadderDiff, Segment, TraceDiff};
+use das_trace::telemetry::{ServerSeries, Telemetry};
 use das_trace::BlameBreakdown;
 
 use crate::experiment::ExperimentResult;
@@ -301,6 +302,211 @@ pub fn render_blame_diff(a_name: &str, b_name: &str, d: &TraceDiff) -> String {
     out
 }
 
+/// Tables for an N-way policy ladder: the per-rung segment means, the
+/// per-step mean deltas (whose columns telescope exactly to the
+/// end-to-end column), and the per-server drill-down grouped by the
+/// baseline's completing server. `names` labels the rungs, baseline
+/// first, and must have one entry per rung.
+pub fn ladder_tables(names: &[String], l: &LadderDiff) -> Vec<ComparisonTable> {
+    let rungs = l.steps.len() + 1;
+    assert_eq!(names.len(), rungs, "one name per rung");
+    let mut tables = Vec::new();
+
+    // Rung r's mean segments: step r-1's B side (rung 0 = step 0's A side).
+    let rung_mean = |r: usize, s: Segment| {
+        if r == 0 {
+            l.steps[0].mean_a_secs(s)
+        } else {
+            l.steps[r - 1].mean_b_secs(s)
+        }
+    };
+    let rung_rct = |r: usize| {
+        if r == 0 {
+            l.steps[0].mean_rct_a_secs()
+        } else {
+            l.steps[r - 1].mean_rct_b_secs()
+        }
+    };
+
+    let mut means = ComparisonTable::new(
+        format!("policy ladder — per-rung segment means (ms, {} matched)", l.matched),
+        names.iter().map(|n| format!("{n} (ms)")).collect(),
+    );
+    for s in Segment::ALL {
+        means.push_row(s.label(), (0..rungs).map(|r| rung_mean(r, s) * 1e3).collect());
+    }
+    means.push_row("total RCT", (0..rungs).map(|r| rung_rct(r) * 1e3).collect());
+    tables.push(means);
+
+    let mut step_cols: Vec<String> = (0..l.steps.len())
+        .map(|i| format!("{} → {} (ms)", names[i], names[i + 1]))
+        .collect();
+    step_cols.push("end-to-end (ms)".into());
+    let mut deltas = ComparisonTable::new(
+        "policy ladder — mean Δ per step (columns telescope exactly to end-to-end)",
+        step_cols,
+    );
+    for s in Segment::ALL {
+        let mut row: Vec<f64> = l.steps.iter().map(|d| d.mean_delta_secs(s) * 1e3).collect();
+        row.push(l.end_to_end.mean_delta_secs(s) * 1e3);
+        deltas.push_row(s.label(), row);
+    }
+    let mut row: Vec<f64> = l.steps.iter().map(|d| d.mean_rct_delta_secs() * 1e3).collect();
+    row.push(l.end_to_end.mean_rct_delta_secs() * 1e3);
+    deltas.push_row("total RCT", row);
+    tables.push(deltas);
+
+    let mut reorder = ComparisonTable::new(
+        "policy ladder — matched-request movement per step",
+        (0..l.steps.len())
+            .map(|i| format!("{} → {}", names[i], names[i + 1]))
+            .collect(),
+    );
+    reorder.push_row(
+        "moved server",
+        l.steps.iter().map(|d| d.moved_server as f64).collect(),
+    );
+    reorder.push_row(
+        "moved bottleneck",
+        l.steps.iter().map(|d| d.moved_segment as f64).collect(),
+    );
+    tables.push(reorder);
+
+    let mut servers = ComparisonTable::new(
+        "policy ladder — per-server mean RCT by rung (grouped by baseline server)",
+        names.iter().map(|n| format!("{n} (ms)")).collect(),
+    );
+    for row in &l.servers {
+        servers.push_row(
+            format!("server {} ({} req)", row.server, row.matched),
+            row.sum_rct_ns
+                .iter()
+                .map(|&ns| ns as f64 * 1e-6 / row.matched as f64)
+                .collect(),
+        );
+    }
+    tables.push(servers);
+
+    let mut queues = ComparisonTable::new(
+        "policy ladder — per-server mean queue wait by rung (grouped by baseline server)",
+        names.iter().map(|n| format!("{n} (ms)")).collect(),
+    );
+    for row in &l.servers {
+        queues.push_row(
+            format!("server {} ({} req)", row.server, row.matched),
+            row.sum_ns
+                .iter()
+                .map(|s| s[Segment::Queue.index()] as f64 * 1e-6 / row.matched as f64)
+                .collect(),
+        );
+    }
+    tables.push(queues);
+
+    tables
+}
+
+/// Renders a complete ladder report: the tables plus a diverging bar
+/// chart of the end-to-end per-segment deltas, as printed by
+/// `das_experiment blame-diff` with three or more traces.
+pub fn render_ladder(names: &[String], l: &LadderDiff) -> String {
+    let mut out = String::new();
+    for t in ladder_tables(names, l) {
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    if let Some(chart) = das_metrics::ascii::diverging_bars(&blame_diff_delta_rows(&l.end_to_end), 30)
+    {
+        out.push_str(&format!(
+            "mean Δ per segment, ms ({} − {}):\n",
+            names[names.len() - 1],
+            names[0]
+        ));
+        out.push_str(&chart);
+    }
+    if let Some(s) = l.end_to_end.dominant_negative_segment() {
+        out.push_str(&format!(
+            "\ndominant end-to-end improvement: {} ({:+.3} ms mean)\n",
+            s.label(),
+            l.end_to_end.mean_delta_secs(s) * 1e3
+        ));
+    }
+    out
+}
+
+/// The per-server telemetry table behind `das_experiment top`: one row
+/// per server, sorted by busy occupancy (descending; ties by server id),
+/// with the epoch-count totals alongside.
+pub fn telemetry_table(t: &Telemetry) -> ComparisonTable {
+    let mut table = ComparisonTable::new(
+        format!(
+            "per-server telemetry — {} epochs × {} ms",
+            t.epochs,
+            t.epoch_ns as f64 / 1e6
+        ),
+        vec![
+            "busy (%)".into(),
+            "mean depth".into(),
+            "peak depth".into(),
+            "peak demand (ms)".into(),
+            "enq".into(),
+            "done".into(),
+            "reorders".into(),
+            "sheds".into(),
+            "retries".into(),
+            "hedges".into(),
+            "batched".into(),
+            "hints".into(),
+        ],
+    );
+    let mut order: Vec<&ServerSeries> = t.servers.values().collect();
+    order.sort_by(|a, b| {
+        b.total_busy_ns()
+            .cmp(&a.total_busy_ns())
+            .then(a.server.cmp(&b.server))
+    });
+    for s in order {
+        table.push_row(
+            format!("server {}", s.server),
+            vec![
+                t.busy_fraction(s) * 100.0,
+                t.mean_queue_len(s),
+                s.peak_queue_len() as f64,
+                s.peak_demand_ns() as f64 / 1e6,
+                ServerSeries::total(&s.enqueues) as f64,
+                ServerSeries::total(&s.completions) as f64,
+                ServerSeries::total(&s.reorders) as f64,
+                ServerSeries::total(&s.sheds) as f64,
+                ServerSeries::total(&s.retries) as f64,
+                ServerSeries::total(&s.hedges) as f64,
+                ServerSeries::total(&s.batched_ops) as f64,
+                ServerSeries::total(&s.hints) as f64,
+            ],
+        );
+    }
+    table
+}
+
+/// Renders the `das_experiment top` report: the per-server table plus a
+/// busy-occupancy sparkline panel (one line per server, time left to
+/// right).
+pub fn render_top(t: &Telemetry) -> String {
+    let mut out = telemetry_table(t).to_markdown();
+    let series: Vec<(String, Vec<f64>)> = t
+        .servers
+        .values()
+        .map(|s| (format!("server {}", s.server), t.busy_series(s)))
+        .collect();
+    if !series.is_empty() {
+        let panel: Vec<(&str, Vec<f64>)> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        out.push_str("\nbusy occupancy over time (one epoch per column):\n");
+        out.push_str(&das_metrics::ascii::sparkline_panel(&panel));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +610,89 @@ mod tests {
         assert!(md.contains("per-segment RCT delta"));
         assert!(md.contains("migration"));
         assert!(das_metrics::ascii::diverging_bars(&blame_diff_delta_rows(&d), 30).is_some());
+    }
+
+    fn traced_ladder_result() -> ExperimentResult {
+        let cluster = ClusterConfig {
+            servers: 4,
+            ..Default::default()
+        };
+        let workload = WorkloadSpec {
+            n_keys: 1000,
+            arrival: ArrivalConfig::Poisson { rate: 500.0 },
+            fanout: FanoutConfig::Uniform { min: 1, max: 4 },
+            sizes: SizeConfig::Fixed { bytes: 10_000 },
+            popularity: PopularityConfig::Uniform,
+            hot_key_size_cap: None,
+            write_fraction: 0.0,
+        };
+        let mut e = ExperimentConfig::new("ladder", workload, cluster);
+        e.horizon_secs = 0.5;
+        e.warmup_secs = 0.0;
+        e.policies = vec![PolicyKind::Fcfs, PolicyKind::ReinSbf, PolicyKind::das()];
+        e.trace = das_trace::TraceConfig::enabled();
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn ladder_report_telescopes_and_renders() {
+        let r = traced_ladder_result();
+        let logs: Vec<&das_trace::TraceLog> =
+            r.runs.iter().map(|run| run.trace.as_ref().unwrap()).collect();
+        let l = das_trace::ladder_diff(&logs).unwrap();
+        assert!(l.matched > 0);
+        let names: Vec<String> = ["FCFS", "Rein-SBF", "DAS"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+        let tables = ladder_tables(&names, &l);
+        assert_eq!(tables.len(), 5);
+        // Table 1: per-step mean Δ columns telescope to the end-to-end
+        // column, segment row by segment row.
+        let step = &tables[1];
+        for label in ["stall", "net req", "queue", "service", "net resp", "total RCT"] {
+            let steps_sum: f64 = step
+                .columns()
+                .iter()
+                .filter(|c| c.contains('→'))
+                .map(|c| step.value(label, c).unwrap())
+                .sum();
+            let end = step.value(label, "end-to-end (ms)").unwrap();
+            assert!((steps_sum - end).abs() < 1e-9, "{label}: {steps_sum} vs {end}");
+        }
+        // The per-server tables carry one column per rung and group every
+        // matched request exactly once.
+        assert_eq!(tables[3].columns().len(), names.len());
+        let grouped: u64 = l.servers.iter().map(|s| s.matched).sum();
+        assert_eq!(grouped, l.matched);
+
+        let md = render_ladder(&names, &l);
+        for n in &names {
+            assert!(md.contains(n.as_str()), "missing rung {n}");
+        }
+        assert!(md.contains("telescope"));
+    }
+
+    #[test]
+    fn telemetry_report_covers_every_discovered_server() {
+        let r = traced_ladder_result();
+        let log = r.runs.last().unwrap().trace.as_ref().unwrap();
+        let t = das_trace::telemetry::fold(log, &das_trace::TelemetryConfig::default());
+        assert!(!t.servers.is_empty());
+
+        let table = telemetry_table(&t);
+        assert_eq!(table.rows().len(), t.servers.len());
+        assert!(table.columns().iter().any(|c| c == "busy (%)"));
+        for s in t.servers.values() {
+            let label = format!("server {}", s.server);
+            let busy = table.value(&label, "busy (%)").unwrap();
+            assert!((0.0..=100.0).contains(&busy), "{label}: busy {busy}");
+        }
+
+        let md = render_top(&t);
+        assert!(md.contains("per-server telemetry"));
+        assert!(md.contains("one epoch per column"));
     }
 
     #[test]

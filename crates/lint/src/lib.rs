@@ -256,7 +256,11 @@ const WALL_CLOCK_ALLOWED: [&str; 2] = ["rt", "bench"];
 /// Files whose contract is exact integer-ns telescoping. Float math here —
 /// even for "just a mean" — silently breaks the residue-free attribution
 /// the blame tables advertise.
-const ACCOUNTING_FILES: [&str; 2] = ["crates/trace/src/analysis.rs", "crates/trace/src/diff.rs"];
+const ACCOUNTING_FILES: [&str; 3] = [
+    "crates/trace/src/analysis.rs",
+    "crates/trace/src/diff.rs",
+    "crates/trace/src/telemetry.rs",
+];
 
 /// The crate subdirectory of a `crates/<name>/src/...` path, if any.
 fn crate_of(rel: &str) -> Option<&str> {

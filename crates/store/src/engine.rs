@@ -660,6 +660,15 @@ impl<'a> Engine<'a> {
                     request,
                     update,
                 } => {
+                    if self.traced(request) {
+                        self.trace_event(TraceEvent::HintArrive {
+                            t_ns: now.as_nanos(),
+                            request: request.0,
+                            server: server.0,
+                            eta_ns: update.bottleneck_eta.as_nanos(),
+                            remaining_ns: update.remaining_demand.as_nanos(),
+                        });
+                    }
                     self.servers[server.0 as usize].hint(request, update, now);
                 }
                 Event::ServerCrash { server } => {

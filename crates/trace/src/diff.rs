@@ -14,7 +14,15 @@
 //! request's arrival timestamp: that means they were *not* recorded from
 //! the same seeded workload, and a per-segment comparison would attribute
 //! workload differences to the policy.
+//!
+//! [`ladder_diff`] generalizes the pair to an N-way *policy ladder*
+//! (FCFS → Rein-SBF → DAS → DAS-tuned): requests are matched across every
+//! rung at once, each adjacent pair is diffed over that single common
+//! population, and the per-segment deltas of the steps telescope exactly
+//! — in integer nanoseconds — to the first→last diff, with a per-server
+//! drill-down grouped by the baseline's completing server.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::Serialize;
@@ -174,6 +182,8 @@ pub enum DiffError {
     },
     /// No request id completed (with a surviving event chain) in both logs.
     NoMatchedRequests,
+    /// A ladder needs at least two rungs.
+    TooFewRungs,
 }
 
 impl fmt::Display for DiffError {
@@ -186,6 +196,9 @@ impl fmt::Display for DiffError {
             ),
             DiffError::NoMatchedRequests => {
                 write!(f, "no request completed in both traces; nothing to diff")
+            }
+            DiffError::TooFewRungs => {
+                write!(f, "a policy ladder needs at least two traces")
             }
         }
     }
@@ -229,7 +242,7 @@ pub struct TraceDiff {
 
 // Seconds-facing views of the exact sums live in the presentation layer;
 // re-exported here so `diff::DiffSummary` keeps working.
-pub use crate::present::{DiffSummary, SegmentDelta};
+pub use crate::present::{DiffSummary, LadderSummary, SegmentDelta, ServerLadderSummary};
 
 /// Diffs two traces of the same seeded workload: matches completed
 /// requests by id and attributes the RCT delta per segment.
@@ -238,20 +251,7 @@ pub use crate::present::{DiffSummary, SegmentDelta};
 /// both logs has different arrival timestamps — the defining property of
 /// "same workload, different policy" runs is identical arrivals.
 pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
-    let arr_a = arrival_times(a);
-    let arr_b = arrival_times(b);
-    // Report the lowest mismatched id so the error is deterministic.
-    let mismatch = arr_a
-        .iter()
-        .filter_map(|(&req, &ta)| {
-            let &tb = arr_b.get(&req)?;
-            (ta != tb).then_some((req, ta, tb))
-        })
-        .min();
-    if let Some((request, a_ns, b_ns)) = mismatch {
-        return Err(DiffError::ArrivalMismatch { request, a_ns, b_ns });
-    }
-
+    check_arrivals(&arrival_times(a), &arrival_times(b))?;
     let paths_a = path_index(a);
     let paths_b = path_index(b);
     let mut ids: Vec<u64> = paths_a.keys().filter(|r| paths_b.contains_key(r)).copied().collect();
@@ -259,6 +259,36 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
     if ids.is_empty() {
         return Err(DiffError::NoMatchedRequests);
     }
+    Ok(diff_over(&paths_a, &paths_b, &ids))
+}
+
+/// Errors when the two arrival maps disagree on any shared request id
+/// (lowest disagreeing id, deterministically).
+fn check_arrivals(
+    arr_a: &BTreeMap<u64, u64>,
+    arr_b: &BTreeMap<u64, u64>,
+) -> Result<(), DiffError> {
+    let mismatch = arr_a
+        .iter()
+        .filter_map(|(&req, &ta)| {
+            let &tb = arr_b.get(&req)?;
+            (ta != tb).then_some((req, ta, tb))
+        })
+        .min();
+    match mismatch {
+        Some((request, a_ns, b_ns)) => Err(DiffError::ArrivalMismatch { request, a_ns, b_ns }),
+        None => Ok(()),
+    }
+}
+
+/// The exact diff body over a fixed, sorted id set present in both path
+/// indexes. `only_a` / `only_b` count the paths each side has outside
+/// `ids`.
+fn diff_over(
+    paths_a: &BTreeMap<u64, CriticalPath>,
+    paths_b: &BTreeMap<u64, CriticalPath>,
+    ids: &[u64],
+) -> TraceDiff {
     let only_a = (paths_a.len() - ids.len()) as u64;
     let only_b = (paths_b.len() - ids.len()) as u64;
 
@@ -269,7 +299,7 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
     let mut sum_rct_b_ns = 0u64;
     let mut moved_server = 0u64;
     let mut migration = [[0u64; 5]; 5];
-    for &id in &ids {
+    for &id in ids {
         let (pa, pb) = (&paths_a[&id], &paths_b[&id]);
         let d = RequestDelta::new(pa, pb);
         debug_assert_eq!(d.sum_ns(), d.rct_delta_ns);
@@ -288,7 +318,7 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
         .filter(|d| d.dominant_a != d.dominant_b)
         .count() as u64;
 
-    Ok(TraceDiff {
+    TraceDiff {
         matched: ids.len() as u64,
         only_a,
         only_b,
@@ -300,6 +330,114 @@ pub fn diff_traces(a: &TraceLog, b: &TraceLog) -> Result<TraceDiff, DiffError> {
         moved_server,
         moved_segment,
         migration,
+    }
+}
+
+/// Per-server drill-down row of a ladder: the matched requests whose
+/// *baseline* (rung 0) completing server was [`ServerLadder::server`],
+/// with exact per-rung sums. Because every rung sums over the same
+/// request group, the per-segment deltas between adjacent rungs telescope
+/// exactly — per server and in total — to the first→last deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerLadder {
+    /// The rung-0 completing server defining the group.
+    pub server: u32,
+    /// Matched requests in the group.
+    pub matched: u64,
+    /// Exact sum of the group's RCTs under each rung, nanoseconds.
+    pub sum_rct_ns: Vec<u64>,
+    /// Exact per-segment sums under each rung, nanoseconds (path order).
+    pub sum_ns: Vec<[u64; 5]>,
+}
+
+/// An N-way policy ladder: pairwise diffs between adjacent rungs, all
+/// over the *same* matched request set, so every per-segment delta
+/// telescopes exactly across the whole ladder.
+///
+/// `steps[i]` diffs rung `i` (as A) against rung `i + 1` (as B);
+/// [`LadderDiff::end_to_end`] diffs the first rung against the last.
+/// Because all diffs share one id set, `steps[i].sum_b_ns ==
+/// steps[i + 1].sum_a_ns` componentwise, hence
+/// `Σ_i (steps[i].sum_b_ns − steps[i].sum_a_ns) == end_to_end.sum_b_ns −
+/// end_to_end.sum_a_ns` — exact in integer nanoseconds (proptest-
+/// enforced).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderDiff {
+    /// Requests with a reconstructed path in *every* rung.
+    pub matched: u64,
+    /// One adjacent-pair diff per rung boundary (`rungs − 1` entries).
+    pub steps: Vec<TraceDiff>,
+    /// First rung vs last rung, over the same matched set.
+    pub end_to_end: TraceDiff,
+    /// Per rung: paths that rung has outside the common matched set.
+    pub only_in_rung: Vec<u64>,
+    /// Per-server drill-down, grouped by the rung-0 completing server,
+    /// ascending by server id.
+    pub servers: Vec<ServerLadder>,
+}
+
+/// Diffs `rungs.len()` traces of the same seeded workload as a policy
+/// ladder (e.g. FCFS → Rein-SBF → DAS → DAS-tuned).
+///
+/// Every rung's arrivals are checked against rung 0's
+/// ([`DiffError::ArrivalMismatch`] on the first disagreeing rung, lowest
+/// request id); requests are matched across *all* rungs so each adjacent
+/// step compares the identical request population. With exactly two
+/// rungs, `steps[0]` equals [`diff_traces`]' result.
+pub fn ladder_diff(rungs: &[&TraceLog]) -> Result<LadderDiff, DiffError> {
+    if rungs.len() < 2 {
+        return Err(DiffError::TooFewRungs);
+    }
+    let arr0 = arrival_times(rungs[0]);
+    for rung in &rungs[1..] {
+        check_arrivals(&arr0, &arrival_times(rung))?;
+    }
+
+    let paths: Vec<BTreeMap<u64, CriticalPath>> = rungs.iter().map(|r| path_index(r)).collect();
+    let mut ids: Vec<u64> = paths[0]
+        .keys()
+        .filter(|id| paths[1..].iter().all(|p| p.contains_key(id)))
+        .copied()
+        .collect();
+    ids.sort_unstable();
+    if ids.is_empty() {
+        return Err(DiffError::NoMatchedRequests);
+    }
+    let only_in_rung: Vec<u64> = paths.iter().map(|p| (p.len() - ids.len()) as u64).collect();
+
+    let steps: Vec<TraceDiff> = paths
+        .windows(2)
+        .map(|w| diff_over(&w[0], &w[1], &ids))
+        .collect();
+    let end_to_end = diff_over(&paths[0], &paths[paths.len() - 1], &ids);
+
+    // Per-server drill-down: group matched requests by their baseline
+    // completing server, then sum each rung's exact paths per group.
+    let mut servers: BTreeMap<u32, ServerLadder> = BTreeMap::new();
+    for &id in &ids {
+        let server = paths[0][&id].server;
+        let row = servers.entry(server).or_insert_with(|| ServerLadder {
+            server,
+            matched: 0,
+            sum_rct_ns: vec![0; rungs.len()],
+            sum_ns: vec![[0; 5]; rungs.len()],
+        });
+        row.matched += 1;
+        for (r, p) in paths.iter().enumerate() {
+            let path = &p[&id];
+            row.sum_rct_ns[r] += path.rct_ns;
+            for s in Segment::ALL {
+                row.sum_ns[r][s.index()] += s.of(path);
+            }
+        }
+    }
+
+    Ok(LadderDiff {
+        matched: ids.len() as u64,
+        steps,
+        end_to_end,
+        only_in_rung,
+        servers: servers.into_values().collect(),
     })
 }
 
@@ -474,6 +612,113 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"matched\":1"), "{json}");
         assert!(json.contains("queue"), "{json}");
+    }
+
+    #[test]
+    fn ladder_steps_telescope_to_end_to_end() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        chain(&mut a, 2, 200, 1, 30, 400, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 0, 30, 300, 100, 20);
+        chain(&mut b, 2, 200, 1, 30, 250, 150, 20);
+        let mut c = Vec::new();
+        chain(&mut c, 1, 100, 2, 30, 100, 100, 20);
+        chain(&mut c, 2, 200, 1, 30, 50, 150, 20);
+        let (la, lb, lc) = (log(a), log(b), log(c));
+        let ladder = ladder_diff(&[&la, &lb, &lc]).unwrap();
+        assert_eq!(ladder.matched, 2);
+        assert_eq!(ladder.steps.len(), 2);
+        assert_eq!(ladder.only_in_rung, vec![0, 0, 0]);
+        // Interior sums agree: step i's B side is step i+1's A side.
+        assert_eq!(ladder.steps[0].sum_b_ns, ladder.steps[1].sum_a_ns);
+        assert_eq!(ladder.steps[0].sum_rct_b_ns, ladder.steps[1].sum_rct_a_ns);
+        // Telescoping: summed step deltas equal the first→last deltas.
+        for s in Segment::ALL {
+            let i = s.index();
+            let stepped: i64 = ladder
+                .steps
+                .iter()
+                .map(|d| d.sum_b_ns[i] as i64 - d.sum_a_ns[i] as i64)
+                .sum();
+            let direct =
+                ladder.end_to_end.sum_b_ns[i] as i64 - ladder.end_to_end.sum_a_ns[i] as i64;
+            assert_eq!(stepped, direct, "segment {}", s.label());
+        }
+        // Two rungs reduce to the pairwise diff.
+        let pair = diff_traces(&la, &lb).unwrap();
+        let two = ladder_diff(&[&la, &lb]).unwrap();
+        assert_eq!(two.steps[0], pair);
+        assert_eq!(two.end_to_end, pair);
+    }
+
+    #[test]
+    fn ladder_per_server_rows_group_by_baseline_server() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        chain(&mut a, 2, 200, 1, 30, 400, 100, 20);
+        chain(&mut a, 3, 300, 0, 30, 200, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 2, 30, 100, 100, 20); // moved server: still grouped under 0
+        chain(&mut b, 2, 200, 1, 30, 50, 100, 20);
+        chain(&mut b, 3, 300, 0, 30, 20, 100, 20);
+        let (la, lb) = (log(a), log(b));
+        let ladder = ladder_diff(&[&la, &lb]).unwrap();
+        assert_eq!(ladder.servers.len(), 2);
+        let s0 = &ladder.servers[0];
+        assert_eq!((s0.server, s0.matched), (0, 2));
+        let s1 = &ladder.servers[1];
+        assert_eq!((s1.server, s1.matched), (1, 1));
+        // Per-server sums add up to the global sums, rung by rung.
+        for r in 0..2 {
+            let rct: u64 = ladder.servers.iter().map(|s| s.sum_rct_ns[r]).sum();
+            let global = if r == 0 {
+                ladder.end_to_end.sum_rct_a_ns
+            } else {
+                ladder.end_to_end.sum_rct_b_ns
+            };
+            assert_eq!(rct, global);
+            for seg in Segment::ALL {
+                let per: u64 = ladder.servers.iter().map(|s| s.sum_ns[r][seg.index()]).sum();
+                let global = if r == 0 {
+                    ladder.end_to_end.sum_a_ns[seg.index()]
+                } else {
+                    ladder.end_to_end.sum_b_ns[seg.index()]
+                };
+                assert_eq!(per, global, "segment {}", seg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_matches_across_all_rungs_and_refuses_bad_input() {
+        let mut a = Vec::new();
+        chain(&mut a, 1, 100, 0, 30, 500, 100, 20);
+        chain(&mut a, 2, 200, 0, 30, 400, 100, 20);
+        let mut b = Vec::new();
+        chain(&mut b, 1, 100, 0, 30, 300, 100, 20); // request 2 missing
+        let mut c = Vec::new();
+        chain(&mut c, 1, 100, 0, 30, 100, 100, 20);
+        chain(&mut c, 2, 200, 0, 30, 100, 100, 20);
+        let (la, lb, lc) = (log(a), log(b), log(c));
+        let ladder = ladder_diff(&[&la, &lb, &lc]).unwrap();
+        assert_eq!(ladder.matched, 1);
+        assert_eq!(ladder.only_in_rung, vec![1, 0, 1]);
+
+        assert_eq!(ladder_diff(&[&la]).unwrap_err(), DiffError::TooFewRungs);
+        assert!(DiffError::TooFewRungs.to_string().contains("two"));
+
+        let mut shifted = Vec::new();
+        chain(&mut shifted, 1, 101, 0, 30, 500, 100, 20);
+        let ls = log(shifted);
+        assert_eq!(
+            ladder_diff(&[&la, &lb, &ls]).unwrap_err(),
+            DiffError::ArrivalMismatch {
+                request: 1,
+                a_ns: 100,
+                b_ns: 101
+            }
+        );
     }
 
     #[test]

@@ -246,6 +246,20 @@ pub enum TraceEvent {
         /// Ops coalesced into the visit, leader included.
         size: u32,
     },
+    /// A coordinator progress hint reached a server and updated the
+    /// remaining-bottleneck view of the request's queued ops.
+    HintArrive {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Request id the hint is about.
+        request: u64,
+        /// Server the hint arrived at.
+        server: u32,
+        /// Hinted bottleneck ETA (absolute sim time), nanoseconds.
+        eta_ns: u64,
+        /// Hinted remaining bottleneck demand, nanoseconds.
+        remaining_ns: u64,
+    },
     /// A per-server load sample (piggybacked on sampled-op enqueues).
     QueueSample {
         /// Simulation time, nanoseconds.
@@ -279,6 +293,7 @@ impl TraceEvent {
             | TraceEvent::Admitted { t_ns, .. }
             | TraceEvent::Shed { t_ns, .. }
             | TraceEvent::Batched { t_ns, .. }
+            | TraceEvent::HintArrive { t_ns, .. }
             | TraceEvent::QueueSample { t_ns, .. } => t_ns,
         }
     }
@@ -298,7 +313,8 @@ impl TraceEvent {
             | TraceEvent::CrashDrop { request, .. }
             | TraceEvent::Admitted { request, .. }
             | TraceEvent::Shed { request, .. }
-            | TraceEvent::Batched { request, .. } => Some(request),
+            | TraceEvent::Batched { request, .. }
+            | TraceEvent::HintArrive { request, .. } => Some(request),
             TraceEvent::ServerCrash { .. }
             | TraceEvent::ServerRecover { .. }
             | TraceEvent::QueueSample { .. } => None,
@@ -361,6 +377,13 @@ mod tests {
                 server: 2,
                 size: 3,
             },
+            TraceEvent::HintArrive {
+                t_ns: 60,
+                request: 8,
+                server: 2,
+                eta_ns: 120,
+                remaining_ns: 60,
+            },
         ];
         for ev in &events {
             let json = serde_json::to_string(ev).unwrap();
@@ -396,6 +419,24 @@ mod tests {
         };
         assert_eq!(ev.t_ns(), 11);
         assert_eq!(ev.request(), Some(6));
+    }
+
+    #[test]
+    fn hint_arrive_is_flat_and_tagged() {
+        let ev = TraceEvent::HintArrive {
+            t_ns: 42,
+            request: 5,
+            server: 3,
+            eta_ns: 100,
+            remaining_ns: 58,
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(
+            json,
+            r#"{"ev":"hint_arrive","t_ns":42,"request":5,"server":3,"eta_ns":100,"remaining_ns":58}"#
+        );
+        assert_eq!(ev.t_ns(), 42);
+        assert_eq!(ev.request(), Some(5));
     }
 
     #[test]

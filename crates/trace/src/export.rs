@@ -7,6 +7,7 @@ use serde::Value;
 
 use crate::event::{DispatchKind, TraceEvent};
 use crate::recorder::TraceLog;
+use crate::telemetry::Telemetry;
 
 /// Writes the log as JSON Lines: one [`TraceEvent`] object per line, in
 /// simulation-time order.
@@ -82,9 +83,19 @@ fn assign_lanes(spans: &[(u64, u64)]) -> Vec<usize> {
 /// Layout: pid 0 holds one lane-packed `X` span per traced request plus
 /// coordinator-side instants (timeouts, retries, hedges, aborts, crash
 /// drops); pid `server + 1` holds that server's lane-packed service spans,
-/// its scheduler-decision instants, and a `queue_len` counter track. Load
-/// the result in Perfetto or `chrome://tracing`.
+/// its scheduler-decision and hint-arrival instants, and a `queue_len`
+/// counter track. Load the result in Perfetto or `chrome://tracing`.
 pub fn chrome_trace(log: &TraceLog) -> Value {
+    chrome_trace_with_telemetry(log, None)
+}
+
+/// [`chrome_trace`], optionally interleaving per-server `"C"` counter
+/// tracks from folded [`Telemetry`]: one sample per epoch per server for
+/// busy occupancy (percent of worker capacity), outstanding bottleneck
+/// demand (ms), end-of-epoch queue depth, and the per-epoch
+/// reorder/shed/retry/hedge/batch rates — so load and the scheduling
+/// decisions it provoked sit on one Perfetto timeline.
+pub fn chrome_trace_with_telemetry(log: &TraceLog, telemetry: Option<&Telemetry>) -> Value {
     let mut out: Vec<Value> = Vec::new();
 
     // Process metadata.
@@ -97,6 +108,7 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
             | TraceEvent::ServerCrash { server, .. }
             | TraceEvent::ServerRecover { server, .. }
             | TraceEvent::Batched { server, .. }
+            | TraceEvent::HintArrive { server, .. }
             | TraceEvent::QueueSample { server, .. } => {
                 servers.insert(server);
             }
@@ -305,6 +317,21 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
                 t_ns,
                 obj(vec![("size", Value::U64(size as u64))]),
             )),
+            TraceEvent::HintArrive {
+                t_ns,
+                request,
+                server,
+                eta_ns,
+                remaining_ns,
+            } => out.push(instant(
+                format!("hint r{request}"),
+                server as u64 + 1,
+                t_ns,
+                obj(vec![
+                    ("eta_ms", Value::F64(eta_ns as f64 / 1e6)),
+                    ("remaining_ms", Value::F64(remaining_ns as f64 / 1e6)),
+                ]),
+            )),
             TraceEvent::ServerCrash { t_ns, server } => out.push(instant(
                 "crash".into(),
                 server as u64 + 1,
@@ -339,6 +366,64 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
         }
     }
 
+    // Telemetry counter tracks: one sample per server per epoch, stamped
+    // at the epoch's start so the value covers the whole bucket.
+    if let Some(t) = telemetry {
+        let counter = |name: &str, pid: u64, t_ns: u64, args: Value| {
+            obj(vec![
+                ("name", Value::Str(name.into())),
+                ("ph", Value::Str("C".into())),
+                ("pid", Value::U64(pid)),
+                ("ts", us(t_ns)),
+                ("args", args),
+            ])
+        };
+        let capacity = (u64::from(t.workers) * t.epoch_ns) as f64;
+        for series in t.servers.values() {
+            let pid = series.server as u64 + 1;
+            for e in 0..t.epochs {
+                let t_ns = e as u64 * t.epoch_ns;
+                out.push(counter(
+                    "tm busy %",
+                    pid,
+                    t_ns,
+                    obj(vec![(
+                        "busy",
+                        Value::F64(series.busy_ns[e] as f64 * 100.0 / capacity),
+                    )]),
+                ));
+                out.push(counter(
+                    "tm demand ms",
+                    pid,
+                    t_ns,
+                    obj(vec![(
+                        "demand",
+                        Value::F64(series.demand_ns[e] as f64 / 1e6),
+                    )]),
+                ));
+                out.push(counter(
+                    "tm depth",
+                    pid,
+                    t_ns,
+                    obj(vec![("len", Value::U64(series.queue_len[e] as u64))]),
+                ));
+                out.push(counter(
+                    "tm rates",
+                    pid,
+                    t_ns,
+                    obj(vec![
+                        ("reorders", Value::U64(series.reorders[e] as u64)),
+                        ("sheds", Value::U64(series.sheds[e] as u64)),
+                        ("retries", Value::U64(series.retries[e] as u64)),
+                        ("hedges", Value::U64(series.hedges[e] as u64)),
+                        ("batched", Value::U64(series.batched_ops[e] as u64)),
+                        ("hints", Value::U64(series.hints[e] as u64)),
+                    ]),
+                ));
+            }
+        }
+    }
+
     obj(vec![
         ("traceEvents", Value::Array(out)),
         ("displayTimeUnit", Value::Str("ms".into())),
@@ -348,6 +433,17 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
 /// Serializes [`chrome_trace`] to a writer.
 pub fn write_chrome<W: Write>(log: &TraceLog, mut w: W) -> io::Result<()> {
     let doc = serde_json::to_string(&chrome_trace(log)).map_err(io::Error::other)?;
+    w.write_all(doc.as_bytes())
+}
+
+/// Serializes [`chrome_trace_with_telemetry`] to a writer.
+pub fn write_chrome_with_telemetry<W: Write>(
+    log: &TraceLog,
+    telemetry: &Telemetry,
+    mut w: W,
+) -> io::Result<()> {
+    let doc = serde_json::to_string(&chrome_trace_with_telemetry(log, Some(telemetry)))
+        .map_err(io::Error::other)?;
     w.write_all(doc.as_bytes())
 }
 
@@ -559,6 +655,53 @@ mod tests {
         assert!(json.contains("shed admission r2"), "{json}");
         assert!(json.contains("batch r1.0"), "{json}");
         assert!(json.contains("server 3"), "{json}");
+    }
+
+    #[test]
+    fn hint_instants_render_on_the_server_track() {
+        let log = TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events: vec![TraceEvent::HintArrive {
+                t_ns: 500,
+                request: 4,
+                server: 2,
+                eta_ns: 2_000_000,
+                remaining_ns: 1_000_000,
+            }],
+        };
+        let json = serde_json::to_string(&chrome_trace(&log)).unwrap();
+        assert!(json.contains("hint r4"), "{json}");
+        assert!(json.contains("server 2"), "{json}");
+        assert!(json.contains("remaining_ms"), "{json}");
+    }
+
+    #[test]
+    fn telemetry_counter_tracks_render_per_epoch() {
+        use crate::telemetry::{fold, TelemetryConfig};
+        let log = tiny_log();
+        let t = fold(
+            &log,
+            &TelemetryConfig {
+                epoch_ns: 100,
+                workers: 1,
+            },
+        );
+        let mut buf = Vec::new();
+        write_chrome_with_telemetry(&log, &t, &mut buf).unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        assert!(json.contains("tm busy %"), "{json}");
+        assert!(json.contains("tm demand ms"), "{json}");
+        assert!(json.contains("tm depth"), "{json}");
+        assert!(json.contains("tm rates"), "{json}");
+        // Without telemetry the counter tracks are absent and the document
+        // is byte-identical to the plain export.
+        let plain = serde_json::to_string(&chrome_trace(&log)).unwrap();
+        assert!(!plain.contains("tm busy %"));
+        assert_eq!(
+            plain,
+            serde_json::to_string(&chrome_trace_with_telemetry(&log, None)).unwrap()
+        );
     }
 
     #[test]

@@ -21,9 +21,19 @@
 //!   attributes the per-request RCT *delta* to the same five segments; the
 //!   signed deltas telescope exactly too, so "policy B is 24 % faster"
 //!   decomposes without residue into per-segment gains and losses.
+//! * [`diff::ladder_diff`] — generalizes the pair to an N-way policy
+//!   ladder (FCFS → Rein-SBF → DAS → DAS-tuned) over one common request
+//!   population, so the per-segment step deltas telescope exactly across
+//!   every rung, with per-server drill-down.
+//! * [`telemetry::fold`] — folds the event stream into deterministic,
+//!   integer-ns, epoch-bucketed per-server time series (queue depth,
+//!   busy/idle occupancy with exact busy + idle == horizon conservation,
+//!   outstanding bottleneck demand, reorder/shed/retry/hedge/batch/hint
+//!   rates).
 //! * [`export`] — JSONL (one event per line, with [`export::read_jsonl`]
 //!   as the inverse) and Chrome `trace_event` JSON loadable in Perfetto /
-//!   `chrome://tracing`.
+//!   `chrome://tracing`, including per-server counter tracks from the
+//!   folded telemetry.
 //!
 //! ## Determinism
 //!
@@ -45,8 +55,13 @@ pub mod event;
 pub mod export;
 pub mod present;
 pub mod recorder;
+pub mod telemetry;
 
 pub use analysis::{critical_paths, request_outcomes, BlameBreakdown, CriticalPath};
-pub use diff::{diff_traces, DiffError, DiffSummary, RequestDelta, Segment, TraceDiff};
+pub use diff::{
+    diff_traces, ladder_diff, DiffError, DiffSummary, LadderDiff, LadderSummary, RequestDelta,
+    Segment, ServerLadder, ServerLadderSummary, TraceDiff,
+};
 pub use event::{DispatchKind, ShedReason, TraceEvent};
 pub use recorder::{TraceConfig, TraceLog, TraceRecorder};
+pub use telemetry::{ServerSeries, Telemetry, TelemetryConfig};

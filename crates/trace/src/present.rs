@@ -19,8 +19,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::{critical_paths, CriticalPath};
-use crate::diff::{Segment, TraceDiff};
+use crate::diff::{LadderDiff, Segment, TraceDiff};
 use crate::recorder::TraceLog;
+use crate::telemetry::{ServerSeries, Telemetry};
 
 /// Aggregated blame: mean per-segment time over all reconstructed paths.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -255,6 +256,101 @@ pub struct DiffSummary {
     pub moved_segment: u64,
     /// Dominant-segment migration counts, `[from][to]` in path order.
     pub migration: [[u64; 5]; 5],
+}
+
+impl LadderDiff {
+    /// The serializable summary: one [`DiffSummary`] per adjacent step
+    /// plus the end-to-end first→last view and the per-server mean RCT
+    /// trajectory. `names` labels the rungs (must have `steps.len() + 1`
+    /// entries; extra / missing names are tolerated by truncating).
+    pub fn summary(&self, names: &[String]) -> LadderSummary {
+        LadderSummary {
+            rungs: names.to_vec(),
+            matched: self.matched,
+            only_in_rung: self.only_in_rung.clone(),
+            steps: self.steps.iter().map(TraceDiff::summary).collect(),
+            end_to_end: self.end_to_end.summary(),
+            servers: self
+                .servers
+                .iter()
+                .map(|row| ServerLadderSummary {
+                    server: row.server,
+                    matched: row.matched,
+                    mean_rct_secs: row
+                        .sum_rct_ns
+                        .iter()
+                        .map(|&ns| ns as f64 * 1e-9 / row.matched as f64)
+                        .collect(),
+                    mean_queue_secs: row
+                        .sum_ns
+                        .iter()
+                        .map(|s| s[Segment::Queue.index()] as f64 * 1e-9 / row.matched as f64)
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One server group's per-rung mean trajectory in a [`LadderSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServerLadderSummary {
+    /// The rung-0 completing server defining the group.
+    pub server: u32,
+    /// Matched requests in the group.
+    pub matched: u64,
+    /// Mean RCT of the group under each rung, seconds.
+    pub mean_rct_secs: Vec<f64>,
+    /// Mean queue wait of the group under each rung, seconds.
+    pub mean_queue_secs: Vec<f64>,
+}
+
+/// The serializable aggregate view of a [`LadderDiff`] (what
+/// `das_experiment blame-diff --ladder --out` writes).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LadderSummary {
+    /// Rung names, baseline first.
+    pub rungs: Vec<String>,
+    /// Requests matched across every rung.
+    pub matched: u64,
+    /// Per rung: completed requests outside the common matched set.
+    pub only_in_rung: Vec<u64>,
+    /// One pairwise summary per adjacent rung boundary.
+    pub steps: Vec<DiffSummary>,
+    /// First rung vs last rung over the same matched set.
+    pub end_to_end: DiffSummary,
+    /// Per-server drill-down (grouped by the baseline completing server).
+    pub servers: Vec<ServerLadderSummary>,
+}
+
+impl Telemetry {
+    /// A server's busy fraction of its worker capacity over the horizon,
+    /// in `[0, 1]`.
+    pub fn busy_fraction(&self, series: &ServerSeries) -> f64 {
+        let cap = self.capacity_ns();
+        if cap == 0 {
+            return 0.0;
+        }
+        series.total_busy_ns() as f64 / cap as f64
+    }
+
+    /// A server's mean end-of-epoch queue depth.
+    pub fn mean_queue_len(&self, series: &ServerSeries) -> f64 {
+        if self.epochs == 0 {
+            return 0.0;
+        }
+        series.queue_len.iter().map(|&q| q as f64).sum::<f64>() / self.epochs as f64
+    }
+
+    /// A server's per-epoch busy fractions, for sparkline panels.
+    pub fn busy_series(&self, series: &ServerSeries) -> Vec<f64> {
+        let cap = (u64::from(self.workers) * self.epoch_ns) as f64;
+        series
+            .busy_ns
+            .iter()
+            .map(|&b| if cap > 0.0 { b as f64 / cap } else { 0.0 })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,634 @@
+//! Streaming per-server telemetry: a deterministic fold of the raw
+//! [`TraceEvent`] stream into epoch-bucketed, integer-nanosecond time
+//! series.
+//!
+//! [`fold`] walks a [`TraceLog`] once, in recorded (simulation-time)
+//! order, and produces one [`ServerSeries`] per server that appears in
+//! the log. Per epoch of [`TelemetryConfig::epoch_ns`] it accounts:
+//!
+//! * **busy occupancy** — exact integer overlap of every realized service
+//!   span (`[t_ns − service_ns, t_ns)` from [`TraceEvent::ServiceEnd`])
+//!   with the epoch. Batch-follower slices are booked over disjoint
+//!   intervals by the engine, so summing spans never double-bills a
+//!   worker. Idle is defined as the complement
+//!   (`workers · epoch_ns − busy`), which gives the conservation law
+//!   checked by the proptests: per server,
+//!   `Σ busy + Σ idle == workers · horizon_ns` exactly.
+//! * **queue depth** — the last queue length the server reported inside
+//!   the epoch ([`TraceEvent::OpEnqueue`] is post-enqueue,
+//!   [`TraceEvent::SchedDecision`] is pre-removal so depth drops by one,
+//!   [`TraceEvent::QueueSample`] is authoritative), forward-filled across
+//!   event-free epochs.
+//! * **outstanding bottleneck demand** — a gauge of the summed
+//!   coordinator service estimates (`est_ns` of the latest
+//!   [`TraceEvent::OpDispatch`]) of every op currently sitting in the
+//!   server's queue: raised on enqueue, released when the op starts
+//!   service (scheduler decision or batch-follower pull) or dies in a
+//!   crash. On a clean fully-sampled run the gauge returns exactly to
+//!   zero.
+//! * **rates** — enqueues, completions, dequeue reorders (scheduler
+//!   decisions with arrival-order `position > 0`, i.e. rank inversions),
+//!   sheds, retry and hedge dispatches, batch-coalesced ops, and hint
+//!   arrivals. At `sample = 1.0` the epoch counts sum exactly to the
+//!   matching `RecoveryStats` totals (proptest-enforced).
+//!
+//! Everything here is pure integer arithmetic on the recorded
+//! nanosecond timestamps — no floats, no wall clocks, no hashing — so
+//! the fold is bit-deterministic and `das-lint`'s accounting rules apply
+//! to this file. Seconds-facing views live in [`crate::present`] /
+//! the report layer.
+
+use std::collections::BTreeMap;
+
+use crate::event::{DispatchKind, TraceEvent};
+use crate::recorder::TraceLog;
+
+/// How to bucket the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Epoch (bucket) width, nanoseconds. Must be non-zero.
+    pub epoch_ns: u64,
+    /// Workers per server, for the idle complement. The conservation law
+    /// `busy + idle == workers · horizon` only holds when this matches
+    /// the simulated cluster.
+    pub workers: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_ns: 10_000_000, // 10 ms
+            workers: 1,
+        }
+    }
+}
+
+/// Epoch-bucketed series for one server. All vectors have length
+/// [`Telemetry::epochs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerSeries {
+    /// The server id.
+    pub server: u32,
+    /// Busy worker-nanoseconds per epoch (exact span overlap).
+    pub busy_ns: Vec<u64>,
+    /// Queue depth at the end of each epoch (last report, forward-filled).
+    pub queue_len: Vec<u32>,
+    /// Outstanding bottleneck demand (summed `est_ns` of queued ops) at
+    /// the end of each epoch, forward-filled.
+    pub demand_ns: Vec<u64>,
+    /// Ops enqueued per epoch.
+    pub enqueues: Vec<u32>,
+    /// Ops whose service completed per epoch.
+    pub completions: Vec<u32>,
+    /// Scheduler decisions that reordered the queue (`position > 0`).
+    pub reorders: Vec<u32>,
+    /// Requests shed at (or blamed on) this server per epoch.
+    pub sheds: Vec<u32>,
+    /// Retry dispatches targeting this server per epoch.
+    pub retries: Vec<u32>,
+    /// Hedge dispatches targeting this server per epoch.
+    pub hedges: Vec<u32>,
+    /// Ops that started service inside a coalesced batch per epoch
+    /// (leaders included, matching one `Batched` event per member).
+    pub batched_ops: Vec<u32>,
+    /// Coordinator progress hints that arrived per epoch.
+    pub hints: Vec<u32>,
+}
+
+impl ServerSeries {
+    fn new(server: u32, epochs: usize) -> Self {
+        ServerSeries {
+            server,
+            busy_ns: vec![0; epochs],
+            queue_len: vec![0; epochs],
+            demand_ns: vec![0; epochs],
+            enqueues: vec![0; epochs],
+            completions: vec![0; epochs],
+            reorders: vec![0; epochs],
+            sheds: vec![0; epochs],
+            retries: vec![0; epochs],
+            hedges: vec![0; epochs],
+            batched_ops: vec![0; epochs],
+            hints: vec![0; epochs],
+        }
+    }
+
+    /// Total busy worker-nanoseconds across all epochs.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
+
+    /// Idle worker-nanoseconds in `epoch` under `cfg`: the complement
+    /// `workers · epoch_ns − busy`. Saturates at zero if `cfg.workers`
+    /// understates the real worker count (conservation then no longer
+    /// holds — the caller passed the wrong cluster shape).
+    pub fn idle_ns(&self, epoch: usize, cfg: &TelemetryConfig) -> u64 {
+        let capacity = u64::from(cfg.workers) * cfg.epoch_ns;
+        capacity.saturating_sub(self.busy_ns[epoch])
+    }
+
+    /// Total idle worker-nanoseconds across all epochs.
+    pub fn total_idle_ns(&self, cfg: &TelemetryConfig) -> u64 {
+        (0..self.busy_ns.len()).map(|e| self.idle_ns(e, cfg)).sum()
+    }
+
+    /// Largest queue depth observed at any epoch end.
+    pub fn peak_queue_len(&self) -> u32 {
+        self.queue_len.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest end-of-epoch outstanding demand, nanoseconds.
+    pub fn peak_demand_ns(&self) -> u64 {
+        self.demand_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of an integer counter series.
+    pub fn total(counts: &[u32]) -> u64 {
+        counts.iter().map(|&c| u64::from(c)).sum()
+    }
+}
+
+/// The folded telemetry for one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Epoch width, nanoseconds.
+    pub epoch_ns: u64,
+    /// Number of epochs. The covered horizon is `epochs · epoch_ns` and
+    /// always contains every event timestamp in the log.
+    pub epochs: usize,
+    /// Workers per server used for the idle complement.
+    pub workers: u32,
+    /// Per-server series, keyed by server id (deterministic order).
+    pub servers: BTreeMap<u32, ServerSeries>,
+}
+
+impl Telemetry {
+    /// The covered horizon, nanoseconds (`epochs · epoch_ns`).
+    pub fn horizon_ns(&self) -> u64 {
+        self.epochs as u64 * self.epoch_ns
+    }
+
+    /// Worker-nanosecond capacity per server over the horizon
+    /// (`workers · horizon_ns`) — the conserved quantity:
+    /// every server's `total_busy_ns() + total_idle_ns(cfg)` equals this
+    /// exactly when `cfg.workers` matches the cluster.
+    pub fn capacity_ns(&self) -> u64 {
+        u64::from(self.workers) * self.horizon_ns()
+    }
+}
+
+/// Running gauge state written into a series with last-write-wins
+/// semantics, then forward-filled over untouched epochs.
+struct Gauge<T: Copy> {
+    value: T,
+    touched: Vec<bool>,
+}
+
+impl<T: Copy> Gauge<T> {
+    fn new(zero: T, epochs: usize) -> Self {
+        Gauge {
+            value: zero,
+            touched: vec![false; epochs],
+        }
+    }
+
+    fn set(&mut self, series: &mut [T], epoch: usize, value: T) {
+        self.value = value;
+        series[epoch] = value;
+        self.touched[epoch] = true;
+    }
+
+    /// Copies each epoch's last written value forward across untouched
+    /// epochs (gaps before the first write keep the zero default).
+    fn fill(&self, series: &mut [T]) {
+        let mut last: Option<T> = None;
+        for (e, slot) in series.iter_mut().enumerate() {
+            if self.touched[e] {
+                last = Some(*slot);
+            } else if let Some(v) = last {
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// Per-server mutable fold state that is not itself a published series.
+struct ServerFold {
+    queue: Gauge<u32>,
+    demand: Gauge<u64>,
+}
+
+/// Folds a trace into epoch-bucketed per-server telemetry.
+///
+/// The fold is a single deterministic pass over the recorded event order
+/// (simulation-time order by construction). Servers are discovered from
+/// the events themselves; a server that never appears gets no series.
+///
+/// # Panics
+///
+/// Panics if `cfg.epoch_ns == 0`.
+pub fn fold(log: &TraceLog, cfg: &TelemetryConfig) -> Telemetry {
+    assert!(cfg.epoch_ns > 0, "telemetry epoch must be non-zero");
+    let max_t = log.events.iter().map(TraceEvent::t_ns).max().unwrap_or(0);
+    // Floor + 1: the event at max_t lands in epoch max_t / epoch_ns,
+    // which is always < epochs.
+    let epochs = (max_t / cfg.epoch_ns) as usize + 1;
+
+    let mut servers: BTreeMap<u32, ServerSeries> = BTreeMap::new();
+    let mut state: BTreeMap<u32, ServerFold> = BTreeMap::new();
+    // Discover-or-fetch: the two maps always hold the same key set, and
+    // returning both entries at once keeps every event arm panic-free.
+    fn touch<'a>(
+        servers: &'a mut BTreeMap<u32, ServerSeries>,
+        state: &'a mut BTreeMap<u32, ServerFold>,
+        server: u32,
+        epochs: usize,
+    ) -> (&'a mut ServerSeries, &'a mut ServerFold) {
+        (
+            servers
+                .entry(server)
+                .or_insert_with(|| ServerSeries::new(server, epochs)),
+            state.entry(server).or_insert_with(|| ServerFold {
+                queue: Gauge::new(0u32, epochs),
+                demand: Gauge::new(0u64, epochs),
+            }),
+        )
+    }
+
+    // Latest coordinator estimate per (request, op), from dispatches.
+    let mut last_est: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+    // Ops currently queued: (request, op) -> (server, est_ns charged).
+    let mut queued: BTreeMap<(u64, u32), (u32, u64)> = BTreeMap::new();
+
+    for ev in &log.events {
+        let epoch = (ev.t_ns() / cfg.epoch_ns) as usize;
+        match *ev {
+            TraceEvent::OpDispatch {
+                request,
+                op,
+                server,
+                kind,
+                est_ns,
+                ..
+            } => {
+                let (s, _) = touch(&mut servers, &mut state, server, epochs);
+                last_est.insert((request, op), est_ns);
+                match kind {
+                    DispatchKind::First => {}
+                    DispatchKind::Retry => s.retries[epoch] += 1,
+                    DispatchKind::Hedge => s.hedges[epoch] += 1,
+                }
+            }
+            TraceEvent::OpEnqueue {
+                request,
+                op,
+                server,
+                queue_len,
+                ..
+            } => {
+                let (s, f) = touch(&mut servers, &mut state, server, epochs);
+                let est = last_est.get(&(request, op)).copied().unwrap_or(0);
+                // A crashed-and-redelivered op can re-enqueue under the
+                // same key; the old charge was already released by the
+                // crash-drop, so a plain insert is exact.
+                queued.insert((request, op), (server, est));
+                s.enqueues[epoch] += 1;
+                f.queue.set(&mut s.queue_len, epoch, queue_len);
+                let demand = f.demand.value + est;
+                f.demand.set(&mut s.demand_ns, epoch, demand);
+            }
+            TraceEvent::SchedDecision {
+                request,
+                op,
+                server,
+                position,
+                queue_len,
+                ..
+            } => {
+                let (s, f) = touch(&mut servers, &mut state, server, epochs);
+                if position > 0 {
+                    s.reorders[epoch] += 1;
+                }
+                // `queue_len` is pre-removal: depth after the pick is one
+                // lower.
+                f.queue
+                    .set(&mut s.queue_len, epoch, queue_len.saturating_sub(1));
+                if let Some((srv, est)) = queued.remove(&(request, op)) {
+                    release_demand(&mut servers, &mut state, srv, est, epoch);
+                }
+            }
+            TraceEvent::Batched {
+                request, op, server, ..
+            } => {
+                let (s, _) = touch(&mut servers, &mut state, server, epochs);
+                s.batched_ops[epoch] += 1;
+                // Followers start service without a SchedDecision: the
+                // batch pull is their dequeue. (The leader's charge was
+                // already released by its decision — the remove is a
+                // no-op then.)
+                if let Some((srv, est)) = queued.remove(&(request, op)) {
+                    release_demand(&mut servers, &mut state, srv, est, epoch);
+                }
+            }
+            TraceEvent::ServiceEnd {
+                t_ns,
+                server,
+                service_ns,
+                ..
+            } => {
+                let (s, _) = touch(&mut servers, &mut state, server, epochs);
+                s.completions[epoch] += 1;
+                add_span(&mut s.busy_ns, cfg.epoch_ns, t_ns.saturating_sub(service_ns), t_ns);
+            }
+            TraceEvent::CrashDrop {
+                request, op, server, ..
+            } => {
+                touch(&mut servers, &mut state, server, epochs);
+                // A queued op died with the crash: release its charge.
+                // (In-service drops were already released at their
+                // decision; the remove is a no-op then.)
+                if let Some((srv, est)) = queued.remove(&(request, op)) {
+                    release_demand(&mut servers, &mut state, srv, est, epoch);
+                }
+            }
+            TraceEvent::ServerCrash { server, .. } => {
+                let (s, f) = touch(&mut servers, &mut state, server, epochs);
+                // The queue empties instantly; per-op CrashDrop events
+                // release the sampled charges, but unsampled runs (or
+                // partial samples) would leak — zero the gauges outright.
+                f.queue.set(&mut s.queue_len, epoch, 0);
+                f.demand.set(&mut s.demand_ns, epoch, 0);
+                queued.retain(|_, &mut (srv, _)| srv != server);
+            }
+            TraceEvent::Shed { server, .. } => {
+                let (s, _) = touch(&mut servers, &mut state, server, epochs);
+                s.sheds[epoch] += 1;
+            }
+            TraceEvent::HintArrive { server, .. } => {
+                let (s, _) = touch(&mut servers, &mut state, server, epochs);
+                s.hints[epoch] += 1;
+            }
+            TraceEvent::QueueSample {
+                server, queue_len, ..
+            } => {
+                let (s, f) = touch(&mut servers, &mut state, server, epochs);
+                f.queue.set(&mut s.queue_len, epoch, queue_len);
+            }
+            TraceEvent::ServerRecover { .. }
+            | TraceEvent::RequestArrive { .. }
+            | TraceEvent::OpResponse { .. }
+            | TraceEvent::RequestComplete { .. }
+            | TraceEvent::RequestAbort { .. }
+            | TraceEvent::OpTimeout { .. }
+            | TraceEvent::Admitted { .. } => {}
+        }
+    }
+
+    for (server, s) in &mut servers {
+        let f = &state[server];
+        f.queue.fill(&mut s.queue_len);
+        f.demand.fill(&mut s.demand_ns);
+    }
+
+    Telemetry {
+        epoch_ns: cfg.epoch_ns,
+        epochs,
+        workers: cfg.workers,
+        servers,
+    }
+}
+
+/// Lowers a server's demand gauge by `est` at `epoch`.
+fn release_demand(
+    servers: &mut BTreeMap<u32, ServerSeries>,
+    state: &mut BTreeMap<u32, ServerFold>,
+    server: u32,
+    est: u64,
+    epoch: usize,
+) {
+    let (Some(s), Some(f)) = (servers.get_mut(&server), state.get_mut(&server)) else {
+        return;
+    };
+    let demand = f.demand.value.saturating_sub(est);
+    f.demand.set(&mut s.demand_ns, epoch, demand);
+}
+
+/// Adds the exact overlap of `[start, end)` with each epoch to `busy`.
+/// Spans reaching past the last epoch boundary are clipped (cannot happen
+/// for spans taken from the log that sized the epoch vector).
+fn add_span(busy: &mut [u64], epoch_ns: u64, start: u64, end: u64) {
+    if start >= end || busy.is_empty() {
+        return;
+    }
+    let horizon = busy.len() as u64 * epoch_ns;
+    let end = end.min(horizon);
+    let mut t = start.min(end);
+    while t < end {
+        let e = (t / epoch_ns) as usize;
+        let boundary = (e as u64 + 1) * epoch_ns;
+        let upto = end.min(boundary);
+        busy[e] += upto - t;
+        t = upto;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(events: Vec<TraceEvent>) -> TraceLog {
+        TraceLog {
+            sample: 1.0,
+            dropped: 0,
+            events,
+        }
+    }
+
+    fn cfg(epoch_ns: u64) -> TelemetryConfig {
+        TelemetryConfig {
+            epoch_ns,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn busy_spans_split_exactly_across_epochs() {
+        // Service [50, 250) over 100ns epochs: 50 + 100 + 50.
+        let t = fold(
+            &log(vec![TraceEvent::ServiceEnd {
+                t_ns: 250,
+                request: 1,
+                op: 0,
+                server: 0,
+                service_ns: 200,
+            }]),
+            &cfg(100),
+        );
+        assert_eq!(t.epochs, 3);
+        let s = &t.servers[&0];
+        assert_eq!(s.busy_ns, vec![50, 100, 50]);
+        assert_eq!(s.total_busy_ns(), 200);
+        // Conservation: busy + idle == capacity.
+        assert_eq!(s.total_busy_ns() + s.total_idle_ns(&cfg(100)), t.capacity_ns());
+    }
+
+    #[test]
+    fn queue_gauge_forward_fills_and_decision_drops_depth() {
+        let events = vec![
+            TraceEvent::OpDispatch {
+                t_ns: 0,
+                request: 1,
+                op: 0,
+                server: 2,
+                attempt: 0,
+                kind: DispatchKind::First,
+                est_ns: 700,
+                bytes: 0,
+            },
+            TraceEvent::OpEnqueue {
+                t_ns: 10,
+                request: 1,
+                op: 0,
+                server: 2,
+                queue_len: 3,
+            },
+            TraceEvent::SchedDecision {
+                t_ns: 450,
+                request: 1,
+                op: 0,
+                server: 2,
+                rule: "min-rank".into(),
+                position: 2,
+                queue_len: 3,
+            },
+            TraceEvent::ServiceEnd {
+                t_ns: 950,
+                request: 1,
+                op: 0,
+                server: 2,
+                service_ns: 500,
+            },
+        ];
+        let t = fold(&log(events), &cfg(100));
+        let s = &t.servers[&2];
+        assert_eq!(t.epochs, 10);
+        // Epoch 0 ends at depth 3, epochs 1-3 forward-fill, epoch 4's
+        // decision drops it to 2, filled to the end.
+        assert_eq!(s.queue_len, vec![3, 3, 3, 3, 2, 2, 2, 2, 2, 2]);
+        // Demand: +700 at enqueue, released at the decision.
+        assert_eq!(s.demand_ns[0], 700);
+        assert_eq!(s.demand_ns[3], 700);
+        assert_eq!(s.demand_ns[4], 0);
+        assert_eq!(*s.demand_ns.last().unwrap(), 0);
+        assert_eq!(ServerSeries::total(&s.reorders), 1);
+        assert_eq!(ServerSeries::total(&s.enqueues), 1);
+        assert_eq!(ServerSeries::total(&s.completions), 1);
+    }
+
+    #[test]
+    fn batch_follower_releases_demand_without_decision() {
+        let events = vec![
+            TraceEvent::OpDispatch {
+                t_ns: 0,
+                request: 1,
+                op: 1,
+                server: 0,
+                attempt: 0,
+                kind: DispatchKind::First,
+                est_ns: 300,
+                bytes: 0,
+            },
+            TraceEvent::OpEnqueue {
+                t_ns: 0,
+                request: 1,
+                op: 1,
+                server: 0,
+                queue_len: 1,
+            },
+            TraceEvent::Batched {
+                t_ns: 50,
+                request: 1,
+                op: 1,
+                server: 0,
+                size: 2,
+            },
+        ];
+        let t = fold(&log(events), &cfg(1000));
+        let s = &t.servers[&0];
+        assert_eq!(s.demand_ns, vec![0]);
+        assert_eq!(ServerSeries::total(&s.batched_ops), 1);
+    }
+
+    #[test]
+    fn retry_hedge_shed_and_hint_counters() {
+        let dispatch = |kind, op| TraceEvent::OpDispatch {
+            t_ns: 5,
+            request: 1,
+            op,
+            server: 0,
+            attempt: 1,
+            kind,
+            est_ns: 10,
+            bytes: 0,
+        };
+        let events = vec![
+            dispatch(DispatchKind::Retry, 0),
+            dispatch(DispatchKind::Hedge, 1),
+            TraceEvent::Shed {
+                t_ns: 6,
+                request: 2,
+                reason: crate::event::ShedReason::Admission,
+                server: 0,
+            },
+            TraceEvent::HintArrive {
+                t_ns: 7,
+                request: 1,
+                server: 0,
+                eta_ns: 100,
+                remaining_ns: 50,
+            },
+        ];
+        let t = fold(&log(events), &cfg(100));
+        let s = &t.servers[&0];
+        assert_eq!(ServerSeries::total(&s.retries), 1);
+        assert_eq!(ServerSeries::total(&s.hedges), 1);
+        assert_eq!(ServerSeries::total(&s.sheds), 1);
+        assert_eq!(ServerSeries::total(&s.hints), 1);
+    }
+
+    #[test]
+    fn crash_zeroes_gauges() {
+        let events = vec![
+            TraceEvent::OpDispatch {
+                t_ns: 0,
+                request: 1,
+                op: 0,
+                server: 0,
+                attempt: 0,
+                kind: DispatchKind::First,
+                est_ns: 400,
+                bytes: 0,
+            },
+            TraceEvent::OpEnqueue {
+                t_ns: 0,
+                request: 1,
+                op: 0,
+                server: 0,
+                queue_len: 1,
+            },
+            TraceEvent::ServerCrash { t_ns: 150, server: 0 },
+        ];
+        let t = fold(&log(events), &cfg(100));
+        let s = &t.servers[&0];
+        assert_eq!(s.demand_ns, vec![400, 0]);
+        assert_eq!(s.queue_len, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_log_folds_to_one_empty_epoch() {
+        let t = fold(&log(vec![]), &cfg(100));
+        assert_eq!(t.epochs, 1);
+        assert!(t.servers.is_empty());
+        assert_eq!(t.horizon_ns(), 100);
+    }
+}
