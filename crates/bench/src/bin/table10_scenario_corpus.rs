@@ -1,0 +1,7 @@
+//! Table 10 (extension): the scenario regression corpus — committed
+//! workload traces replayed FCFS vs DAS, blame-diffed per scenario.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table10(output::quick_mode()).emit();
+}

@@ -1289,6 +1289,78 @@ pub fn table9(quick: bool) -> FigureOutput {
     f
 }
 
+/// Table 10 (extension): the scenario regression corpus — four committed
+/// workload traces (diurnal load curve, flash-crowd key storm, slow-disk
+/// gray failure, rolling restart) replayed under FCFS vs DAS via the
+/// record→replay pipeline, with each scenario's RCT delta blame-diffed
+/// per critical-path segment. Unlike every other figure, the workloads
+/// are *not* regenerated or rescaled by quick mode: the committed traces
+/// under `crates/workload/corpus/` are the regression corpus, pinned
+/// byte-for-byte by the test suite, so this table is reproducible down to
+/// the bit across machines and sessions.
+pub fn table10(_quick: bool) -> FigureOutput {
+    let corpus = scenarios::scenario_corpus();
+    let dir = crate::output::results_dir();
+    let mut rows: Vec<(String, das_trace::TraceDiff)> = Vec::new();
+    let mut results: Vec<(String, ExperimentResult)> = Vec::new();
+    for s in &corpus {
+        let trace = s.load_trace().unwrap_or_else(|e| {
+            panic!(
+                "{}: committed corpus trace unreadable ({e}); regenerate with \
+                 `cargo test --release --test scenario_corpus -- --ignored`",
+                s.slug
+            )
+        });
+        let mut e = s.experiment.clone();
+        e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+        e.trace = das_trace::TraceConfig::enabled();
+        let result = e.run_trace(&trace).expect("valid corpus scenario");
+        let diff = das_trace::diff_traces(
+            result.runs[0].trace.as_ref().expect("FCFS rung was traced"),
+            result.runs[1].trace.as_ref().expect("DAS rung was traced"),
+        )
+        .expect("both rungs replay the same trace");
+        // Persist both event logs so `das_experiment blame-diff` (and
+        // `top`) can be exercised on exactly this data — CI smokes that.
+        for (run, policy) in result.runs.iter().zip(["fcfs", "das"]) {
+            let log = run.trace.as_ref().expect("traced");
+            let path = dir.join(format!("table10_{}_{policy}.jsonl", s.slug));
+            let write = || -> std::io::Result<()> {
+                std::fs::create_dir_all(&dir)?;
+                let file = std::fs::File::create(&path)?;
+                let mut w = std::io::BufWriter::new(file);
+                das_trace::export::write_jsonl(log, &mut w)?;
+                std::io::Write::flush(&mut w)
+            };
+            match write() {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("note: could not persist event log: {e}"),
+            }
+        }
+        rows.push((s.title.to_string(), diff));
+        results.push((s.slug.to_string(), result));
+    }
+    let mut f = FigureOutput::new(
+        "table10_scenario_corpus",
+        "Scenario regression corpus — FCFS vs DAS over committed replay traces",
+    );
+    f.tables
+        .push(cross_scenario_table("Mean RCT (ms)", &results, |r| {
+            r.mean_rct() * 1e3
+        }));
+    f.tables.push(reduction_table(&results));
+    f.tables.push(report::corpus_diff_table("FCFS", "DAS", &rows));
+    f.notes = "Each scenario replays a committed, validated workload trace \
+               (exact integer-ns arrivals, ids preserved) against FCFS and \
+               DAS; the per-scenario blame diff matches requests by id, and \
+               its five Δ columns sum exactly to the Δ total column — the \
+               telescoping invariant, corpus-wide. Quick mode does not \
+               rescale these runs: the corpus is the fixed regression \
+               baseline."
+        .into();
+    f
+}
+
 /// Builds a policies×scenarios table from named experiment results.
 fn cross_scenario_table(
     title: &str,
@@ -1387,5 +1459,6 @@ pub fn all_figures() -> Vec<FigureOutput> {
         table7(quick),
         table8(quick),
         table9(quick),
+        table10(quick),
     ]
 }

@@ -71,6 +71,13 @@ impl Iterator for RequestStream {
 
 /// Converts a pre-recorded trace into store requests using sizes from a
 /// key space built with the same spec/seed.
+///
+/// Requests are injected in the pinned replay order — ascending
+/// `(arrival, id)`, see [`das_workload::trace::replay_order`] — so
+/// equal-arrival ties always resolve to id order regardless of how the
+/// trace file was laid out. For a trace that passed
+/// [`das_workload::trace::validate_trace`] the reorder is a no-op and the
+/// replayed stream is exactly the recorded one.
 pub fn trace_to_requests(
     trace: &[RequestSpec],
     spec: &WorkloadSpec,
@@ -83,7 +90,9 @@ pub fn trace_to_requests(
         spec.hot_key_size_cap,
         seeds,
     );
-    trace
+    let mut ordered: Vec<&RequestSpec> = trace.iter().collect();
+    ordered.sort_by_key(|r| (r.arrival, r.id));
+    ordered
         .iter()
         .map(|r| StoreRequest {
             id: r.id,
@@ -146,5 +155,23 @@ mod tests {
         let streamed: Vec<StoreRequest> =
             RequestStream::new(&spec, &seeds, SimTime::from_millis(20)).collect();
         assert_eq!(converted, streamed);
+    }
+
+    #[test]
+    fn trace_conversion_pins_equal_arrival_order() {
+        let spec = WorkloadSpec::example();
+        let seeds = SeedFactory::new(14);
+        let t = SimTime::from_millis(3);
+        let mk = |id| das_workload::generator::RequestSpec {
+            id,
+            arrival: t,
+            keys: vec![id],
+            write_keys: vec![],
+        };
+        // File order deliberately violates the id tie-break.
+        let trace = vec![mk(4), mk(1), mk(3)];
+        let reqs = trace_to_requests(&trace, &spec, &seeds);
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
     }
 }

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! das_experiment run <config.json> [--out <dir>] [--trace <base>] [--trace-sample <rate>]
+//!                    [--record-workload <out.jsonl>]
 //!                                                  run an experiment, print tables
 //! das_experiment template [rho]                    print a ready-to-edit config
 //! das_experiment policies                          list available policies
 //! das_experiment trace <config.json> <out.jsonl>   record the workload as a trace
-//! das_experiment replay <config.json> <trace.jsonl>  replay a recorded trace
+//! das_experiment replay <config.json> <workload.jsonl> [--out <dir>]
+//!                       [--trace <base>] [--trace-sample <rate>]
+//!                                                  replay a recorded workload
 //! das_experiment blame-diff <a.jsonl> <b.jsonl> [<c.jsonl> ...]
 //!                           [--ladder n1,n2,...] [--out <summary.json>]
 //!                                                  attribute the RCT delta between
@@ -22,6 +25,20 @@
 //! Perfetto / `chrome://tracing`), plus the critical-path blame table.
 //! `--trace-sample <rate>` traces that fraction of requests (default 1).
 //!
+//! ## Record → replay
+//!
+//! `--record-workload <out.jsonl>` additionally writes the exact request
+//! stream the run consumed (ids, integer-ns arrival instants, keys, write
+//! marks) as a `das_workload::trace` JSONL file. Recording is opt-in and a
+//! pure observation: the generator is deterministic, so runs with and
+//! without it are bit-identical. `replay` then injects that stream —
+//! pinned to ascending `(arrival, id)` order — against *any* config's
+//! policy/cluster/fault/overload composition, with the same reporting and
+//! `--trace` event-log emission as `run`. Replaying under the recording
+//! config reproduces the original event logs byte for byte; replaying
+//! under a different policy yields logs that `blame-diff` (or `--ladder`)
+//! consumes directly, with matching ids and exactly telescoping deltas.
+//!
 //! `blame-diff` takes two or more such `.jsonl` event logs recorded from
 //! the *same seeded workload* under different policies, matches requests by
 //! id across every trace, and attributes the per-request RCT delta to the
@@ -33,7 +50,10 @@
 //!
 //! `top` folds one `.jsonl` event log into per-server occupancy telemetry
 //! (busy %, queue depth, reorder/shed/retry/hedge/batch/hint rates) and
-//! prints a sorted report with per-epoch busy sparklines.
+//! prints a sorted report with per-epoch busy sparklines. It refuses a
+//! `--workers` value below the log's own evidence (overlapping service
+//! spans on one server), naming the inferred minimum — otherwise the
+//! busy/idle complement would silently report occupancy above 100%.
 //!
 //! Configs are [`das_core::ExperimentConfig`] JSON — `template` prints one.
 
@@ -42,15 +62,11 @@ use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
-use das_core::adapter::trace_to_requests;
-use das_core::experiment::{ExperimentConfig, PolicySummary};
+use das_core::experiment::{ExperimentConfig, ExperimentResult, PolicySummary};
 use das_core::{report, scenarios};
 use das_sched::policy::PolicyKind;
 use das_sim::rng::SeedFactory;
-use das_sim::time::SimTime;
-use das_store::config::SimulationConfig;
-use das_store::engine::run_simulation;
-use das_workload::generator::WorkloadGenerator;
+use das_workload::generator::RequestSpec;
 use das_workload::trace::{read_trace, validate_trace, write_trace};
 
 fn main() -> ExitCode {
@@ -83,12 +99,12 @@ fn print_usage() {
     println!(
         "das-experiment — run DAS reproduction experiments from JSON configs\n\n\
          USAGE:\n  \
-         das_experiment run <config.json> [--out <dir>] [--trace <base>] [--trace-sample <rate>]\n  \
+         das_experiment run <config.json> [--out <dir>] [--trace <base>] [--trace-sample <rate>] [--record-workload <out.jsonl>]\n  \
          das_experiment template [rho]\n  \
          das_experiment policies\n  \
          das_experiment check <config.json>\n  \
          das_experiment trace <config.json> <out.jsonl>\n  \
-         das_experiment replay <config.json> <trace.jsonl>\n  \
+         das_experiment replay <config.json> <workload.jsonl> [--out <dir>] [--trace <base>] [--trace-sample <rate>]\n  \
          das_experiment blame-diff <a.jsonl> <b.jsonl> [<c.jsonl> ...] [--ladder n1,n2,...] [--out <summary.json>]\n  \
          das_experiment top <trace.jsonl> [--epoch-ms N] [--workers N]"
     );
@@ -101,38 +117,77 @@ fn load_config(path: &str) -> Result<ExperimentConfig, String> {
     Ok(config)
 }
 
+/// Flags shared by `run` and `replay`: output dir, event-trace emission,
+/// and (run only) workload recording.
+#[derive(Debug, Default)]
+struct EmitFlags {
+    out_dir: Option<String>,
+    trace_base: Option<String>,
+    trace_sample: Option<f64>,
+    record_workload: Option<String>,
+}
+
+impl EmitFlags {
+    /// Parses the flag tail of `run`/`replay`. `cmd` labels errors;
+    /// `--record-workload` is only accepted when `allow_record` is set.
+    fn parse(cmd: &str, args: &[String], allow_record: bool) -> Result<Self, String> {
+        let mut flags = EmitFlags::default();
+        let mut rest = args.iter();
+        while let Some(arg) = rest.next() {
+            match arg.as_str() {
+                "--out" => {
+                    flags.out_dir = Some(rest.next().ok_or("--out: missing directory")?.clone());
+                }
+                "--trace" => {
+                    flags.trace_base =
+                        Some(rest.next().ok_or("--trace: missing output path")?.clone());
+                }
+                "--trace-sample" => {
+                    let s = rest.next().ok_or("--trace-sample: missing rate")?;
+                    let rate: f64 = s
+                        .parse()
+                        .map_err(|_| format!("--trace-sample: `{s}` is not a number"))?;
+                    flags.trace_sample = Some(rate);
+                }
+                "--record-workload" if allow_record => {
+                    flags.record_workload =
+                        Some(rest.next().ok_or("--record-workload: missing path")?.clone());
+                }
+                other => return Err(format!("{cmd}: unexpected argument `{other}`")),
+            }
+        }
+        if flags.trace_sample.is_some() && flags.trace_base.is_none() {
+            return Err("--trace-sample requires --trace <path>".into());
+        }
+        Ok(flags)
+    }
+
+    /// Applies the tracing flags to the loaded config.
+    fn arm_tracing(&self, config: &mut ExperimentConfig) {
+        if self.trace_base.is_some() {
+            config.trace.enabled = true;
+            if let Some(rate) = self.trace_sample {
+                config.trace.sample = rate;
+            }
+        }
+    }
+}
+
+/// Writes a recorded workload stream as a validated JSONL trace file.
+fn write_workload(path: &str, trace: &[RequestSpec]) -> Result<(), String> {
+    let file = fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_trace(&mut writer, trace).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    eprintln!("recorded {} requests to {path}", trace.len());
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run: missing <config.json>")?;
-    let mut out_dir: Option<String> = None;
-    let mut trace_base: Option<String> = None;
-    let mut trace_sample: Option<f64> = None;
-    let mut rest = args[1..].iter();
-    while let Some(arg) = rest.next() {
-        match arg.as_str() {
-            "--out" => out_dir = Some(rest.next().ok_or("--out: missing directory")?.clone()),
-            "--trace" => {
-                trace_base = Some(rest.next().ok_or("--trace: missing output path")?.clone());
-            }
-            "--trace-sample" => {
-                let s = rest.next().ok_or("--trace-sample: missing rate")?;
-                let rate: f64 = s
-                    .parse()
-                    .map_err(|_| format!("--trace-sample: `{s}` is not a number"))?;
-                trace_sample = Some(rate);
-            }
-            other => return Err(format!("run: unexpected argument `{other}`")),
-        }
-    }
-    if trace_sample.is_some() && trace_base.is_none() {
-        return Err("--trace-sample requires --trace <path>".into());
-    }
+    let flags = EmitFlags::parse("run", &args[1..], true)?;
     let mut config = load_config(path)?;
-    if trace_base.is_some() {
-        config.trace.enabled = true;
-        if let Some(rate) = trace_sample {
-            config.trace.sample = rate;
-        }
-    }
+    flags.arm_tracing(&mut config);
     eprintln!(
         "running `{}`: {} servers, {} policies, {}s horizon...",
         config.name,
@@ -141,23 +196,38 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         config.horizon_secs
     );
     let result = config.run()?;
-    println!("{}", report::render_experiment(&result));
+    if let Some(out) = &flags.record_workload {
+        write_workload(out, &config.record_workload())?;
+    }
+    emit_result(&result, &config, &flags)
+}
+
+/// The shared reporting/emission tail of `run` and `replay`: Markdown
+/// tables and charts on stdout, per-policy event logs (JSONL + Chrome with
+/// telemetry counter tracks) under `--trace`, and per-policy summaries
+/// under `--out`.
+fn emit_result(
+    result: &ExperimentResult,
+    config: &ExperimentConfig,
+    flags: &EmitFlags,
+) -> Result<(), String> {
+    println!("{}", report::render_experiment(result));
     if let Some(chart) = das_metrics::ascii::bar_chart(&result.table(), "mean (ms)", 40) {
         println!("{chart}");
     }
-    println!("{}", report::overhead_table(&result).to_markdown());
-    println!("{}", report::fairness_table(&result).to_markdown());
-    if let Some(t) = report::timeseries_table(&result, "Mean RCT over time (ms)") {
+    println!("{}", report::overhead_table(result).to_markdown());
+    println!("{}", report::fairness_table(result).to_markdown());
+    if let Some(t) = report::timeseries_table(result, "Mean RCT over time (ms)") {
         println!("{}", t.to_markdown());
     }
-    if let Some(t) = report::blame_table(&result) {
+    if let Some(t) = report::blame_table(result) {
         println!("{}", t.to_markdown());
-        let rows = report::blame_rows(&result);
+        let rows = report::blame_rows(result);
         if let Some(chart) = das_metrics::ascii::stacked_bars(&rows, 40) {
             println!("mean RCT blame per policy (ms)\n{chart}");
         }
     }
-    if let Some(base) = trace_base {
+    if let Some(base) = &flags.trace_base {
         for run in &result.runs {
             let Some(log) = &run.trace else { continue };
             let policy = sanitize(&run.policy);
@@ -188,8 +258,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    if let Some(dir) = out_dir {
-        let dir = Path::new(&dir);
+    if let Some(dir) = &flags.out_dir {
+        let dir = Path::new(dir);
         fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         let summaries: Vec<PolicySummary> =
             result.runs.iter().map(PolicySummary::from_run).collect();
@@ -317,22 +387,20 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         return Err("trace: expected <config.json> <out.jsonl>".into());
     };
     let config = load_config(config_path)?;
-    let seeds = SeedFactory::new(config.seed);
-    let mut generator = WorkloadGenerator::new(&config.workload, &seeds);
-    let trace = generator.take_until(SimTime::from_secs_f64(config.horizon_secs));
-    let file = fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
-    let mut writer = std::io::BufWriter::new(file);
-    write_trace(&mut writer, &trace).map_err(|e| e.to_string())?;
-    writer.flush().map_err(|e| e.to_string())?;
-    eprintln!("wrote {} requests to {out_path}", trace.len());
-    Ok(())
+    write_workload(out_path, &config.record_workload())
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let [config_path, trace_path] = args else {
-        return Err("replay: expected <config.json> <trace.jsonl>".into());
+    let [config_path, trace_path, rest @ ..] = args else {
+        return Err(
+            "replay: expected <config.json> <workload.jsonl> [--out <dir>] [--trace <base>] \
+             [--trace-sample <rate>]"
+                .into(),
+        );
     };
-    let config = load_config(config_path)?;
+    let flags = EmitFlags::parse("replay", rest, false)?;
+    let mut config = load_config(config_path)?;
+    flags.arm_tracing(&mut config);
     let file = fs::File::open(trace_path).map_err(|e| format!("opening {trace_path}: {e}"))?;
     let trace = read_trace(file).map_err(|e| e.to_string())?;
     validate_trace(&trace).map_err(|e| e.to_string())?;
@@ -341,32 +409,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         trace.len(),
         config.policies.len()
     );
-    let seeds = SeedFactory::new(config.seed);
-    println!("| policy | mean RCT (ms) | p99 (ms) | completed |");
-    println!("|---|---:|---:|---:|");
-    for &policy in &config.policies {
-        let sim = SimulationConfig {
-            cluster: config.cluster.clone(),
-            policy,
-            seed: config.seed,
-            horizon_secs: config.horizon_secs,
-            warmup_secs: config.warmup_secs,
-            rct_timeseries_bin_secs: None,
-            faults: config.faults.clone(),
-            overload: config.overload,
-            trace: config.trace,
-        };
-        let requests = trace_to_requests(&trace, &config.workload, &seeds);
-        let result = run_simulation(&sim, requests)?;
-        println!(
-            "| {} | {:.3} | {:.3} | {} |",
-            result.policy,
-            result.mean_rct() * 1e3,
-            result.p99_rct() * 1e3,
-            result.completed,
-        );
-    }
-    Ok(())
+    let result = config.run_trace(&trace)?;
+    emit_result(&result, &config, &flags)
 }
 
 fn read_event_log(path: &str) -> Result<das_trace::TraceLog, String> {
@@ -477,6 +521,21 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         }
     }
     let log = read_event_log(path)?;
+    // Guard the busy/idle complement: overlapping service spans on one
+    // server prove more workers than `--workers` claims, and folding with
+    // the understated count would render busy > 100% and break the
+    // `busy + idle == workers × horizon` conservation law.
+    if let Some((server, min)) = das_trace::telemetry::min_workers(&log) {
+        if min > cfg.workers {
+            return Err(format!(
+                "top: --workers {} understates the cluster that produced this trace: \
+                 server {server} has up to {min} service spans open concurrently, so busy \
+                 occupancy would exceed 100% of the assumed capacity. \
+                 Re-run with --workers {min} (or more).",
+                cfg.workers
+            ));
+        }
+    }
     let telemetry = das_trace::telemetry::fold(&log, &cfg);
     println!("{}", report::render_top(&telemetry));
     Ok(())

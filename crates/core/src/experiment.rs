@@ -11,9 +11,9 @@ use das_sim::time::SimTime;
 use das_store::config::{ClusterConfig, FaultProfile, OverloadProfile, SimulationConfig};
 use das_trace::TraceConfig;
 use das_store::engine::{run_simulation, RunResult};
-use das_workload::generator::WorkloadSpec;
+use das_workload::generator::{RequestSpec, WorkloadGenerator, WorkloadSpec};
 
-use crate::adapter::RequestStream;
+use crate::adapter::{trace_to_requests, RequestStream};
 
 /// A full experiment: one workload, one cluster, many policies.
 ///
@@ -69,30 +69,69 @@ impl ExperimentConfig {
         }
     }
 
+    /// The per-policy simulation config: everything from the experiment
+    /// except the request source.
+    fn sim_config(&self, policy: PolicyKind) -> SimulationConfig {
+        SimulationConfig {
+            cluster: self.cluster.clone(),
+            policy,
+            seed: self.seed,
+            horizon_secs: self.horizon_secs,
+            warmup_secs: self.warmup_secs,
+            rct_timeseries_bin_secs: self.rct_timeseries_bin_secs,
+            faults: self.faults.clone(),
+            overload: self.overload,
+            trace: self.trace,
+        }
+    }
+
     /// Runs every policy and collects the results.
     pub fn run(&self) -> Result<ExperimentResult, String> {
         let seeds = SeedFactory::new(self.seed);
         let horizon = SimTime::from_secs_f64(self.horizon_secs);
         let mut runs = Vec::with_capacity(self.policies.len());
         for &policy in &self.policies {
-            let sim = SimulationConfig {
-                cluster: self.cluster.clone(),
-                policy,
-                seed: self.seed,
-                horizon_secs: self.horizon_secs,
-                warmup_secs: self.warmup_secs,
-                rct_timeseries_bin_secs: self.rct_timeseries_bin_secs,
-                faults: self.faults.clone(),
-                overload: self.overload,
-                trace: self.trace,
-            };
             let stream = RequestStream::new(&self.workload, &seeds, horizon);
-            runs.push(run_simulation(&sim, stream)?);
+            runs.push(run_simulation(&self.sim_config(policy), stream)?);
         }
         Ok(ExperimentResult {
             name: self.name.clone(),
             runs,
         })
+    }
+
+    /// Runs every policy over a pre-recorded workload trace instead of the
+    /// generative stream: the arrivals, ids, keys, and write marks come
+    /// from `trace` (injected in the pinned `(arrival, id)` order); key
+    /// *sizes* are resolved from a key space rebuilt with this config's
+    /// spec and seed, exactly as the generative path resolves them. A
+    /// trace recorded by [`ExperimentConfig::record_workload`] therefore
+    /// replays bit-identically to [`ExperimentConfig::run`] under the same
+    /// seed — while the policy, cluster, fault, and overload knobs are
+    /// free to differ from the recording run.
+    pub fn run_trace(&self, trace: &[RequestSpec]) -> Result<ExperimentResult, String> {
+        let seeds = SeedFactory::new(self.seed);
+        let mut runs = Vec::with_capacity(self.policies.len());
+        for &policy in &self.policies {
+            let requests = trace_to_requests(trace, &self.workload, &seeds);
+            runs.push(run_simulation(&self.sim_config(policy), requests)?);
+        }
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            runs,
+        })
+    }
+
+    /// Materializes the exact [`RequestSpec`] stream that
+    /// [`ExperimentConfig::run`] feeds each policy — same spec, seed, and
+    /// horizon bound — for recording with
+    /// [`das_workload::trace::write_trace`]. The generator is
+    /// deterministic, so recording is a pure observation: runs with and
+    /// without it are bit-identical.
+    pub fn record_workload(&self) -> Vec<RequestSpec> {
+        let seeds = SeedFactory::new(self.seed);
+        let mut generator = WorkloadGenerator::new(&self.workload, &seeds);
+        generator.take_until(SimTime::from_secs_f64(self.horizon_secs))
     }
 }
 
@@ -339,6 +378,23 @@ mod tests {
         assert!((s.mean_rct - back.mean_rct).abs() < 1e-12);
         assert!((s.p99_rct - back.p99_rct).abs() < 1e-12);
         assert!(s.mean_rct >= s.lower_bound_mean_rct * 0.99);
+    }
+
+    #[test]
+    fn recorded_workload_replays_identically() {
+        let mut e = quick_experiment();
+        e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+        let trace = e.record_workload();
+        assert!(!trace.is_empty());
+        das_workload::trace::validate_trace(&trace).unwrap();
+        let direct = e.run().unwrap();
+        let replayed = e.run_trace(&trace).unwrap();
+        for (d, r) in direct.runs.iter().zip(&replayed.runs) {
+            assert_eq!(d.policy, r.policy);
+            assert_eq!(d.completed, r.completed);
+            assert_eq!(d.mean_rct().to_bits(), r.mean_rct().to_bits(), "{}", d.policy);
+            assert_eq!(d.events_processed, r.events_processed, "{}", d.policy);
+        }
     }
 
     #[test]

@@ -433,6 +433,40 @@ pub fn render_ladder(names: &[String], l: &LadderDiff) -> String {
     out
 }
 
+/// The cross-scenario summary table of the regression corpus (Table 10):
+/// one row per scenario's paired blame diff (`B − A`, conventionally
+/// FCFS → DAS), with the total mean-RCT delta and its exact per-segment
+/// attribution — the five Δ columns sum to the total Δ column per row,
+/// the telescoping invariant applied corpus-wide.
+pub fn corpus_diff_table(
+    a_name: &str,
+    b_name: &str,
+    rows: &[(String, TraceDiff)],
+) -> ComparisonTable {
+    let mut cols = vec![
+        "matched".into(),
+        format!("{a_name} mean (ms)"),
+        format!("{b_name} mean (ms)"),
+        "Δ total (ms)".into(),
+    ];
+    cols.extend(Segment::ALL.iter().map(|s| format!("Δ {} (ms)", s.label())));
+    let mut t = ComparisonTable::new(
+        format!("scenario corpus — blame diff {a_name} → {b_name} per scenario"),
+        cols,
+    );
+    for (title, d) in rows {
+        let mut vals = vec![
+            d.matched as f64,
+            d.mean_rct_a_secs() * 1e3,
+            d.mean_rct_b_secs() * 1e3,
+            d.mean_rct_delta_secs() * 1e3,
+        ];
+        vals.extend(Segment::ALL.iter().map(|&s| d.mean_delta_secs(s) * 1e3));
+        t.push_row(title.clone(), vals);
+    }
+    t
+}
+
 /// The per-server telemetry table behind `das_experiment top`: one row
 /// per server, sorted by busy occupancy (descending; ties by server id),
 /// with the epoch-count totals alongside.
@@ -610,6 +644,27 @@ mod tests {
         assert!(md.contains("per-segment RCT delta"));
         assert!(md.contains("migration"));
         assert!(das_metrics::ascii::diverging_bars(&blame_diff_delta_rows(&d), 30).is_some());
+    }
+
+    #[test]
+    fn corpus_table_telescopes_per_row() {
+        let r = traced_result();
+        let log_a = r.run("FCFS").unwrap().trace.as_ref().unwrap();
+        let log_b = r.run("DAS").unwrap().trace.as_ref().unwrap();
+        let d = das_trace::diff_traces(log_a, log_b).unwrap();
+        let rows = vec![("tiny scenario".to_string(), d)];
+
+        let t = corpus_diff_table("FCFS", "DAS", &rows);
+        assert_eq!(t.rows().len(), 1);
+        let label = "tiny scenario";
+        assert_eq!(t.value(label, "matched"), Some(rows[0].1.matched as f64));
+        // The five Δ segment columns sum exactly to the Δ total column.
+        let seg_sum: f64 = ["stall", "net req", "queue", "service", "net resp"]
+            .iter()
+            .map(|s| t.value(label, &format!("Δ {s} (ms)")).unwrap())
+            .sum();
+        let total = t.value(label, "Δ total (ms)").unwrap();
+        assert!((seg_sum - total).abs() < 1e-9, "{seg_sum} vs {total}");
     }
 
     fn traced_ladder_result() -> ExperimentResult {

@@ -370,6 +370,189 @@ pub fn cluster_size_experiment(rho: f64, servers: u32, horizon_secs: f64) -> Exp
     e
 }
 
+/// One scenario of the regression corpus (Table 10): a named experiment
+/// whose workload is pinned as a committed JSONL trace under
+/// `crates/workload/corpus/`, replayed under FCFS and DAS and blame-diffed
+/// request by request. The committed trace is regenerable from
+/// [`CorpusScenario::generate_trace`] and byte-pinned by the test suite,
+/// so any drift in the generator or the builders is caught immediately.
+#[derive(Debug, Clone)]
+pub struct CorpusScenario {
+    /// File stem of the committed trace (`<slug>.jsonl`).
+    pub slug: &'static str,
+    /// Human description for tables.
+    pub title: &'static str,
+    /// The cluster/fault/overload composition the trace is replayed
+    /// against (its workload spec is also what generated the trace).
+    pub experiment: ExperimentConfig,
+}
+
+impl CorpusScenario {
+    /// Path of the committed trace for this scenario.
+    pub fn trace_path(&self) -> std::path::PathBuf {
+        das_workload::scenarios::corpus_dir().join(format!("{}.jsonl", self.slug))
+    }
+
+    /// Regenerates the trace the committed file must equal byte-for-byte:
+    /// the experiment's recorded workload stream.
+    pub fn generate_trace(&self) -> Vec<das_workload::generator::RequestSpec> {
+        self.experiment.record_workload()
+    }
+
+    /// Loads and validates the committed trace.
+    pub fn load_trace(&self) -> std::io::Result<Vec<das_workload::generator::RequestSpec>> {
+        let path = self.trace_path();
+        let file = std::fs::File::open(&path)?;
+        let trace = das_workload::trace::read_trace(file)?;
+        das_workload::trace::validate_trace(&trace)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(trace)
+    }
+}
+
+/// The corpus cluster: a slice of the base scenario (8 servers, same
+/// service and network model) so the committed traces stay small enough
+/// to check in while every mechanism — schedules, replicas, perf events,
+/// crash windows — still has room to matter.
+fn corpus_cluster() -> ClusterConfig {
+    ClusterConfig {
+        servers: 8,
+        ..base_cluster()
+    }
+}
+
+/// The corpus workload skeleton at unit rate: a narrower fan-out and key
+/// population than the base scenario, tuned for ~1-2k requests per
+/// committed quick-mode trace.
+fn corpus_workload(cluster: &ClusterConfig, rho: f64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec {
+        n_keys: 20_000,
+        arrival: ArrivalConfig::Poisson { rate: 1.0 },
+        fanout: FanoutConfig::Zipf {
+            max: 16,
+            theta: 1.0,
+        },
+        sizes: base_sizes(),
+        popularity: PopularityConfig::Uniform,
+        hot_key_size_cap: None,
+        write_fraction: 0.0,
+    };
+    let rate = arrival_rate_for_load(rho, &spec, cluster);
+    spec.arrival = ArrivalConfig::Poisson { rate };
+    spec
+}
+
+/// The scenario regression corpus behind `table10_scenario_corpus`: four
+/// fixed quick-mode workloads — a diurnal load curve, a flash-crowd key
+/// storm, a slow-disk gray failure, and a rolling restart — each with a
+/// committed trace and golden blame tables. The corpus is deliberately
+/// *not* scaled by quick mode: pinned traces are the whole point.
+pub fn scenario_corpus() -> Vec<CorpusScenario> {
+    let mut out = Vec::new();
+
+    // Diurnal load curve: one full synthetic day (trough → peak → decay)
+    // inside the horizon, with a write mix so the record/replay round trip
+    // exercises write marking.
+    {
+        let cluster = corpus_cluster();
+        let mut workload = corpus_workload(&cluster, 1.0);
+        let unit_rate = arrival_rate_for_load(1.0, &workload, &cluster);
+        let horizon = 0.8;
+        workload.arrival = das_workload::scenarios::diurnal_arrival(unit_rate * 0.85, horizon);
+        workload.write_fraction = 0.1;
+        let mut e = ExperimentConfig::new("diurnal load curve", workload, cluster);
+        e.seed = 1001;
+        e.horizon_secs = horizon;
+        e.warmup_secs = 0.0; // the whole curve is the result
+        out.push(CorpusScenario {
+            slug: "diurnal",
+            title: "diurnal load curve (peak rho 0.85, writes 10%)",
+            experiment: e,
+        });
+    }
+
+    // Flash-crowd key storm: skewed popularity (hot keys size-capped, as
+    // in the Fig. 14 scenario) with a sudden 4x arrival surge, absorbed by
+    // replicated reads.
+    {
+        let mut cluster = corpus_cluster();
+        cluster.replication = 3;
+        let mut workload = corpus_workload(&cluster, 1.0);
+        workload.popularity = PopularityConfig::Zipf { theta: 0.9 };
+        workload.hot_key_size_cap = Some(4 << 10);
+        let unit_rate = arrival_rate_for_load(1.0, &workload, &cluster);
+        workload.arrival =
+            das_workload::scenarios::flash_crowd_arrival(unit_rate * 0.45, 4.0, 0.2, 0.15);
+        let mut e = ExperimentConfig::new("flash-crowd key storm", workload, cluster);
+        e.seed = 1002;
+        e.horizon_secs = 0.6;
+        e.warmup_secs = 0.0;
+        out.push(CorpusScenario {
+            slug: "flash_crowd",
+            title: "flash-crowd key storm (4x surge, Zipf 0.9, R=3)",
+            experiment: e,
+        });
+    }
+
+    // Slow-disk gray failure: two servers run 4x slower for the whole run
+    // — up, answering, invisible to crash detection. Replicated reads give
+    // load-aware dispatch an escape route; FCFS keeps feeding the slow
+    // disks.
+    {
+        let mut cluster = corpus_cluster();
+        cluster.replication = 2;
+        for s in [1, 5] {
+            cluster.perf_events.push(PerfEvent {
+                server: s,
+                start_secs: 0.0,
+                end_secs: f64::INFINITY,
+                multiplier: 0.25,
+            });
+        }
+        let workload = corpus_workload(&cluster, 0.55);
+        let mut e = ExperimentConfig::new("slow-disk gray failure", workload, cluster);
+        e.seed = 1003;
+        e.horizon_secs = 0.6;
+        e.warmup_secs = 0.05;
+        out.push(CorpusScenario {
+            slug: "slow_disk",
+            title: "slow-disk gray failure (2 of 8 servers 4x slower, R=2)",
+            experiment: e,
+        });
+    }
+
+    // Rolling restart: half the servers bounce one after another, each
+    // down for 10% of the horizon, with replicated reads and the retry
+    // path redispatching dropped work.
+    {
+        let mut cluster = corpus_cluster();
+        cluster.replication = 2;
+        let workload = corpus_workload(&cluster, 0.5);
+        let mut e = ExperimentConfig::new("rolling restart", workload, cluster);
+        e.seed = 1004;
+        e.horizon_secs = 0.8;
+        e.warmup_secs = 0.0;
+        let h = e.horizon_secs;
+        for i in 0..4u32 {
+            let start = h * (0.15 + 0.18 * i as f64);
+            e.faults.crashes.crashes.push(CrashWindow {
+                server: i * 2,
+                down_secs: start,
+                up_secs: start + 0.1 * h,
+            });
+        }
+        e.faults.retry.deadline_secs = 0.02;
+        e.faults.retry.max_attempts = 4;
+        out.push(CorpusScenario {
+            slug: "rolling_restart",
+            title: "rolling restart (4 of 8 servers bounce, R=2, retry)",
+            experiment: e,
+        });
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,5 +661,52 @@ mod tests {
         let rs = small.workload.arrival.average_rate().unwrap();
         let rb = big.workload.arrival.average_rate().unwrap();
         assert!((rb / rs - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corpus_scenarios_are_distinct_and_valid() {
+        let corpus = scenario_corpus();
+        assert_eq!(corpus.len(), 4);
+        let slugs: std::collections::HashSet<&str> =
+            corpus.iter().map(|s| s.slug).collect();
+        assert_eq!(slugs.len(), corpus.len());
+        for s in &corpus {
+            assert_eq!(s.experiment.cluster.validate(), Ok(()), "{}", s.slug);
+            assert_eq!(
+                s.experiment.faults.validate(s.experiment.cluster.servers),
+                Ok(()),
+                "{}",
+                s.slug
+            );
+            assert!(
+                s.trace_path().ends_with(format!("corpus/{}.jsonl", s.slug)),
+                "{}",
+                s.slug
+            );
+            // Distinct seeds decorrelate the scenarios' streams.
+            assert!(s.experiment.seed >= 1001);
+        }
+        // The gray-failure and rolling-restart scenarios carry their
+        // defining mechanisms.
+        assert_eq!(corpus[2].experiment.cluster.perf_events.len(), 2);
+        assert_eq!(corpus[3].experiment.faults.crashes.crashes.len(), 4);
+        assert!(corpus[3].experiment.faults.retry.enabled());
+    }
+
+    #[test]
+    fn corpus_traces_are_recordable_and_moderate() {
+        // Recording must yield a valid, committed-size trace for every
+        // scenario; byte-pinning against the committed files lives in the
+        // integration suite.
+        for s in scenario_corpus() {
+            let trace = s.generate_trace();
+            assert!(
+                trace.len() > 300 && trace.len() < 10_000,
+                "{}: {} requests",
+                s.slug,
+                trace.len()
+            );
+            das_workload::trace::validate_trace(&trace).unwrap();
+        }
     }
 }

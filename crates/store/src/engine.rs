@@ -311,6 +311,12 @@ impl OverloadRuntime {
 
 /// Runs one simulation over `requests` (which must arrive in
 /// non-decreasing order). Returns an error message for invalid configs.
+///
+/// Equal-arrival requests are injected in iterator order, which is part
+/// of the determinism contract: replay paths pin it to ascending
+/// `(arrival, id)` (see `das_workload::trace::replay_order`), and the
+/// generator emits that order natively, so a recorded trace replays
+/// bit-identically to the generative stream.
 pub fn run_simulation<I>(config: &SimulationConfig, requests: I) -> Result<RunResult, String>
 where
     I: IntoIterator<Item = StoreRequest>,

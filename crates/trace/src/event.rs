@@ -63,6 +63,13 @@ impl ShedReason {
 #[serde(tag = "ev", rename_all = "snake_case")]
 pub enum TraceEvent {
     /// A multi-get arrived at the coordinator and fanned out.
+    ///
+    /// Carries the key *count* only, by design: key identity is workload
+    /// data, not a lifecycle transition, and repeating it per event would
+    /// bloat the ring buffer. Runs that need the full keyed request
+    /// stream record it separately via `das_workload::trace`
+    /// (`das_experiment run --record-workload`), which preserves ids and
+    /// exact arrival instants for replay.
     RequestArrive {
         /// Simulation time, nanoseconds.
         t_ns: u64,

@@ -64,4 +64,4 @@ pub use diff::{
 };
 pub use event::{DispatchKind, ShedReason, TraceEvent};
 pub use recorder::{TraceConfig, TraceLog, TraceRecorder};
-pub use telemetry::{ServerSeries, Telemetry, TelemetryConfig};
+pub use telemetry::{min_workers, ServerSeries, Telemetry, TelemetryConfig};

@@ -398,6 +398,58 @@ pub fn fold(log: &TraceLog, cfg: &TelemetryConfig) -> Telemetry {
     }
 }
 
+/// Infers the minimum `workers` a cluster must have had to produce `log`:
+/// the peak number of concurrently open service spans on any one server.
+/// Returns `(server, min_workers)` for the most-parallel server, or `None`
+/// if the log carries no positive-length service span.
+///
+/// Each [`TraceEvent::ServiceEnd`] realizes the span
+/// `[t_ns − service_ns, t_ns)`; on a single server those spans can only
+/// overlap if distinct workers served them, so the peak overlap is a hard
+/// lower bound on the server's worker count. Half-open spans mean a span
+/// ending exactly when another starts does *not* overlap it — ends are
+/// processed before starts at equal timestamps. Callers folding with
+/// [`TelemetryConfig::workers`] below this bound would report busy
+/// occupancy above capacity (and silently saturated idle), so
+/// `das_experiment top` refuses such configs, naming this bound.
+pub fn min_workers(log: &TraceLog) -> Option<(u32, u32)> {
+    // Per-server sweep line: +1 at span start, −1 at span end, sorted with
+    // ends before starts at equal times; the peak running sum is the
+    // minimum concurrency.
+    let mut edges: BTreeMap<u32, Vec<(u64, i32)>> = BTreeMap::new();
+    for ev in &log.events {
+        if let TraceEvent::ServiceEnd {
+            t_ns,
+            server,
+            service_ns,
+            ..
+        } = *ev
+        {
+            if service_ns > 0 {
+                let e = edges.entry(server).or_default();
+                e.push((t_ns.saturating_sub(service_ns), 1));
+                e.push((t_ns, -1));
+            }
+        }
+    }
+    let mut best: Option<(u32, u32)> = None;
+    for (server, mut e) in edges {
+        // Sorting by (t, delta) puts −1 before +1 at equal t: touching
+        // spans don't count as overlap.
+        e.sort_unstable();
+        let mut open: i32 = 0;
+        let mut peak: i32 = 0;
+        for (_, d) in e {
+            open += d;
+            peak = peak.max(open);
+        }
+        if best.is_none_or(|(_, b)| peak as u32 > b) {
+            best = Some((server, peak as u32));
+        }
+    }
+    best
+}
+
 /// Lowers a server's demand gauge by `est` at `epoch`.
 fn release_demand(
     servers: &mut BTreeMap<u32, ServerSeries>,
@@ -622,6 +674,46 @@ mod tests {
         let s = &t.servers[&0];
         assert_eq!(s.demand_ns, vec![400, 0]);
         assert_eq!(s.queue_len, vec![1, 0]);
+    }
+
+    #[test]
+    fn min_workers_counts_peak_overlap() {
+        let end = |t_ns, service_ns, server, request| TraceEvent::ServiceEnd {
+            t_ns,
+            request,
+            op: 0,
+            server,
+            service_ns,
+        };
+        // Server 0: [0,100) and [50,150) overlap → 2 workers.
+        // Server 1: [0,100) then [100,200) touch but never overlap → 1.
+        let t = log(vec![
+            end(100, 100, 0, 1),
+            end(150, 100, 0, 2),
+            end(100, 100, 1, 3),
+            end(200, 100, 1, 4),
+        ]);
+        assert_eq!(min_workers(&t), Some((0, 2)));
+        // Sequential-only log infers a single worker.
+        let seq = log(vec![end(100, 100, 1, 3), end(200, 100, 1, 4)]);
+        assert_eq!(min_workers(&seq), Some((1, 1)));
+        // Zero-length spans (and empty logs) infer nothing.
+        assert_eq!(min_workers(&log(vec![end(100, 0, 0, 1)])), None);
+        assert_eq!(min_workers(&log(vec![])), None);
+    }
+
+    #[test]
+    fn min_workers_matches_three_way_overlap() {
+        let end = |t_ns, service_ns, request| TraceEvent::ServiceEnd {
+            t_ns,
+            request,
+            op: 0,
+            server: 7,
+            service_ns,
+        };
+        // [0,300), [100,250), [200,400): all three open during [200,250).
+        let t = log(vec![end(300, 300, 1), end(250, 150, 2), end(400, 200, 3)]);
+        assert_eq!(min_workers(&t), Some((7, 3)));
     }
 
     #[test]

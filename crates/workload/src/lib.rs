@@ -9,6 +9,8 @@
 //! * [`keyspace`] — a fixed key population with stable per-key sizes;
 //! * [`generator`] — the deterministic request stream;
 //! * [`presets`] — named workload shapes from published KV-store studies;
+//! * [`scenarios`] — arrival curves and committed traces of the scenario
+//!   regression corpus;
 //! * [`trace`] — JSON-lines record/replay.
 //!
 //! ```
@@ -30,6 +32,7 @@
 pub mod generator;
 pub mod keyspace;
 pub mod presets;
+pub mod scenarios;
 pub mod spec;
 pub mod trace;
 

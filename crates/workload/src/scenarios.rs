@@ -1,0 +1,103 @@
+//! Workload shapes for the scenario regression corpus.
+//!
+//! Each builder returns the *arrival curve* of one corpus scenario; the
+//! cluster/fault composition (and the load calibration that needs the
+//! cluster's service rates) lives in `das-core::scenarios`, which cannot
+//! be referenced from here. The committed traces themselves — one
+//! quick-mode JSONL recording per scenario, regenerable from the builders
+//! — live under [`corpus_dir`] and are byte-pinned by the test suite.
+
+use std::path::PathBuf;
+
+use crate::spec::ArrivalConfig;
+
+/// The directory holding the committed corpus traces
+/// (`crates/workload/corpus/<slug>.jsonl`). Resolved at compile time from
+/// this crate's manifest, so every workspace binary and test sees the
+/// same checked-in files.
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// The relative load levels of one diurnal period, as fractions of the
+/// peak rate: overnight trough, morning ramp, midday peak, evening decay.
+/// Eight steps keep the committed traces small while still exercising the
+/// forecast-defeating property of a load curve — every policy sees rising
+/// *and* falling load inside one horizon.
+pub const DIURNAL_SHAPE: [f64; 8] = [0.35, 0.55, 0.8, 1.0, 0.9, 0.7, 0.5, 0.4];
+
+/// A repeating diurnal load curve peaking at `peak_rate` requests/second
+/// over a `period_secs`-long day, following [`DIURNAL_SHAPE`].
+pub fn diurnal_arrival(peak_rate: f64, period_secs: f64) -> ArrivalConfig {
+    let n = DIURNAL_SHAPE.len() as f64;
+    ArrivalConfig::Schedule {
+        steps: DIURNAL_SHAPE
+            .iter()
+            .enumerate()
+            .map(|(i, &level)| (period_secs * i as f64 / n, peak_rate * level))
+            .collect(),
+        period_secs: Some(period_secs),
+    }
+}
+
+/// A flash crowd: steady `base_rate` requests/second with a sudden
+/// `spike_factor`× surge over `[spike_start_secs, spike_start_secs +
+/// spike_secs)`, then back to base. The surge is a step, not a ramp —
+/// the worst case for backlog-estimate staleness.
+pub fn flash_crowd_arrival(
+    base_rate: f64,
+    spike_factor: f64,
+    spike_start_secs: f64,
+    spike_secs: f64,
+) -> ArrivalConfig {
+    ArrivalConfig::Schedule {
+        steps: vec![
+            (0.0, base_rate),
+            (spike_start_secs, base_rate * spike_factor),
+            (spike_start_secs + spike_secs, base_rate),
+        ],
+        period_secs: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_curve_peaks_once_and_repeats() {
+        let a = diurnal_arrival(1000.0, 8.0);
+        let ArrivalConfig::Schedule { steps, period_secs } = a else {
+            panic!("expected schedule");
+        };
+        assert_eq!(steps.len(), DIURNAL_SHAPE.len());
+        assert_eq!(period_secs, Some(8.0));
+        // Steps start at 0, are evenly spaced, and peak exactly once at
+        // the configured rate.
+        assert_eq!(steps[0].0, 0.0);
+        assert_eq!(steps[1].0, 1.0);
+        let peak = steps.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+        assert_eq!(peak, 1000.0);
+        assert_eq!(steps.iter().filter(|&&(_, r)| r == peak).count(), 1);
+    }
+
+    #[test]
+    fn flash_crowd_steps_surge_and_recover() {
+        let a = flash_crowd_arrival(500.0, 6.0, 0.2, 0.1);
+        let ArrivalConfig::Schedule { steps, period_secs } = a else {
+            panic!("expected schedule");
+        };
+        assert_eq!(period_secs, None);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0], (0.0, 500.0));
+        assert_eq!(steps[1], (0.2, 3000.0));
+        assert!((steps[2].0 - 0.3).abs() < 1e-12);
+        assert_eq!(steps[2].1, 500.0);
+    }
+
+    #[test]
+    fn corpus_dir_points_into_this_crate() {
+        let d = corpus_dir();
+        assert!(d.ends_with("workload/corpus"), "{}", d.display());
+    }
+}

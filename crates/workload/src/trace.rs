@@ -1,6 +1,16 @@
 //! Trace record/replay: a JSON-lines format for request streams, so an
 //! identical workload can be replayed against every policy or shared
 //! between machines.
+//!
+//! ## Injection order
+//!
+//! Replay injects requests in ascending `(arrival, id)` order — the
+//! *pinned* order. [`validate_trace`] requires strictly increasing ids and
+//! non-decreasing arrivals, so for any valid trace the pinned order equals
+//! file order; [`replay_order`] makes the equal-arrival tie-break (lowest
+//! id first) an explicit contract rather than an accident of file layout.
+//! The engine injects ties in iterator order, so a sorted trace replays
+//! bit-identically to the run that recorded it.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -69,6 +79,11 @@ impl std::error::Error for TraceError {}
 
 /// Writes requests as one JSON object per line.
 ///
+/// The trace is validated with [`validate_trace`] before anything is
+/// written: a recording that could not be replayed fails here, at record
+/// time, with [`io::ErrorKind::InvalidData`] carrying the [`TraceError`] —
+/// not later at replay on another machine.
+///
 /// ```
 /// use das_workload::trace::{write_trace, read_trace};
 /// use das_workload::generator::RequestSpec;
@@ -86,6 +101,7 @@ impl std::error::Error for TraceError {}
 /// assert_eq!(back, reqs);
 /// ```
 pub fn write_trace<W: Write>(mut w: W, requests: &[RequestSpec]) -> io::Result<()> {
+    validate_trace(requests).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     for r in requests {
         let line = serde_json::to_string(r).map_err(io::Error::other)?;
         writeln!(w, "{line}")?;
@@ -147,6 +163,17 @@ pub fn validate_trace(requests: &[RequestSpec]) -> Result<(), TraceError> {
         }
     }
     Ok(())
+}
+
+/// Sorts requests into the pinned replay-injection order: ascending
+/// `(arrival, id)`, i.e. equal-arrival requests break ties by lowest id
+/// first. For a trace accepted by [`validate_trace`] this is a no-op
+/// (strictly increasing ids under non-decreasing arrivals already imply
+/// it); applying it unconditionally means the injected order never depends
+/// on how a hand-edited or concatenated file happened to be laid out. The
+/// sort is stable, so requests that compare equal keep file order.
+pub fn replay_order(requests: &mut [RequestSpec]) {
+    requests.sort_by_key(|r| (r.arrival, r.id));
 }
 
 #[cfg(test)]
@@ -276,6 +303,51 @@ mod tests {
             ..r
         };
         assert!(validate_trace(std::slice::from_ref(&ok)).is_ok());
+    }
+
+    #[test]
+    fn write_trace_rejects_invalid_input() {
+        let bad = vec![
+            RequestSpec {
+                id: 1,
+                arrival: SimTime::from_millis(2),
+                keys: vec![1],
+                write_keys: vec![],
+            },
+            RequestSpec {
+                id: 2,
+                arrival: SimTime::from_millis(1),
+                keys: vec![2],
+                write_keys: vec![],
+            },
+        ];
+        let mut buf = Vec::new();
+        let err = write_trace(&mut buf, &bad).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("backwards"), "err = {err}");
+        // Nothing was written: a corrupt recording fails atomically.
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn replay_order_pins_equal_arrival_ties_to_id_order() {
+        let mk = |id| RequestSpec {
+            id,
+            arrival: SimTime::from_millis(7),
+            keys: vec![id],
+            write_keys: vec![],
+        };
+        // A hand-concatenated file with equal arrivals out of id order.
+        let mut reqs = vec![mk(5), mk(2), mk(9), mk(1)];
+        replay_order(&mut reqs);
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 5, 9]);
+        // A valid trace is already in pinned order: no-op.
+        let mut g = WorkloadGenerator::new(&WorkloadSpec::example(), &SeedFactory::new(8));
+        let generated: Vec<_> = (0..40).map(|_| g.next_request().unwrap()).collect();
+        let mut pinned = generated.clone();
+        replay_order(&mut pinned);
+        assert_eq!(pinned, generated);
     }
 
     fn r_err_mentions(r: &RequestSpec, needle: &str) -> bool {

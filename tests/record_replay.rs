@@ -1,0 +1,109 @@
+//! End-to-end acceptance of the record→replay pipeline: a workload
+//! recorded from `run` and round-tripped through the JSONL format replays
+//! — under the same policy/seed — to *byte-identical* event logs, and a
+//! replayed run under a different policy blame-diffs directly against the
+//! original's logs with exactly telescoping per-segment deltas.
+
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
+use das_repro::core::experiment::ExperimentConfig;
+use das_repro::sched::policy::PolicyKind;
+use das_repro::store::ClusterConfig;
+use das_repro::trace::diff::Segment;
+use das_repro::workload::generator::WorkloadSpec;
+use das_repro::workload::spec::{ArrivalConfig, FanoutConfig, PopularityConfig, SizeConfig};
+use das_repro::workload::trace::{read_trace, validate_trace, write_trace};
+
+fn traced_config() -> ExperimentConfig {
+    let cluster = ClusterConfig {
+        servers: 6,
+        ..Default::default()
+    };
+    let workload = WorkloadSpec {
+        n_keys: 5_000,
+        arrival: ArrivalConfig::Poisson { rate: 1500.0 },
+        fanout: FanoutConfig::Uniform { min: 1, max: 6 },
+        sizes: SizeConfig::Fixed { bytes: 20_000 },
+        popularity: PopularityConfig::Uniform,
+        hot_key_size_cap: None,
+        write_fraction: 0.2,
+    };
+    let mut e = ExperimentConfig::new("record-replay", workload, cluster);
+    e.horizon_secs = 0.5;
+    e.warmup_secs = 0.0;
+    e.policies = vec![PolicyKind::Fcfs, PolicyKind::das()];
+    e.trace = das_repro::trace::TraceConfig::enabled();
+    e
+}
+
+/// Serializes an event log exactly as `das_experiment --trace` writes it.
+fn jsonl_bytes(log: &das_repro::trace::TraceLog) -> Vec<u8> {
+    let mut buf = Vec::new();
+    das_repro::trace::export::write_jsonl(log, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn replay_reproduces_recorded_event_logs_byte_for_byte() {
+    let e = traced_config();
+    let original = e.run().unwrap();
+
+    // Record the workload and round-trip it through the file format, as
+    // `run --record-workload` + `replay` do.
+    let recorded = e.record_workload();
+    assert!(recorded.iter().any(|r| !r.write_keys.is_empty()));
+    let mut file = Vec::new();
+    write_trace(&mut file, &recorded).unwrap();
+    let loaded = read_trace(&file[..]).unwrap();
+    validate_trace(&loaded).unwrap();
+    assert_eq!(loaded, recorded);
+
+    let replayed = e.run_trace(&loaded).unwrap();
+    assert_eq!(original.runs.len(), replayed.runs.len());
+    for (o, r) in original.runs.iter().zip(&replayed.runs) {
+        assert_eq!(o.policy, r.policy);
+        let (a, b) = (o.trace.as_ref().unwrap(), r.trace.as_ref().unwrap());
+        assert!(!a.events.is_empty());
+        // The whole acceptance criterion in one line: the serialized event
+        // logs are indistinguishable, byte for byte.
+        assert_eq!(jsonl_bytes(a), jsonl_bytes(b), "{}", o.policy);
+    }
+}
+
+#[test]
+fn replayed_run_blame_diffs_against_the_original() {
+    let e = traced_config();
+    let original = e.run().unwrap();
+
+    // Replay the recorded workload under DAS only — the cross-machine
+    // workflow: record once, replay a single policy elsewhere, diff the
+    // logs.
+    let recorded = e.record_workload();
+    let mut das_only = e.clone();
+    das_only.policies = vec![PolicyKind::das()];
+    let replayed = das_only.run_trace(&recorded).unwrap();
+
+    let log_fcfs = original.runs[0].trace.as_ref().unwrap();
+    let log_das = replayed.runs[0].trace.as_ref().unwrap();
+    let d = das_repro::trace::diff_traces(log_fcfs, log_das).unwrap();
+    assert!(d.matched > 0, "replayed ids must match the original's");
+    assert_eq!(d.only_a, 0);
+    assert_eq!(d.only_b, 0);
+    // The per-segment mean deltas telescope exactly to the total.
+    let seg_sum: f64 = Segment::ALL.iter().map(|&s| d.mean_delta_secs(s)).sum();
+    let total = d.mean_rct_delta_secs();
+    assert!(
+        (seg_sum - total).abs() < 1e-12,
+        "telescoping broke: {seg_sum} vs {total}"
+    );
+
+    // And the replayed-under-DAS log equals the original DAS rung: the
+    // diff of identical logs is exactly zero everywhere.
+    let z = das_repro::trace::diff_traces(original.runs[1].trace.as_ref().unwrap(), log_das)
+        .unwrap();
+    assert_eq!(z.mean_rct_delta_secs().to_bits(), 0f64.to_bits());
+    for s in Segment::ALL {
+        assert_eq!(z.mean_delta_secs(s).to_bits(), 0f64.to_bits(), "{s:?}");
+    }
+}

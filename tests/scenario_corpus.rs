@@ -1,0 +1,75 @@
+//! The scenario regression corpus: the committed workload traces under
+//! `crates/workload/corpus/` must equal, byte for byte, what the corpus
+//! builders record today. Any drift in the workload generator, the
+//! arrival-curve builders, or the trace serialization shows up here as a
+//! diff against the pinned files — the corpus is the fixed baseline that
+//! `table10_scenario_corpus` replays.
+//!
+//! To (re)generate the committed files after an *intentional* change:
+//!
+//! ```text
+//! cargo test --release --test scenario_corpus -- --ignored
+//! ```
+
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
+use das_repro::core::scenarios::scenario_corpus;
+use das_repro::workload::trace::{validate_trace, write_trace};
+
+/// Serializes a scenario's regenerated workload exactly as the committed
+/// file stores it.
+fn regenerate_bytes(s: &das_repro::core::scenarios::CorpusScenario) -> Vec<u8> {
+    let trace = s.generate_trace();
+    validate_trace(&trace).unwrap();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    buf
+}
+
+#[test]
+fn committed_corpus_traces_match_builders_byte_for_byte() {
+    for s in scenario_corpus() {
+        let path = s.trace_path();
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: cannot read committed corpus trace {} ({e}); generate it with \
+                 `cargo test --release --test scenario_corpus -- --ignored`",
+                s.slug,
+                path.display()
+            )
+        });
+        let regenerated = regenerate_bytes(&s);
+        assert!(
+            committed == regenerated,
+            "{}: committed trace {} differs from the regenerated workload \
+             ({} vs {} bytes) — the generator or the scenario builders drifted. \
+             If the change is intentional, regenerate the corpus with \
+             `cargo test --release --test scenario_corpus -- --ignored` and \
+             refresh the table10 goldens.",
+            s.slug,
+            path.display(),
+            committed.len(),
+            regenerated.len()
+        );
+        // The committed file round-trips through the reader too.
+        let loaded = das_repro::workload::trace::read_trace(&committed[..]).unwrap();
+        validate_trace(&loaded).unwrap();
+        assert_eq!(loaded, s.generate_trace());
+    }
+}
+
+/// Writes (or rewrites) the committed corpus files. Ignored by default:
+/// run explicitly after an intentional generator/builder change, then
+/// commit the diff together with refreshed `table10` goldens.
+#[test]
+#[ignore = "regenerates the committed corpus files in the source tree"]
+fn regenerate_corpus() {
+    let dir = das_repro::workload::scenarios::corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for s in scenario_corpus() {
+        let path = s.trace_path();
+        std::fs::write(&path, regenerate_bytes(&s)).unwrap();
+        eprintln!("wrote {}", path.display());
+    }
+}
