@@ -1,0 +1,275 @@
+//! Schedule choosers: who runs at each decision point.
+//!
+//! Three modes share one interface:
+//!
+//! - **DFS** — iterative depth-first enumeration of schedules with a
+//!   CHESS-style bounded-preemption budget. Each run replays a planned
+//!   prefix of decisions and extends it with default (non-preempting)
+//!   choices; after the run, [`advance_dfs`] flips the deepest decision
+//!   that still has an unexplored alternative within budget.
+//! - **Random** — a seeded SplitMix64 walk, for probing state spaces too
+//!   large to enumerate.
+//! - **Replay** — follows a recorded comma-separated decision string
+//!   exactly, for reproducing a reported failure.
+
+/// Model thread id (index into the execution's thread table).
+pub(crate) type Tid = usize;
+
+/// Deterministic 64-bit PRNG (SplitMix64). Small, seedable, and
+/// dependency-free; statistical quality is ample for schedule sampling.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(pub(crate) u64);
+
+impl SplitMix64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One decision point in a DFS schedule.
+#[derive(Debug, Clone)]
+pub(crate) struct DfsNode {
+    /// Enabled threads in *exploration order*: the previously running
+    /// thread first (continuing it costs no preemption), then the rest by
+    /// ascending tid. Backtracking walks this list left to right, so the
+    /// zero-cost continuation is always explored before any preemption.
+    pub(crate) candidates: Vec<Tid>,
+    /// Index into `candidates` taken on the recorded run.
+    pub(crate) chosen: usize,
+    /// Preemptions spent strictly before this decision.
+    pub(crate) preemptions_before: usize,
+    /// Thread that ran into this decision point (None at the very start).
+    pub(crate) prev: Option<Tid>,
+}
+
+/// Candidate list in exploration order: `prev` first if still enabled,
+/// then the remaining enabled threads by ascending tid.
+pub(crate) fn order_candidates(ready: &[Tid], prev: Option<Tid>) -> Vec<Tid> {
+    let mut out = Vec::with_capacity(ready.len());
+    if let Some(p) = prev {
+        if ready.contains(&p) {
+            out.push(p);
+        }
+    }
+    for &t in ready {
+        if Some(t) != prev {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Preemption cost of granting `cand`: 1 iff the previously running
+/// thread is still enabled and we switch away from it.
+pub(crate) fn preempt_cost(prev: Option<Tid>, cand: Tid, candidates: &[Tid]) -> usize {
+    match prev {
+        Some(p) if p != cand && candidates.contains(&p) => 1,
+        _ => 0,
+    }
+}
+
+/// In-flight DFS state for one run.
+#[derive(Debug)]
+pub(crate) struct DfsRun {
+    /// Planned decisions (prefix replayed, suffix appended as defaults).
+    pub(crate) path: Vec<DfsNode>,
+    /// Next decision index.
+    pub(crate) pos: usize,
+    /// Preemptions spent so far on this run.
+    pub(crate) preemptions: usize,
+}
+
+impl DfsRun {
+    pub(crate) fn with_path(path: Vec<DfsNode>) -> Self {
+        DfsRun {
+            path,
+            pos: 0,
+            preemptions: 0,
+        }
+    }
+}
+
+/// Replay state: the decision string parsed into tids.
+#[derive(Debug)]
+pub(crate) struct ReplayRun {
+    pub(crate) decisions: Vec<Tid>,
+    pub(crate) pos: usize,
+}
+
+/// The active schedule chooser for one execution.
+#[derive(Debug)]
+pub(crate) enum Chooser {
+    Dfs(DfsRun),
+    Random(SplitMix64),
+    Replay(ReplayRun),
+    /// Placeholder left behind when the driver extracts the real chooser.
+    Taken,
+}
+
+impl Chooser {
+    /// Picks the next thread to run from `ready` (non-empty, ascending).
+    /// `prev` is the last thread granted. Errors abort the execution with
+    /// a `ReplayDivergence` failure.
+    pub(crate) fn choose(&mut self, ready: &[Tid], prev: Option<Tid>) -> Result<Tid, String> {
+        match self {
+            Chooser::Dfs(run) => {
+                let candidates = order_candidates(ready, prev);
+                if run.pos < run.path.len() {
+                    let node = &run.path[run.pos];
+                    if node.candidates != candidates {
+                        return Err(format!(
+                            "DFS prefix divergence at decision {}: planned candidates \
+                             {:?} but this run enabled {:?}; the program under test \
+                             makes schedule decisions the model cannot see (wall \
+                             clock, real randomness, or unmodeled synchronization)",
+                            run.pos, node.candidates, candidates
+                        ));
+                    }
+                    let t = node.candidates[node.chosen];
+                    run.preemptions =
+                        node.preemptions_before + preempt_cost(prev, t, &node.candidates);
+                    run.pos += 1;
+                    Ok(t)
+                } else {
+                    // Past the planned prefix: take the zero-cost default.
+                    let t = candidates[0];
+                    run.path.push(DfsNode {
+                        candidates,
+                        chosen: 0,
+                        preemptions_before: run.preemptions,
+                        prev,
+                    });
+                    run.pos += 1;
+                    Ok(t)
+                }
+            }
+            Chooser::Random(rng) => {
+                let idx = (rng.next() % ready.len() as u64) as usize;
+                Ok(ready[idx])
+            }
+            Chooser::Replay(run) => {
+                if run.pos >= run.decisions.len() {
+                    return Err(format!(
+                        "replay decision string exhausted after {} decisions but the \
+                         execution needs more; the recorded schedule does not match \
+                         this build",
+                        run.pos
+                    ));
+                }
+                let t = run.decisions[run.pos];
+                if !ready.contains(&t) {
+                    return Err(format!(
+                        "replay decision {} grants T{} but the enabled set is {:?}; \
+                         the recorded schedule does not match this build",
+                        run.pos, t, ready
+                    ));
+                }
+                run.pos += 1;
+                Ok(t)
+            }
+            Chooser::Taken => Err("internal: chooser already taken by the driver".to_string()),
+        }
+    }
+}
+
+/// Backtracks a completed DFS path to the next unexplored schedule within
+/// the preemption `bound`. Returns the planned prefix for the next run, or
+/// `None` when the bounded space is exhausted.
+pub(crate) fn advance_dfs(mut path: Vec<DfsNode>, bound: Option<usize>) -> Option<Vec<DfsNode>> {
+    loop {
+        let node = path.pop()?;
+        let base = node.preemptions_before;
+        for (idx, &cand) in node.candidates.iter().enumerate().skip(node.chosen + 1) {
+            let cost = preempt_cost(node.prev, cand, &node.candidates);
+            let within_budget = match bound {
+                Some(b) => base + cost <= b,
+                None => true,
+            };
+            if within_budget {
+                let mut flipped = node;
+                flipped.chosen = idx;
+                path.push(flipped);
+                return Some(path);
+            }
+        }
+        // No viable alternative here; keep popping.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_put_prev_first() {
+        assert_eq!(order_candidates(&[0, 1, 2], Some(1)), vec![1, 0, 2]);
+        assert_eq!(order_candidates(&[0, 1, 2], None), vec![0, 1, 2]);
+        assert_eq!(order_candidates(&[0, 2], Some(1)), vec![0, 2]);
+    }
+
+    #[test]
+    fn preempt_cost_counts_switch_away_from_enabled_prev() {
+        assert_eq!(preempt_cost(Some(1), 0, &[1, 0]), 1);
+        assert_eq!(preempt_cost(Some(1), 1, &[1, 0]), 0);
+        assert_eq!(preempt_cost(Some(1), 0, &[0, 2]), 0); // prev blocked
+        assert_eq!(preempt_cost(None, 0, &[0]), 0);
+    }
+
+    #[test]
+    fn dfs_backtracks_deepest_first() {
+        let path = vec![
+            DfsNode {
+                candidates: vec![0, 1],
+                chosen: 0,
+                preemptions_before: 0,
+                prev: None,
+            },
+            DfsNode {
+                candidates: vec![0, 1],
+                chosen: 0,
+                preemptions_before: 0,
+                prev: Some(0),
+            },
+        ];
+        let next = advance_dfs(path, None).expect("alternative exists");
+        assert_eq!(next.len(), 2);
+        assert_eq!(next[1].chosen, 1);
+    }
+
+    #[test]
+    fn bound_zero_prunes_preempting_alternatives() {
+        // Decision 1's alternative (switching off enabled prev=0) costs a
+        // preemption; under bound 0 the only other schedule is flipping
+        // decision 0, which has no prev and is free.
+        let path = vec![
+            DfsNode {
+                candidates: vec![0, 1],
+                chosen: 0,
+                preemptions_before: 0,
+                prev: None,
+            },
+            DfsNode {
+                candidates: vec![0, 1],
+                chosen: 0,
+                preemptions_before: 0,
+                prev: Some(0),
+            },
+        ];
+        let next = advance_dfs(path, Some(0)).expect("root flip is free");
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].chosen, 1);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        for _ in 0..8 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

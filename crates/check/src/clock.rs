@@ -1,0 +1,79 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each model thread carries a [`VClock`]; every release-style operation
+//! (unlock, channel send, atomic store, spawn, thread exit) publishes the
+//! acting thread's clock into the object it touches, and every
+//! acquire-style operation (lock, recv, atomic load, join) joins the
+//! object's clock back into the acquiring thread. Two accesses are
+//! concurrent — and a candidate data race — exactly when neither clock
+//! dominates the other's epoch for the accessing thread.
+
+/// A grow-on-demand vector clock indexed by model thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub(crate) fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// Component for thread `tid` (0 when never ticked).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this clock's own component for `tid` and returns the new
+    /// epoch value.
+    pub(crate) fn tick(&mut self, tid: usize) -> u32 {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+        self.slots[tid]
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, v) in other.slots.iter().enumerate() {
+            if self.slots[i] < *v {
+                self.slots[i] = *v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.tick(3), 1);
+        assert_eq!(c.tick(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+}

@@ -1,0 +1,642 @@
+//! The controlled execution core.
+//!
+//! Model threads are real OS threads serialized onto a single baton: one
+//! global mutex + condvar with a `granted` slot names the only thread
+//! allowed to run user code. Every model sync operation is a *yield
+//! point*: the thread marks itself Ready, asks the chooser who runs next,
+//! and parks until granted. Blocking operations retry their effect under
+//! the execution lock and park with a [`BlockReason`] when they would
+//! block, so the scheduler always knows the exact enabled set.
+//!
+//! When the enabled set is empty and live threads remain, the execution
+//! is stuck: timed waiters (recv_timeout / wait_for) fire first — time
+//! only advances when nothing else can happen — and if none exist the
+//! stuck state is classified as a lock-cycle deadlock or a lost wakeup.
+//!
+//! Failures abort the whole execution: every parked thread wakes, flags
+//! itself as aborting, and unwinds with a private [`ModelAbort`] payload
+//! that the spawn wrapper swallows. Sync operations reached during that
+//! unwind (guard drops, channel drops) bypass the scheduler and act
+//! directly on the underlying state so the teardown cannot re-deadlock.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, PoisonError};
+
+use crate::chooser::{Chooser, Tid};
+use crate::clock::VClock;
+use crate::FailureKind;
+
+/// Panic payload used to unwind model threads when the execution ends
+/// early (failure found, or another thread panicked).
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    /// The execution this OS thread belongs to, if it is a model thread.
+    static CTX: RefCell<Option<(Arc<Execution>, Tid)>> = const { RefCell::new(None) };
+    /// Set while unwinding with [`ModelAbort`]: model ops reached from
+    /// destructors must bypass the (already failed) scheduler.
+    static ABORTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The calling thread's execution context; panics outside a model run.
+pub(crate) fn current() -> (Arc<Execution>, Tid) {
+    current_opt().expect(
+        "das-check primitive used outside a model execution; construct model \
+         types only inside the closure passed to das_check::check/explore",
+    )
+}
+
+/// Like [`current`], but `None` outside a model run.
+pub(crate) fn current_opt() -> Option<(Arc<Execution>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True while this thread unwinds from an aborted execution.
+pub(crate) fn aborting() -> bool {
+    ABORTING.with(Cell::get)
+}
+
+/// Allocates a model-object id. Only the baton holder constructs model
+/// objects, so the sequence — and every id in a failure report — is fully
+/// determined by the schedule. Returns 0 outside a model execution (the
+/// object then fails loudly on first use instead of at construction).
+pub(crate) fn alloc_obj_id() -> u64 {
+    match current_opt() {
+        Some((exec, _)) => {
+            let mut st = exec.lock_state();
+            st.next_obj += 1;
+            st.next_obj
+        }
+        None => 0,
+    }
+}
+
+fn abort_current_thread() -> ! {
+    ABORTING.with(|a| a.set(true));
+    // resume_unwind skips the panic hook: aborts are bookkeeping, not
+    // failures, and must not spam stderr for every parked thread.
+    std::panic::resume_unwind(Box::new(ModelAbort))
+}
+
+/// Why a thread is parked (drives enabledness and stuck classification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BlockReason {
+    /// Waiting to acquire an exclusive lock.
+    Lock { obj: u64 },
+    /// Waiting to acquire a shared (read) lock.
+    RwRead { obj: u64 },
+    /// Waiting to acquire an exclusive (write) lock.
+    RwWrite { obj: u64 },
+    /// Parked on a condition variable (`timed` = wait_for).
+    CondWait { obj: u64, timed: bool },
+    /// Waiting for a message (`timed` = recv_timeout).
+    ChanRecv { obj: u64, timed: bool },
+    /// Waiting for capacity on a bounded channel.
+    ChanSend { obj: u64 },
+    /// Waiting for a thread to finish.
+    Join { target: Tid },
+}
+
+impl BlockReason {
+    fn timed(&self) -> bool {
+        matches!(
+            self,
+            BlockReason::CondWait { timed: true, .. } | BlockReason::ChanRecv { timed: true, .. }
+        )
+    }
+
+    /// The lock object this thread is waiting to acquire, if any.
+    fn waited_lock(&self) -> Option<u64> {
+        match self {
+            BlockReason::Lock { obj } | BlockReason::RwRead { obj } | BlockReason::RwWrite { obj } => {
+                Some(*obj)
+            }
+            _ => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            BlockReason::Lock { obj } => format!("lock #{obj}"),
+            BlockReason::RwRead { obj } => format!("rwlock #{obj} (read)"),
+            BlockReason::RwWrite { obj } => format!("rwlock #{obj} (write)"),
+            BlockReason::CondWait { obj, .. } => format!("condvar #{obj}"),
+            BlockReason::ChanRecv { obj, .. } => format!("channel #{obj} recv"),
+            BlockReason::ChanSend { obj } => format!("channel #{obj} send"),
+            BlockReason::Join { target } => format!("join on T{target}"),
+        }
+    }
+}
+
+/// Lifecycle state of one model thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RunState {
+    Ready,
+    Running,
+    Blocked(BlockReason),
+    Finished,
+}
+
+/// Who currently owns a lock object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Owners {
+    /// Exclusive (mutex, or rwlock write).
+    Writer(Tid),
+    /// Shared readers (rwlock read); never empty.
+    Readers(Vec<Tid>),
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadInfo {
+    pub(crate) state: RunState,
+    pub(crate) clock: VClock,
+    /// Set by the scheduler when this thread's timed wait fired; the
+    /// operation's next retry observes it and returns Timeout.
+    pub(crate) timed_out: bool,
+}
+
+/// All shared scheduler state, behind the one execution mutex.
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadInfo>,
+    /// The single thread allowed to run user code right now.
+    granted: Option<Tid>,
+    /// Last thread granted (preemption accounting).
+    last_running: Option<Tid>,
+    /// Full decision trace of this run.
+    pub(crate) decisions: Vec<Tid>,
+    /// Scheduling decisions taken so far (livelock guard).
+    steps: usize,
+    max_steps: usize,
+    /// Threads spawned and not yet Finished.
+    live: usize,
+    pub(crate) chooser: Chooser,
+    /// Current lock owners by object id (mutexes and rwlocks).
+    pub(crate) owners: BTreeMap<u64, Owners>,
+    /// Next model-object id; per-execution so failure reports are
+    /// reproducible across explore and replay runs.
+    next_obj: u64,
+    pub(crate) failure: Option<FailureKind>,
+    /// Execution over (all finished, or failed).
+    done: bool,
+}
+
+impl ExecState {
+    /// Records a failure; the caller (or the next scheduling step) is
+    /// responsible for waking parked threads.
+    pub(crate) fn fail(&mut self, kind: FailureKind) {
+        if self.failure.is_none() {
+            self.failure = Some(kind);
+        }
+        self.done = true;
+    }
+
+    pub(crate) fn clock(&self, tid: Tid) -> &VClock {
+        &self.threads[tid].clock
+    }
+
+    pub(crate) fn clock_mut(&mut self, tid: Tid) -> &mut VClock {
+        &mut self.threads[tid].clock
+    }
+
+    /// Wakes every thread whose block reason matches `pred`.
+    pub(crate) fn wake_where(&mut self, pred: impl Fn(&BlockReason) -> bool) {
+        for t in &mut self.threads {
+            if let RunState::Blocked(r) = &t.state {
+                if pred(r) {
+                    t.state = RunState::Ready;
+                    t.timed_out = false;
+                }
+            }
+        }
+    }
+
+    fn ready_set(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == RunState::Ready)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Formats the stuck state and classifies it: a cycle in the
+    /// waits-for graph over locks is a deadlock; all-condvar waits with
+    /// no possible notifier are a lost wakeup; anything else (mixed
+    /// channel/join waits) is reported as a deadlock too.
+    fn classify_stuck(&self) -> FailureKind {
+        let blocked: Vec<(Tid, &BlockReason)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match &t.state {
+                RunState::Blocked(r) => Some((i, r)),
+                _ => None,
+            })
+            .collect();
+        let detail = blocked
+            .iter()
+            .map(|(i, r)| format!("T{} blocked on {}", i, r.describe()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        if let Some(cycle) = self.find_lock_cycle(&blocked) {
+            return FailureKind::Deadlock(format!("lock-order cycle {cycle}; {detail}"));
+        }
+        // No lock cycle but someone is parked on a condvar forever: the
+        // root cause is a notification that never comes (threads stuck
+        // joining or receiving from the waiter are collateral).
+        if blocked
+            .iter()
+            .any(|(_, r)| matches!(r, BlockReason::CondWait { .. }))
+        {
+            return FailureKind::LostWakeup(format!(
+                "a thread is parked on a condition variable with no thread \
+                 left to notify it; {detail}"
+            ));
+        }
+        FailureKind::Deadlock(detail)
+    }
+
+    /// Looks for a cycle in the thread-waits-for-lock-owner graph.
+    fn find_lock_cycle(&self, blocked: &[(Tid, &BlockReason)]) -> Option<String> {
+        // edges[t] = threads that t waits on (owners of its waited lock).
+        let mut edges: BTreeMap<Tid, Vec<Tid>> = BTreeMap::new();
+        for (t, r) in blocked {
+            if let Some(obj) = r.waited_lock() {
+                let owners = match self.owners.get(&obj) {
+                    Some(Owners::Writer(w)) => vec![*w],
+                    Some(Owners::Readers(v)) => v.clone(),
+                    None => Vec::new(),
+                };
+                edges.insert(*t, owners);
+            }
+        }
+        // DFS with an explicit path to recover the cycle for the report.
+        fn walk(
+            edges: &BTreeMap<Tid, Vec<Tid>>,
+            path: &mut Vec<Tid>,
+            node: Tid,
+        ) -> Option<Vec<Tid>> {
+            if let Some(at) = path.iter().position(|&p| p == node) {
+                return Some(path[at..].to_vec());
+            }
+            path.push(node);
+            if let Some(next) = edges.get(&node) {
+                for &n in next {
+                    if let Some(c) = walk(edges, path, n) {
+                        return Some(c);
+                    }
+                }
+            }
+            path.pop();
+            None
+        }
+        for &start in edges.keys() {
+            let mut path = Vec::new();
+            if let Some(cycle) = walk(&edges, &mut path, start) {
+                let names = cycle
+                    .iter()
+                    .map(|t| format!("T{t}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                let first = cycle.first().map(|t| format!("T{t}")).unwrap_or_default();
+                return Some(format!("{names} -> {first}"));
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for ExecState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecState")
+            .field("threads", &self.threads.len())
+            .field("granted", &self.granted)
+            .field("steps", &self.steps)
+            .field("live", &self.live)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One model execution: the baton, the thread table, and the chooser.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+    /// OS handles of every spawned model thread, reaped by the driver.
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Execution {
+    pub(crate) fn new(chooser: Chooser, max_steps: usize) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                granted: None,
+                last_running: None,
+                decisions: Vec::new(),
+                steps: 0,
+                max_steps,
+                live: 0,
+                chooser,
+                owners: BTreeMap::new(),
+                next_obj: 0,
+                failure: None,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a failure and wakes everything so parked threads abort.
+    pub(crate) fn fail(&self, st: &mut ExecState, kind: FailureKind) {
+        st.fail(kind);
+        self.cv.notify_all();
+    }
+
+    /// Picks and grants the next thread. Fires timed waiters only when
+    /// the execution is otherwise stuck; fails on deadlock/lost-wakeup,
+    /// step-limit overrun, or chooser divergence.
+    pub(crate) fn schedule_next(&self, st: &mut ExecState) {
+        if st.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        if st.live == 0 {
+            st.done = true;
+            st.granted = None;
+            self.cv.notify_all();
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            self.fail(
+                st,
+                FailureKind::StepLimit(format!(
+                    "execution exceeded {} scheduling steps; likely a livelock \
+                     (a spin loop over model operations) or a program too large \
+                     for the configured max_steps",
+                    st.max_steps
+                )),
+            );
+            return;
+        }
+        loop {
+            let ready = st.ready_set();
+            if ready.is_empty() {
+                // Stuck. Let time advance: fire every timed waiter at
+                // once (deterministic — no ordering among expiries) and
+                // re-evaluate; otherwise classify and fail.
+                let mut fired = false;
+                for t in &mut st.threads {
+                    if let RunState::Blocked(r) = &t.state {
+                        if r.timed() {
+                            t.state = RunState::Ready;
+                            t.timed_out = true;
+                            fired = true;
+                        }
+                    }
+                }
+                if fired {
+                    continue;
+                }
+                let kind = st.classify_stuck();
+                self.fail(st, kind);
+                return;
+            }
+            let prev = st.last_running;
+            match st.chooser.choose(&ready, prev) {
+                Ok(tid) => {
+                    st.decisions.push(tid);
+                    st.last_running = Some(tid);
+                    st.granted = Some(tid);
+                    st.threads[tid].state = RunState::Running;
+                    self.cv.notify_all();
+                    return;
+                }
+                Err(msg) => {
+                    self.fail(st, FailureKind::ReplayDivergence(msg));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parks until this thread holds the baton; aborts on failure.
+    pub(crate) fn wait_granted<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: Tid,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                abort_current_thread();
+            }
+            if st.granted == Some(tid) {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A non-blocking yield point: reschedules, then runs `f` with the
+    /// baton held. Used by operations that always complete (atomic ops,
+    /// racy-cell accesses, notify, unlock, try_recv).
+    pub(crate) fn visible_point<R>(
+        self: &Arc<Self>,
+        tid: Tid,
+        f: impl FnOnce(&mut ExecState, Tid) -> R,
+    ) -> R {
+        let mut st = self.lock_state();
+        st.threads[tid].state = RunState::Ready;
+        self.schedule_next(&mut st);
+        st = self.wait_granted(st, tid);
+        let r = f(&mut st, tid);
+        if st.failure.is_some() {
+            // f detected a failure (e.g. a data race): unwind now.
+            self.cv.notify_all();
+            drop(st);
+            abort_current_thread();
+        }
+        r
+    }
+
+    /// A blocking yield point: reschedules, then retries `try_op` until
+    /// it completes, parking with `reason` on each would-block. `try_op`
+    /// receives the timed-out flag (true when the scheduler fired this
+    /// thread's timed wait since the last retry).
+    pub(crate) fn visible<R>(
+        self: &Arc<Self>,
+        tid: Tid,
+        reason: BlockReason,
+        mut try_op: impl FnMut(&mut ExecState, Tid, bool) -> Option<R>,
+    ) -> R {
+        let mut st = self.lock_state();
+        st.threads[tid].state = RunState::Ready;
+        self.schedule_next(&mut st);
+        st = self.wait_granted(st, tid);
+        loop {
+            let timed_out = std::mem::take(&mut st.threads[tid].timed_out);
+            if let Some(r) = try_op(&mut st, tid, timed_out) {
+                if st.failure.is_some() {
+                    self.cv.notify_all();
+                    drop(st);
+                    abort_current_thread();
+                }
+                return r;
+            }
+            st.threads[tid].state = RunState::Blocked(reason.clone());
+            self.schedule_next(&mut st);
+            st = self.wait_granted(st, tid);
+        }
+    }
+
+    /// Waits (on the driver thread) for the execution to end, then reaps
+    /// every OS thread and returns the outcome.
+    pub(crate) fn finish(self: &Arc<Self>) -> RunOutcome {
+        {
+            let mut st = self.lock_state();
+            while !st.done {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for h in handles {
+            // Aborted threads unwind with ModelAbort; that join Err is
+            // expected teardown, not a result.
+            let _ = h.join();
+        }
+        let mut st = self.lock_state();
+        RunOutcome {
+            failure: st.failure.take(),
+            decisions: std::mem::take(&mut st.decisions),
+            chooser: std::mem::replace(&mut st.chooser, Chooser::Taken),
+        }
+    }
+}
+
+/// Where a model thread's return value (or panic payload) lands.
+pub(crate) type ResultSlot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+/// What one schedule produced.
+pub(crate) struct RunOutcome {
+    pub(crate) failure: Option<FailureKind>,
+    pub(crate) decisions: Vec<Tid>,
+    pub(crate) chooser: Chooser,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawns a model thread. The parent (if any) performs a yield point so
+/// the child's first steps interleave with the parent's continuation.
+/// Returns the child's tid and the slot its result lands in.
+pub(crate) fn spawn_model<T: Send + 'static>(
+    exec: &Arc<Execution>,
+    parent: Option<Tid>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (Tid, ResultSlot<T>) {
+    let tid;
+    {
+        let mut st = exec.lock_state();
+        tid = st.threads.len();
+        let clock = match parent {
+            Some(p) => {
+                // Spawn is a release by the parent and an acquire by the
+                // child: the child starts after everything the parent did.
+                let mut c = st.threads[p].clock.clone();
+                st.threads[p].clock.tick(p);
+                c.tick(tid);
+                c
+            }
+            None => {
+                let mut c = VClock::new();
+                c.tick(tid);
+                c
+            }
+        };
+        st.threads.push(ThreadInfo {
+            state: RunState::Ready,
+            clock,
+            timed_out: false,
+        });
+        st.live += 1;
+    }
+    let slot: ResultSlot<T> = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("das-check-T{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            {
+                // Park until first granted (aborts if the run already failed).
+                let st = exec2.lock_state();
+                let st = exec2.wait_granted(st, tid);
+                drop(st);
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match result {
+                Ok(value) => {
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(value));
+                    let mut st = exec2.lock_state();
+                    st.threads[tid].state = RunState::Finished;
+                    st.live -= 1;
+                    st.wake_where(|r| matches!(r, BlockReason::Join { target } if *target == tid));
+                    exec2.schedule_next(&mut st);
+                }
+                Err(payload) => {
+                    let mut st = exec2.lock_state();
+                    st.threads[tid].state = RunState::Finished;
+                    st.live -= 1;
+                    if payload.is::<ModelAbort>() {
+                        // Teardown of an already-failed run: nothing to do;
+                        // the driver is woken by whoever failed.
+                        if st.live == 0 {
+                            st.done = true;
+                            exec2.cv.notify_all();
+                        }
+                    } else {
+                        let msg = panic_message(payload.as_ref());
+                        *slot2.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(Err(payload));
+                        exec2.fail(&mut st, FailureKind::Panic(msg));
+                    }
+                }
+            }
+        })
+        .unwrap_or_else(|e| panic!("failed to spawn model OS thread: {e}"));
+    exec
+        .handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(handle);
+    if let Some(p) = parent {
+        // The spawn itself is a yield point for the parent.
+        let mut st = exec.lock_state();
+        st.threads[p].state = RunState::Ready;
+        exec.schedule_next(&mut st);
+        let st = exec.wait_granted(st, p);
+        drop(st);
+    }
+    (tid, slot)
+}

@@ -1,0 +1,307 @@
+//! `das-check`: a loom/shuttle-style schedule-exploration model checker
+//! for the workspace's real-threaded code.
+//!
+//! The program under test runs on real OS threads, but every operation
+//! on the model sync primitives ([`sync`], [`thread`]) is a controlled
+//! yield point: a single baton serializes the threads, and a pluggable
+//! chooser decides who runs at each point. [`explore`] enumerates
+//! schedules — iterative DFS with a CHESS-style bounded-preemption
+//! budget, or a seeded random walk — and reports the first failing
+//! schedule as a replayable decision string; [`replay`] re-executes one
+//! exactly.
+//!
+//! Detected failure classes ([`FailureKind`]):
+//! - panics / assertion failures in any model thread,
+//! - deadlocks (lock-order cycles, and any stuck mixed-wait state),
+//! - lost wakeups (every live thread parked on a condvar, nobody left
+//!   to notify),
+//! - data races on [`sync::RaceCell`] via vector-clock happens-before,
+//! - livelocks, via a schedule step limit.
+//!
+//! The checker is deliberately dependency-free (std only): it is the
+//! trust anchor the rest of the workspace's concurrency is verified
+//! against, and it must build offline like every vendored shim.
+//!
+//! # Example
+//!
+//! ```
+//! use das_check::{explore, Config};
+//!
+//! let stats = explore(&Config::default(), || {
+//!     let m = std::sync::Arc::new(das_check::sync::Mutex::new(0u32));
+//!     let m2 = std::sync::Arc::clone(&m);
+//!     let t = das_check::thread::spawn(move || *m2.lock() += 1);
+//!     *m.lock() += 1;
+//!     t.join().expect("child");
+//! })
+//! .expect("no concurrency bug");
+//! assert!(stats.exhausted);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+
+mod chooser;
+mod clock;
+mod exec;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+use chooser::{advance_dfs, Chooser, DfsRun, ReplayRun, SplitMix64};
+use exec::{spawn_model, Execution};
+
+/// How [`explore`] walks the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Iterative depth-first enumeration with a bounded-preemption
+    /// budget (CHESS). Exhaustive within the bound; deterministic.
+    Dfs,
+    /// Seeded random walk: each schedule draws its decisions from a
+    /// SplitMix64 stream. For state spaces too large to enumerate.
+    Random {
+        /// Seed for the walk; the same seed explores the same schedules.
+        seed: u64,
+    },
+}
+
+/// Exploration limits and strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Schedule strategy (default: bounded-preemption DFS).
+    pub strategy: Strategy,
+    /// Maximum schedules to run before declaring the budget spent.
+    pub max_schedules: usize,
+    /// Per-schedule scheduling-step limit (livelock guard).
+    pub max_steps: usize,
+    /// Preemption budget for DFS (`None` = unbounded). Empirically most
+    /// concurrency bugs need at most two preemptions (CHESS), and the
+    /// bound keeps the schedule count polynomial instead of exponential.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            strategy: Strategy::Dfs,
+            max_schedules: 10_000,
+            max_steps: 100_000,
+            preemption_bound: Some(2),
+        }
+    }
+}
+
+/// What [`explore`] found when no schedule failed.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// True when DFS exhausted the bounded space (rather than running
+    /// out of `max_schedules` budget).
+    pub exhausted: bool,
+}
+
+/// The class of bug a failing schedule exhibited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure, index error, ...).
+    Panic(String),
+    /// Stuck threads with a lock cycle or mixed un-wakeable waits.
+    Deadlock(String),
+    /// Every live thread parked on a condvar with no notifier left.
+    LostWakeup(String),
+    /// A happens-before data race on a [`sync::RaceCell`].
+    Race(String),
+    /// Scheduling-step limit exceeded (livelock or undersized limit).
+    StepLimit(String),
+    /// The chooser's planned/recorded decisions stopped matching the
+    /// program (unmodeled nondeterminism, or a stale replay string).
+    ReplayDivergence(String),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(m) => write!(f, "panic: {m}"),
+            FailureKind::Deadlock(m) => write!(f, "deadlock: {m}"),
+            FailureKind::LostWakeup(m) => write!(f, "lost wakeup: {m}"),
+            FailureKind::Race(m) => write!(f, "data race: {m}"),
+            FailureKind::StepLimit(m) => write!(f, "step limit: {m}"),
+            FailureKind::ReplayDivergence(m) => write!(f, "replay divergence: {m}"),
+        }
+    }
+}
+
+/// A failing schedule: what went wrong and how to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The bug class and detail message.
+    pub kind: FailureKind,
+    /// Zero-based index of the failing schedule within the exploration.
+    pub schedule_index: usize,
+    /// The full decision string (comma-separated thread ids, one per
+    /// scheduling decision). Feed to [`replay`] to reproduce the
+    /// identical interleaving.
+    pub decisions: String,
+    /// The random-walk seed, when the failing run came from
+    /// [`Strategy::Random`].
+    pub seed: Option<u64>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model failure: {}", self.kind)?;
+        writeln!(f, "  schedule index: {}", self.schedule_index)?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "  random seed: {seed}")?;
+        }
+        write!(
+            f,
+            "  replay decisions (das_check::replay): \"{}\"",
+            self.decisions
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+fn render_decisions(decisions: &[usize]) -> String {
+    decisions
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn run_one(
+    chooser: Chooser,
+    max_steps: usize,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> exec::RunOutcome {
+    let execution = Arc::new(Execution::new(chooser, max_steps));
+    let root = Arc::clone(f);
+    spawn_model(&execution, None, move || root());
+    {
+        // Kick: grant the root thread its first slice.
+        let mut st = execution.lock_state();
+        execution.schedule_next(&mut st);
+    }
+    execution.finish()
+}
+
+/// Explores schedules of `f` under `config`. Returns exploration stats,
+/// or the first failing schedule (boxed: it carries the full decision
+/// trace).
+///
+/// `f` runs once per schedule and must be self-contained: construct all
+/// model objects and threads inside it.
+pub fn explore<F>(config: &Config, f: F) -> Result<Stats, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    match config.strategy {
+        Strategy::Dfs => {
+            let mut planned = Vec::new();
+            let mut schedules = 0usize;
+            loop {
+                if schedules >= config.max_schedules {
+                    return Ok(Stats {
+                        schedules,
+                        exhausted: false,
+                    });
+                }
+                let chooser = Chooser::Dfs(DfsRun::with_path(planned));
+                let outcome = run_one(chooser, config.max_steps, &f);
+                schedules += 1;
+                if let Some(kind) = outcome.failure {
+                    return Err(Box::new(Failure {
+                        kind,
+                        schedule_index: schedules - 1,
+                        decisions: render_decisions(&outcome.decisions),
+                        seed: None,
+                    }));
+                }
+                let Chooser::Dfs(run) = outcome.chooser else {
+                    unreachable!("DFS exploration always gets its chooser back");
+                };
+                match advance_dfs(run.path, config.preemption_bound) {
+                    Some(next) => planned = next,
+                    None => {
+                        return Ok(Stats {
+                            schedules,
+                            exhausted: true,
+                        })
+                    }
+                }
+            }
+        }
+        Strategy::Random { seed } => {
+            let mut seeder = SplitMix64(seed);
+            for index in 0..config.max_schedules {
+                let chooser = Chooser::Random(SplitMix64(seeder.next()));
+                let outcome = run_one(chooser, config.max_steps, &f);
+                if let Some(kind) = outcome.failure {
+                    return Err(Box::new(Failure {
+                        kind,
+                        schedule_index: index,
+                        decisions: render_decisions(&outcome.decisions),
+                        seed: Some(seed),
+                    }));
+                }
+            }
+            Ok(Stats {
+                schedules: config.max_schedules,
+                exhausted: false,
+            })
+        }
+    }
+}
+
+/// Like [`explore`], but panics with the full failure report (decision
+/// string included) on the first failing schedule. The convenient entry
+/// point for tests.
+pub fn check<F>(config: &Config, f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(config, f) {
+        Ok(stats) => stats,
+        Err(failure) => panic!("\n{failure}\n"),
+    }
+}
+
+/// Re-executes `f` under a recorded decision string (from
+/// [`Failure::decisions`]). Returns the failure it reproduces, or `None`
+/// if the schedule completes cleanly (which, for a string taken from a
+/// real failure, means the program or checker changed).
+pub fn replay<F>(decisions: &str, max_steps: usize, f: F) -> Option<Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let parsed: Vec<usize> = decisions
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed decision string token {s:?}"))
+        })
+        .collect();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let chooser = Chooser::Replay(ReplayRun {
+        decisions: parsed,
+        pos: 0,
+    });
+    let outcome = run_one(chooser, max_steps, &f);
+    outcome.failure.map(|kind| {
+        Box::new(Failure {
+            kind,
+            schedule_index: 0,
+            decisions: render_decisions(&outcome.decisions),
+            seed: None,
+        })
+    })
+}

@@ -1,0 +1,130 @@
+//! Model atomics.
+//!
+//! Every model atomic operation is treated as sequentially consistent
+//! regardless of the `Ordering` argument: the checker explores
+//! interleavings of whole operations, not hardware-level reorderings
+//! (the CHESS/loom "SC at yield-point granularity" simplification). The
+//! ordering argument is accepted for API parity and recorded nowhere —
+//! which is also why the `ordering-relaxed` lint rule demands an audit:
+//! the model cannot distinguish `Relaxed` from `SeqCst`, so a human must.
+//!
+//! Each operation is both an acquire and a release (object clock joined
+//! into the thread, thread clock published back), so atomics establish
+//! happens-before edges for the race detector, exactly like real SC
+//! atomics do.
+
+pub use std::sync::atomic::Ordering;
+
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+use crate::clock::VClock;
+use crate::exec::{self};
+
+macro_rules! model_atomic {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            state: StdMutex<($ty, VClock)>,
+        }
+
+        impl $name {
+            /// Creates a model atomic with the given initial value.
+            pub fn new(value: $ty) -> Self {
+                $name {
+                    state: StdMutex::new((value, VClock::new())),
+                }
+            }
+
+            fn op<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                if exec::aborting() {
+                    let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    return f(&mut s.0);
+                }
+                let (exec, tid) = exec::current();
+                exec.visible_point(tid, |st, tid| {
+                    let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Acquire + release: join both ways, then tick.
+                    st.clock_mut(tid).join(&s.1);
+                    let r = f(&mut s.0);
+                    s.1.join(st.clock(tid));
+                    drop(s);
+                    st.clock_mut(tid).tick(tid);
+                    r
+                })
+            }
+
+            /// Loads the value (modeled as SC; a yield point).
+            pub fn load(&self, _order: Ordering) -> $ty {
+                self.op(|v| *v)
+            }
+
+            /// Stores a value (modeled as SC; a yield point).
+            pub fn store(&self, value: $ty, _order: Ordering) {
+                self.op(|v| *v = value)
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                self.op(|v| std::mem::replace(v, value))
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $ty {
+                self.state
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Model `AtomicBool` (all operations SC yield points).
+    AtomicBool,
+    bool
+);
+model_atomic!(
+    /// Model `AtomicU64` (all operations SC yield points).
+    AtomicU64,
+    u64
+);
+model_atomic!(
+    /// Model `AtomicUsize` (all operations SC yield points).
+    AtomicUsize,
+    usize
+);
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, rhs: $ty, _order: Ordering) -> $ty {
+                self.op(|v| {
+                    let old = *v;
+                    *v = v.wrapping_add(rhs);
+                    old
+                })
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, rhs: $ty, _order: Ordering) -> $ty {
+                self.op(|v| {
+                    let old = *v;
+                    *v = v.wrapping_sub(rhs);
+                    old
+                })
+            }
+        }
+    };
+}
+
+model_atomic_arith!(AtomicU64, u64);
+model_atomic_arith!(AtomicUsize, usize);

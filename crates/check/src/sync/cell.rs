@@ -1,0 +1,119 @@
+//! [`RaceCell`]: plain shared memory with happens-before race detection.
+//!
+//! Real unsynchronized shared memory is undefined behavior in Rust, so
+//! racy fixtures can't literally race — instead they use `RaceCell`,
+//! which behaves like a `Cell` shared across threads and *reports* any
+//! access pair not ordered by happens-before. Detection is FastTrack
+//! style: the last write is an epoch `(tid, clock)`, reads since that
+//! write accumulate as epochs, and an access races when the accessor's
+//! vector clock does not dominate the relevant prior epochs.
+
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+use crate::exec::{self};
+use crate::FailureKind;
+
+struct CellState<T> {
+    value: T,
+    /// Epoch of the most recent write.
+    last_write: Option<(usize, u32)>,
+    /// Read epochs since the last write (one per reading thread).
+    reads: Vec<(usize, u32)>,
+}
+
+/// Shared mutable memory that detects data races instead of exhibiting
+/// undefined behavior. For checker fixtures and model tests only —
+/// production code should use real synchronization.
+pub struct RaceCell<T> {
+    id: u64,
+    state: StdMutex<CellState<T>>,
+}
+
+impl<T> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaceCell").field("id", &self.id).finish()
+    }
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates a race-detecting cell.
+    pub fn new(value: T) -> Self {
+        RaceCell {
+            id: exec::alloc_obj_id(),
+            state: StdMutex::new(CellState {
+                value,
+                last_write: None,
+                reads: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CellState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads the value; reports a race against any unordered prior write.
+    pub fn get(&self) -> T {
+        if exec::aborting() {
+            return self.lock().value;
+        }
+        let (exec, tid) = exec::current();
+        exec.visible_point(tid, |st, tid| {
+            let mut cell = self.lock();
+            if let Some((wt, wc)) = cell.last_write {
+                if wt != tid && st.clock(tid).get(wt) < wc {
+                    st.fail(FailureKind::Race(format!(
+                        "data race on RaceCell#{}: read by T{tid} is concurrent \
+                         with the last write by T{wt} (no happens-before edge)",
+                        self.id
+                    )));
+                    return cell.value;
+                }
+            }
+            let epoch = st.clock(tid).get(tid);
+            cell.reads.retain(|&(t, _)| t != tid);
+            cell.reads.push((tid, epoch));
+            cell.value
+        })
+    }
+
+    /// Writes the value; reports a race against any unordered prior
+    /// write *or read*.
+    pub fn set(&self, value: T) {
+        if exec::aborting() {
+            self.lock().value = value;
+            return;
+        }
+        let (exec, tid) = exec::current();
+        exec.visible_point(tid, |st, tid| {
+            let mut cell = self.lock();
+            if let Some((wt, wc)) = cell.last_write {
+                if wt != tid && st.clock(tid).get(wt) < wc {
+                    st.fail(FailureKind::Race(format!(
+                        "data race on RaceCell#{}: write by T{tid} is concurrent \
+                         with the last write by T{wt} (no happens-before edge)",
+                        self.id
+                    )));
+                    return;
+                }
+            }
+            let racy_read = cell
+                .reads
+                .iter()
+                .find(|&&(rt, rc)| rt != tid && st.clock(tid).get(rt) < rc)
+                .map(|&(rt, _)| rt);
+            if let Some(rt) = racy_read {
+                st.fail(FailureKind::Race(format!(
+                    "data race on RaceCell#{}: write by T{tid} is concurrent \
+                     with a read by T{rt} (no happens-before edge)",
+                    self.id
+                )));
+                return;
+            }
+            let epoch = st.clock(tid).get(tid);
+            cell.last_write = Some((tid, epoch));
+            cell.reads.clear();
+            cell.value = value;
+        })
+    }
+}

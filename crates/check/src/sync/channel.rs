@@ -1,0 +1,322 @@
+//! Model MPMC channels (crossbeam-shim API).
+//!
+//! Messages carry the sender's vector clock, so a receive establishes a
+//! happens-before edge from the send (as a real channel's internal
+//! synchronization does). `recv_timeout` follows the model's time rule:
+//! the timeout fires only in schedules where the execution is otherwise
+//! stuck, i.e. exactly when no message can ever arrive first.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use crate::clock::VClock;
+use crate::exec::{self, BlockReason};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`]: channel empty and disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders disconnected.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders disconnected.
+    Disconnected,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<(T, VClock)>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    id: u64,
+    capacity: Option<usize>,
+    state: StdMutex<ChanState<T>>,
+}
+
+fn chan_lock<T>(shared: &Shared<T>) -> MutexGuard<'_, ChanState<T>> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The sending half of a model channel. Cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a model channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        chan_lock(&self.shared).senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        chan_lock(&self.shared).receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut ch = chan_lock(&self.shared);
+        ch.senders -= 1;
+        let last = ch.senders == 0;
+        drop(ch);
+        // The last sender disconnecting unblocks parked receivers (they
+        // retry and observe Disconnected). Done under the execution lock
+        // but without a yield point: drop sites are not decision points,
+        // the next sync operation is.
+        if last && !exec::aborting() {
+            if let Some((exec, _)) = exec::current_opt() {
+                let id = self.shared.id;
+                let mut st = exec.lock_state();
+                st.wake_where(
+                    |r| matches!(r, BlockReason::ChanRecv { obj, .. } if *obj == id),
+                );
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut ch = chan_lock(&self.shared);
+        ch.receivers -= 1;
+        let last = ch.receivers == 0;
+        drop(ch);
+        if last && !exec::aborting() {
+            if let Some((exec, _)) = exec::current_opt() {
+                let id = self.shared.id;
+                let mut st = exec.lock_state();
+                st.wake_where(|r| matches!(r, BlockReason::ChanSend { obj } if *obj == id));
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends, blocking while a bounded channel is full. Errors when all
+    /// receivers have disconnected. A controlled yield point.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if exec::aborting() {
+            let mut ch = chan_lock(&self.shared);
+            if ch.receivers == 0 {
+                return Err(SendError(value));
+            }
+            ch.queue.push_back((value, VClock::new()));
+            return Ok(());
+        }
+        let (exec, tid) = exec::current();
+        let mut slot = Some(value);
+        exec.visible(
+            tid,
+            BlockReason::ChanSend {
+                obj: self.shared.id,
+            },
+            |st, tid, _| {
+                let mut ch = chan_lock(&self.shared);
+                if ch.receivers == 0 {
+                    return Some(Err(SendError(slot.take().expect("send value present"))));
+                }
+                if let Some(cap) = self.shared.capacity {
+                    if ch.queue.len() >= cap {
+                        return None;
+                    }
+                }
+                let clk = st.clock(tid).clone();
+                ch.queue
+                    .push_back((slot.take().expect("send value present"), clk));
+                drop(ch);
+                st.clock_mut(tid).tick(tid);
+                let id = self.shared.id;
+                st.wake_where(|r| matches!(r, BlockReason::ChanRecv { obj, .. } if *obj == id));
+                Some(Ok(()))
+            },
+        )
+    }
+}
+
+impl<T> Receiver<T> {
+    fn recv_inner(&self, timed: bool) -> Result<T, RecvTimeoutError> {
+        let (exec, tid) = exec::current();
+        exec.visible(
+            tid,
+            BlockReason::ChanRecv {
+                obj: self.shared.id,
+                timed,
+            },
+            |st, tid, timed_out| {
+                let mut ch = chan_lock(&self.shared);
+                if let Some((value, clk)) = ch.queue.pop_front() {
+                    drop(ch);
+                    st.clock_mut(tid).join(&clk);
+                    let id = self.shared.id;
+                    st.wake_where(|r| matches!(r, BlockReason::ChanSend { obj } if *obj == id));
+                    return Some(Ok(value));
+                }
+                if ch.senders == 0 {
+                    return Some(Err(RecvTimeoutError::Disconnected));
+                }
+                if timed_out {
+                    return Some(Err(RecvTimeoutError::Timeout));
+                }
+                None
+            },
+        )
+    }
+
+    /// Receives, blocking until a message arrives or every sender is
+    /// dropped. A controlled yield point.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        if exec::aborting() {
+            return Err(RecvError);
+        }
+        match self.recv_inner(false) {
+            Ok(v) => Ok(v),
+            Err(_) => Err(RecvError),
+        }
+    }
+
+    /// Receives with a deadline. The duration is ignored: model time
+    /// advances (and the timeout fires) only when the whole execution is
+    /// otherwise stuck.
+    pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+        if exec::aborting() {
+            return Err(RecvTimeoutError::Disconnected);
+        }
+        self.recv_inner(true)
+    }
+
+    /// Non-blocking receive; still a yield point.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        if exec::aborting() {
+            return Err(TryRecvError::Disconnected);
+        }
+        let (exec, tid) = exec::current();
+        exec.visible_point(tid, |st, tid| {
+            let mut ch = chan_lock(&self.shared);
+            if let Some((value, clk)) = ch.queue.pop_front() {
+                drop(ch);
+                st.clock_mut(tid).join(&clk);
+                let id = self.shared.id;
+                st.wake_where(|r| matches!(r, BlockReason::ChanSend { obj } if *obj == id));
+                return Ok(value);
+            }
+            if ch.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        })
+    }
+
+    /// Number of queued messages; a yield point (so polling loops stay
+    /// visible to the scheduler and trip the step limit instead of
+    /// hanging the model).
+    pub fn len(&self) -> usize {
+        if exec::aborting() {
+            return chan_lock(&self.shared).queue.len();
+        }
+        let (exec, tid) = exec::current();
+        exec.visible_point(tid, |_, _| chan_lock(&self.shared).queue.len())
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        id: exec::alloc_obj_id(),
+        capacity,
+        state: StdMutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a bounded model MPMC channel.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(capacity))
+}
+
+/// Creates an unbounded model MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}

@@ -1,0 +1,17 @@
+//! Model replacements for the workspace's sync primitives.
+//!
+//! Each type mirrors the API of the vendored `parking_lot` /
+//! `crossbeam` shims (plus `std::sync::atomic`) exactly, so the
+//! `das-sync` facade can swap them in under `cfg(das_model)` without any
+//! call-site changes. Every operation is a controlled yield point; see
+//! [`crate::exec`] for the scheduling protocol.
+
+pub mod atomic;
+pub mod cell;
+pub mod channel;
+mod mutex;
+mod rwlock;
+
+pub use cell::RaceCell;
+pub use mutex::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,268 @@
+//! Model [`Mutex`] and [`Condvar`] (parking_lot-shim API).
+//!
+//! Logical ownership lives in the execution's `owners` table so the
+//! scheduler can see blocking and detect lock cycles; the protected data
+//! sits in a real `std::sync::Mutex` that is only ever taken *after*
+//! logical acquisition succeeds (and released *before* logical release),
+//! so the std lock never actually contends.
+
+use std::sync::{Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+use crate::clock::VClock;
+use crate::exec::{self, BlockReason, Owners, RunState};
+
+/// A model mutual-exclusion lock (poison-free API).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: u64,
+    /// Clock published by the last release (happens-before edge carrier).
+    clock: StdMutex<VClock>,
+    data: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. Holds an `Option` so [`Condvar::wait`] can
+/// temporarily take the underlying std guard by value.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MutexGuard { .. }")
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates a model mutex (allocates a deterministic object id).
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: exec::alloc_obj_id(),
+            clock: StdMutex::new(VClock::new()),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock; a controlled yield point that may block.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if exec::aborting() {
+            // Teardown of a failed run: the scheduler is gone; take the
+            // (uncontended) std lock directly so destructors can finish.
+            return MutexGuard {
+                lock: self,
+                inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+            };
+        }
+        let (exec, tid) = exec::current();
+        exec.visible(tid, BlockReason::Lock { obj: self.id }, |st, tid, _| {
+            if st.owners.contains_key(&self.id) {
+                return None;
+            }
+            st.owners.insert(self.id, Owners::Writer(tid));
+            let oc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+            st.clock_mut(tid).join(&oc);
+            Some(())
+        });
+        MutexGuard {
+            lock: self,
+            inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Logical release: publish our clock into the lock, hand ownership
+    /// back, and wake contenders. The std data guard must already be
+    /// dropped (a woken thread takes it right after logical acquisition).
+    fn unlock(&self) {
+        if exec::aborting() {
+            if let Some((exec, _)) = exec::current_opt() {
+                let mut st = exec.lock_state();
+                st.owners.remove(&self.id);
+            }
+            return;
+        }
+        let (exec, tid) = exec::current();
+        exec.visible_point(tid, |st, tid| {
+            st.owners.remove(&self.id);
+            {
+                let mut oc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+                oc.join(st.clock(tid));
+            }
+            st.clock_mut(tid).tick(tid);
+            st.wake_where(|r| matches!(r, BlockReason::Lock { obj } if *obj == self.id));
+        });
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // std guard first, then logical release
+        self.lock.unlock();
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A model condition variable (parking_lot-style `&mut MutexGuard` API).
+///
+/// `notify_one` deterministically wakes the lowest-tid waiter; spurious
+/// wakeups are not modeled (real ones only widen the schedules explored
+/// around a wait, and every checked program loops on its predicate).
+#[derive(Debug)]
+pub struct Condvar {
+    id: u64,
+    /// Clock accumulated from notifiers, acquired by woken waiters.
+    clock: StdMutex<VClock>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a model condvar (allocates a deterministic object id).
+    pub fn new() -> Self {
+        Condvar {
+            id: exec::alloc_obj_id(),
+            clock: StdMutex::new(VClock::new()),
+        }
+    }
+
+    /// Releases the guard's mutex and parks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, false);
+    }
+
+    /// Timed wait. In the model, "time" only advances when the whole
+    /// execution is otherwise stuck, so the timeout duration is ignored:
+    /// a timed wait times out exactly in the schedules where no
+    /// notification can ever arrive first.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(self.wait_inner(guard, true))
+    }
+
+    fn wait_inner<T>(&self, guard: &mut MutexGuard<'_, T>, timed: bool) -> bool {
+        if exec::aborting() {
+            return true;
+        }
+        let (exec, tid) = exec::current();
+        let m = guard.lock;
+        guard.inner = None; // free the std data lock while parked
+        let mut st = exec.lock_state();
+        // Atomically release the mutex and park: there must be no yield
+        // point in between, or a notify between unlock and park would be
+        // lost in a way real condvars forbid.
+        st.owners.remove(&m.id);
+        {
+            let mut mc = m.clock.lock().unwrap_or_else(PoisonError::into_inner);
+            mc.join(st.clock(tid));
+        }
+        st.clock_mut(tid).tick(tid);
+        st.wake_where(|r| matches!(r, BlockReason::Lock { obj } if *obj == m.id));
+        st.threads[tid].state = RunState::Blocked(BlockReason::CondWait { obj: self.id, timed });
+        exec.schedule_next(&mut st);
+        st = exec.wait_granted(st, tid);
+        let timed_out = std::mem::take(&mut st.threads[tid].timed_out);
+        {
+            let cc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+            st.clock_mut(tid).join(&cc);
+        }
+        // Reacquire the mutex before returning (blocking).
+        loop {
+            if let std::collections::btree_map::Entry::Vacant(slot) = st.owners.entry(m.id) {
+                slot.insert(Owners::Writer(tid));
+                let mc = m.clock.lock().unwrap_or_else(PoisonError::into_inner);
+                st.clock_mut(tid).join(&mc);
+                break;
+            }
+            st.threads[tid].state = RunState::Blocked(BlockReason::Lock { obj: m.id });
+            exec.schedule_next(&mut st);
+            st = exec.wait_granted(st, tid);
+        }
+        drop(st);
+        guard.inner = Some(m.data.lock().unwrap_or_else(PoisonError::into_inner));
+        timed_out
+    }
+
+    /// Wakes one waiter (the lowest tid, deterministically).
+    pub fn notify_one(&self) {
+        if exec::aborting() {
+            return;
+        }
+        let Some((exec, tid)) = exec::current_opt() else {
+            return;
+        };
+        exec.visible_point(tid, |st, tid| {
+            {
+                let mut cc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+                cc.join(st.clock(tid));
+            }
+            st.clock_mut(tid).tick(tid);
+            let target = st.threads.iter().position(|t| {
+                matches!(&t.state,
+                    RunState::Blocked(BlockReason::CondWait { obj, .. }) if *obj == self.id)
+            });
+            if let Some(w) = target {
+                st.threads[w].state = RunState::Ready;
+                st.threads[w].timed_out = false;
+            }
+        });
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if exec::aborting() {
+            return;
+        }
+        let Some((exec, tid)) = exec::current_opt() else {
+            return;
+        };
+        exec.visible_point(tid, |st, tid| {
+            {
+                let mut cc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+                cc.join(st.clock(tid));
+            }
+            st.clock_mut(tid).tick(tid);
+            st.wake_where(|r| matches!(r, BlockReason::CondWait { obj, .. } if *obj == self.id));
+        });
+    }
+}

@@ -1,0 +1,197 @@
+//! Model [`RwLock`] (parking_lot-shim API).
+//!
+//! Shared/exclusive ownership lives in the execution's `owners` table
+//! (an [`Owners::Readers`] set or an [`Owners::Writer`]); the data sits
+//! in a real `std::sync::RwLock` taken only after logical acquisition.
+//! Writers do not get priority: a pending writer parks until the reader
+//! set empties, which is exactly the interleaving space the checker
+//! wants to explore.
+
+use std::sync::{Mutex as StdMutex, PoisonError, RwLock as StdRwLock};
+
+use crate::clock::VClock;
+use crate::exec::{self, BlockReason, Owners};
+
+/// A model reader-writer lock (poison-free API).
+#[derive(Debug)]
+pub struct RwLock<T> {
+    id: u64,
+    /// Clock published by releases; joined by every acquirer. Reader
+    /// releases join into it too, which over-synchronizes slightly (it
+    /// can hide a race between a reader's earlier writes and a later
+    /// writer) but never invents one.
+    clock: StdMutex<VClock>,
+    data: StdRwLock<T>,
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLockReadGuard { .. }")
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLockWriteGuard { .. }")
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Creates a model rwlock (allocates a deterministic object id).
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: exec::alloc_obj_id(),
+            clock: StdMutex::new(VClock::new()),
+            data: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared guard; a controlled yield point that may block.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if exec::aborting() {
+            return RwLockReadGuard {
+                lock: self,
+                inner: Some(self.data.read().unwrap_or_else(PoisonError::into_inner)),
+            };
+        }
+        let (exec, tid) = exec::current();
+        exec.visible(tid, BlockReason::RwRead { obj: self.id }, |st, tid, _| {
+            match st.owners.get_mut(&self.id) {
+                None => {
+                    st.owners.insert(self.id, Owners::Readers(vec![tid]));
+                }
+                Some(Owners::Readers(readers)) => readers.push(tid),
+                Some(Owners::Writer(_)) => return None,
+            }
+            let oc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+            st.clock_mut(tid).join(&oc);
+            Some(())
+        });
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.data.read().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Acquires an exclusive guard; a controlled yield point that may
+    /// block.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if exec::aborting() {
+            return RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.data.write().unwrap_or_else(PoisonError::into_inner)),
+            };
+        }
+        let (exec, tid) = exec::current();
+        exec.visible(tid, BlockReason::RwWrite { obj: self.id }, |st, tid, _| {
+            if st.owners.contains_key(&self.id) {
+                return None;
+            }
+            st.owners.insert(self.id, Owners::Writer(tid));
+            let oc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+            st.clock_mut(tid).join(&oc);
+            Some(())
+        });
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.data.write().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Releases one reader (or the writer when `writer`), publishes the
+    /// releasing thread's clock, and wakes contenders.
+    fn release(&self, writer: bool) {
+        if exec::aborting() {
+            if let Some((exec, tid)) = exec::current_opt() {
+                let mut st = exec.lock_state();
+                Self::drop_owner(&mut st, self.id, tid, writer);
+            }
+            return;
+        }
+        let (exec, tid) = exec::current();
+        exec.visible_point(tid, |st, tid| {
+            Self::drop_owner(st, self.id, tid, writer);
+            {
+                let mut oc = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+                oc.join(st.clock(tid));
+            }
+            st.clock_mut(tid).tick(tid);
+            st.wake_where(|r| {
+                matches!(r,
+                    BlockReason::RwRead { obj } | BlockReason::RwWrite { obj } if *obj == self.id)
+            });
+        });
+    }
+
+    fn drop_owner(st: &mut crate::exec::ExecState, id: u64, tid: usize, writer: bool) {
+        match st.owners.get_mut(&id) {
+            Some(Owners::Writer(_)) if writer => {
+                st.owners.remove(&id);
+            }
+            Some(Owners::Readers(readers)) if !writer => {
+                readers.retain(|&r| r != tid);
+                if readers.is_empty() {
+                    st.owners.remove(&id);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("read guard present")
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("write guard present")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("write guard present")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // std guard first, then logical release
+        self.lock.release(false);
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        self.lock.release(true);
+    }
+}

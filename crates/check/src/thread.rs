@@ -1,0 +1,77 @@
+//! Model thread spawn/join (std-thread-shim API).
+
+use std::sync::PoisonError;
+
+use crate::exec::{self, BlockReason, ResultSlot, RunState};
+
+/// Handle to a model thread, returned by [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: ResultSlot<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("tid", &self.tid).finish()
+    }
+}
+
+/// Spawns a model thread. Must be called from inside a model execution;
+/// the spawn itself is a yield point for the parent, and the child
+/// happens-after everything the parent did before spawning.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, parent) = exec::current();
+    let (tid, slot) = exec::spawn_model(&exec, Some(parent), f);
+    JoinHandle { tid, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes, acquiring its final clock.
+    pub fn join(self) -> std::thread::Result<T> {
+        if exec::aborting() {
+            return Err(Box::new("model execution aborted"));
+        }
+        let (exec, tid) = exec::current();
+        let target = self.tid;
+        exec.visible(tid, BlockReason::Join { target }, |st, tid, _| {
+            if st.threads[target].state == RunState::Finished {
+                let final_clock = st.threads[target].clock.clone();
+                st.clock_mut(tid).join(&final_clock);
+                Some(())
+            } else {
+                None
+            }
+        });
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .unwrap_or_else(|| Err(Box::new("model thread finished without a result")))
+    }
+
+    /// Whether the thread has finished; a yield point (so polling loops
+    /// stay visible to the scheduler and trip the step limit instead of
+    /// hanging the model).
+    pub fn is_finished(&self) -> bool {
+        if exec::aborting() {
+            return true;
+        }
+        let (exec, tid) = exec::current();
+        let target = self.tid;
+        exec.visible_point(tid, |st, _| st.threads[target].state == RunState::Finished)
+    }
+}
+
+/// A pure yield point: offers the scheduler a preemption opportunity.
+pub fn yield_now() {
+    if exec::aborting() {
+        return;
+    }
+    if let Some((exec, tid)) = exec::current_opt() {
+        exec.visible_point(tid, |_, _| ());
+    }
+}

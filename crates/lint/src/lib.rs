@@ -61,6 +61,16 @@ pub enum RuleId {
     /// simulation crates: every panic path must either be refactored away
     /// or carry an explicit invariant justification.
     UnwrapLib,
+    /// Direct `std::sync` (other than `Arc`/`Weak`), `parking_lot`, or
+    /// `crossbeam` outside `crates/sync` + `crates/check`: every lock,
+    /// channel, atomic, and spawn must go through the `das-sync` facade,
+    /// or the `--cfg das_model` build silently stops model-checking it.
+    RawSync,
+    /// `Ordering::Relaxed` anywhere outside `crates/sync` + `crates/check`:
+    /// the model checker verifies schedules under sequential consistency,
+    /// so every relaxed access is unchecked by construction and needs a
+    /// human-audited waiver stating why no ordering is derived from it.
+    OrderingRelaxed,
     /// A malformed `das-lint: allow(...)` comment: missing reason, unknown
     /// rule name, or an allow that suppressed nothing.
     BadAllow,
@@ -69,12 +79,14 @@ pub enum RuleId {
 impl RuleId {
     /// Every real (matchable) rule; `BadAllow` is synthesized by the
     /// suppression checker, not matched against source tokens.
-    pub const MATCHED: [RuleId; 5] = [
+    pub const MATCHED: [RuleId; 7] = [
         RuleId::DefaultHash,
         RuleId::WallClock,
         RuleId::FloatAccounting,
         RuleId::ThreadInSim,
         RuleId::UnwrapLib,
+        RuleId::RawSync,
+        RuleId::OrderingRelaxed,
     ];
 
     /// The stable kebab-case name used in reports and allow comments.
@@ -85,6 +97,8 @@ impl RuleId {
             RuleId::FloatAccounting => "float-accounting",
             RuleId::ThreadInSim => "thread-in-sim",
             RuleId::UnwrapLib => "unwrap-lib",
+            RuleId::RawSync => "raw-sync",
+            RuleId::OrderingRelaxed => "ordering-relaxed",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -97,6 +111,8 @@ impl RuleId {
             "float-accounting" => Some(RuleId::FloatAccounting),
             "thread-in-sim" => Some(RuleId::ThreadInSim),
             "unwrap-lib" => Some(RuleId::UnwrapLib),
+            "raw-sync" => Some(RuleId::RawSync),
+            "ordering-relaxed" => Some(RuleId::OrderingRelaxed),
             "bad-allow" => Some(RuleId::BadAllow),
             _ => None,
         }
@@ -120,6 +136,12 @@ impl RuleId {
             RuleId::UnwrapLib => {
                 "no .unwrap()/.expect( in simulation-crate library code without a justified allow"
             }
+            RuleId::RawSync => {
+                "no direct std::sync (non-Arc)/parking_lot/crossbeam outside the das-sync facade"
+            }
+            RuleId::OrderingRelaxed => {
+                "no Ordering::Relaxed outside crates/sync + crates/check without an audited waiver"
+            }
             RuleId::BadAllow => "das-lint allow comments must name a known rule and carry a reason",
         }
     }
@@ -132,6 +154,10 @@ impl RuleId {
             RuleId::FloatAccounting => "keep integer nanoseconds; convert in trace::present",
             RuleId::ThreadInSim => "the simulator is single-threaded; real concurrency lives in das-rt",
             RuleId::UnwrapLib => "return an error, or justify: // das-lint: allow(unwrap-lib): <why>",
+            RuleId::RawSync => "route it through das-sync so --cfg das_model model-checks it",
+            RuleId::OrderingRelaxed => {
+                "use SeqCst/Acquire/Release, or justify: // das-lint: allow(ordering-relaxed): <why>"
+            }
             RuleId::BadAllow => "syntax: // das-lint: allow(<rule>): <non-empty reason>",
         }
     }
@@ -253,6 +279,12 @@ const PURE_SIM_CRATES: [&str; 8] = [
 /// harness and the benchmark driver).
 const WALL_CLOCK_ALLOWED: [&str; 2] = ["rt", "bench"];
 
+/// The synchronization facade and the model checker behind it: the only
+/// first-party code allowed to name raw sync primitives (that is their
+/// whole job), and the only code exempt from the relaxed-ordering audit
+/// (the checker models all atomics as sequentially consistent).
+const SYNC_FACADE_CRATES: [&str; 2] = ["sync", "check"];
+
 /// Files whose contract is exact integer-ns telescoping. Float math here —
 /// even for "just a mean" — silently breaks the residue-free attribution
 /// the blame tables advertise.
@@ -286,6 +318,10 @@ fn rule_applies(rule: RuleId, rel: &str) -> bool {
         RuleId::FloatAccounting => ACCOUNTING_FILES.contains(&rel),
         RuleId::ThreadInSim => in_crates(rel, &PURE_SIM_CRATES),
         RuleId::UnwrapLib => in_crates(rel, &PURE_SIM_CRATES) && !rel.contains("/bin/"),
+        RuleId::RawSync | RuleId::OrderingRelaxed => {
+            (crate_of(rel).is_some() || rel.starts_with("src/"))
+                && !in_crates(rel, &SYNC_FACADE_CRATES)
+        }
         RuleId::BadAllow => true,
     }
 }
@@ -475,6 +511,46 @@ fn has_word(line: &str, word: &str) -> bool {
     false
 }
 
+/// Detects a `std::sync::` path whose target is not `Arc`/`Weak` (those
+/// are pure ownership, invisible to the schedule). Handles both direct
+/// paths (`std::sync::Mutex`, `std::sync::atomic::AtomicU64`) and brace
+/// groups (`use std::sync::{Arc, Mutex}` fires on `Mutex`).
+fn has_raw_std_sync(line: &str) -> bool {
+    const PREFIX: &str = "std::sync::";
+    const ALLOWED: [&str; 2] = ["Arc", "Weak"];
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(PREFIX) {
+        let at = start + pos;
+        let rest = &line[at + PREFIX.len()..];
+        if let Some(braced) = rest.strip_prefix('{') {
+            // Inspect each leading identifier in the brace group.
+            let group = braced.split('}').next().unwrap_or("");
+            for item in group.split(',') {
+                let ident: String = item
+                    .trim()
+                    .bytes()
+                    .take_while(|&c| is_ident(c))
+                    .map(char::from)
+                    .collect();
+                if !ident.is_empty() && !ALLOWED.contains(&ident.as_str()) {
+                    return true;
+                }
+            }
+        } else {
+            let ident: String = rest
+                .bytes()
+                .take_while(|&c| is_ident(c))
+                .map(char::from)
+                .collect();
+            if !ident.is_empty() && !ALLOWED.contains(&ident.as_str()) {
+                return true;
+            }
+        }
+        start = at + PREFIX.len();
+    }
+    false
+}
+
 /// Detects a float literal on a stripped line: `1.5`, `1e-9`, `2.0e3`,
 /// `1_000.25`. Hex literals (`0x1e5`) and tuple-field access (`x.0`,
 /// `pair.0.1`) are excluded. Trailing-dot floats (`1.`) are not detected —
@@ -588,6 +664,20 @@ fn match_rule(rule: RuleId, line: &str) -> Option<&'static str> {
                 None
             }
         }
+        RuleId::RawSync => {
+            if has_word(line, "parking_lot") {
+                Some("`parking_lot` outside the das-sync facade")
+            } else if has_word(line, "crossbeam") {
+                Some("`crossbeam` outside the das-sync facade")
+            } else if has_raw_std_sync(line) {
+                Some("`std::sync` primitive (non-Arc) outside the das-sync facade")
+            } else {
+                None
+            }
+        }
+        RuleId::OrderingRelaxed => line
+            .contains("Ordering::Relaxed")
+            .then_some("`Ordering::Relaxed` (unchecked by the SC model checker)"),
         RuleId::BadAllow => None,
     }
 }

@@ -1,0 +1,35 @@
+//! Bad fixture: trips raw-sync and ordering-relaxed in a crate that is
+//! otherwise allowed threads and wall clocks (rt). Never compiled —
+//! scanned as data by the lint tests.
+
+use parking_lot::Mutex;
+use std::sync::Arc; // must NOT fire: Arc is pure ownership
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn raw_lock() -> Arc<Mutex<u64>> {
+    Arc::new(Mutex::new(0))
+}
+
+pub fn raw_channel() -> usize {
+    let (tx, rx) = crossbeam::channel::unbounded::<u8>();
+    drop(tx);
+    rx.len()
+}
+
+pub fn raw_std_sync() -> std::sync::Condvar {
+    std::sync::Condvar::new()
+}
+
+pub fn grouped_import_fires() {
+    use std::sync::{Arc as _, Mutex as StdMutex};
+    let _ = StdMutex::new(0u8);
+}
+
+pub fn unaudited_relaxed(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn audited_relaxed(c: &AtomicU64) -> u64 {
+    // das-lint: allow(ordering-relaxed): monotonic counter, reporting only
+    c.load(Ordering::Relaxed)
+}

@@ -9,3 +9,13 @@ pub fn entropy() -> u64 {
     let mut rng = rand::thread_rng();
     rng.next_u64()
 }
+
+pub fn shared_counter() -> std::sync::Arc<das_sync::Mutex<u64>> {
+    // Arc is exempt from raw-sync; the lock goes through the facade.
+    std::sync::Arc::new(das_sync::Mutex::new(0))
+}
+
+pub fn served(c: &das_sync::atomic::AtomicU64) -> u64 {
+    // das-lint: allow(ordering-relaxed): monotonic counter, reporting only
+    c.load(das_sync::atomic::Ordering::Relaxed)
+}

@@ -1,0 +1,13 @@
+//! Clean fixture: the facade crate's whole job is naming raw sync
+//! primitives, so raw-sync and ordering-relaxed do not apply under
+//! `crates/sync/` (nor `crates/check/`).
+
+pub use parking_lot::{Condvar, Mutex};
+
+pub mod channel {
+    pub use crossbeam::channel::{bounded, unbounded};
+}
+
+pub fn relaxed_is_fine_here(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}

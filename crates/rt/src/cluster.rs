@@ -5,8 +5,9 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::bounded;
-use parking_lot::RwLock;
+use das_sync::atomic::{AtomicU64, Ordering};
+use das_sync::channel::{bounded, RecvTimeoutError};
+use das_sync::RwLock;
 
 use das_metrics::summary::LatencySummary;
 use das_sched::policy::PolicyKind;
@@ -92,7 +93,7 @@ pub struct RtCluster {
     /// from cached metadata; here the index is maintained on load).
     size_index: RwLock<HashMap<u64, u32>>,
     epoch: Instant,
-    next_request: std::sync::atomic::AtomicU64,
+    next_request: AtomicU64,
 }
 
 impl std::fmt::Debug for RtCluster {
@@ -115,7 +116,7 @@ impl RtCluster {
                 .collect(),
             size_index: RwLock::new(HashMap::new()),
             epoch,
-            next_request: std::sync::atomic::AtomicU64::new(0),
+            next_request: AtomicU64::new(0),
             config,
         }
     }
@@ -175,10 +176,8 @@ impl RtCluster {
     ) -> Result<MultiGetResult, MultiGetError> {
         assert!(!keys.is_empty(), "multi-get needs at least one key");
         assert!(attempts >= 1, "multi-get needs at least one attempt");
-        let request = RequestId(
-            self.next_request
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-        );
+        // das-lint: allow(ordering-relaxed): unique-id counter, only uniqueness matters
+        let request = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let start = Instant::now();
         let arrival = self.now();
 
@@ -276,7 +275,7 @@ impl RtCluster {
                         }
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(RecvTimeoutError::Timeout) => {
                     if round >= attempts {
                         return Err(MultiGetError::TimedOut {
                             missing: groups.len() - completed,
@@ -291,7 +290,7 @@ impl RtCluster {
                         }
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(RecvTimeoutError::Disconnected) => {
                     return Err(MultiGetError::Disconnected);
                 }
             }
@@ -308,6 +307,13 @@ impl RtCluster {
     /// queued and future ops on it are never answered.
     pub fn halt_server(&self, server: usize) {
         self.servers[server].halt();
+    }
+
+    /// Blocks until a halted server's workers have actually exited (a
+    /// condition wait, not a sleep — see
+    /// [`RtServer::wait_workers_stopped`]).
+    pub fn wait_halted(&self, server: usize) {
+        self.servers[server].wait_workers_stopped();
     }
 
     /// Total ops served across all servers.
@@ -338,6 +344,10 @@ pub fn run_closed_loop(
 ) -> LatencySummary {
     assert!(clients >= 1 && !batches.is_empty());
     let mut summary = LatencySummary::new();
+    // Scoped threads let clients borrow `cluster`/`batches`; the das-sync
+    // facade has no scope() (the model checker only tracks owned spawns),
+    // and this driver is wall-clock load generation that model tests never
+    // enter, so plain std scoped threads are the right tool here.
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -440,7 +450,9 @@ mod tests {
         let key = 5u64;
         let dead = cluster.owner_of(key).0 as usize;
         cluster.halt_server(dead);
-        std::thread::sleep(Duration::from_millis(20));
+        // Condition-based: resume only once the workers are really gone,
+        // so the submit below cannot race a still-draining worker.
+        cluster.wait_halted(dead);
         let err = cluster
             .try_multi_get(&[key], Duration::from_millis(50), 2)
             .expect_err("dead server must time out");
@@ -468,7 +480,7 @@ mod tests {
             per_byte_nanos: 0.0,
         });
         cluster.load(1, Bytes::from_static(b"v"));
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = das_sync::channel::unbounded();
         let tag = OpTag {
             op: OpId {
                 request: RequestId(u64::MAX),
@@ -487,11 +499,15 @@ mod tests {
                 enqueued_at: SimTime::ZERO,
             },
             keys: vec![1],
-            service_nanos: 100_000_000, // 100ms blocker
+            service_nanos: 300_000_000, // 300ms blocker
             reply: tx,
         });
+        // Condition-based: start the windowed request only once the worker
+        // actually holds the blocker, so (nearly) the whole 300ms spin is
+        // ahead of the 30ms first window even on a heavily loaded machine.
+        cluster.servers[0].wait_dequeued(1);
         let r = cluster
-            .try_multi_get(&[1], Duration::from_millis(30), 20)
+            .try_multi_get(&[1], Duration::from_millis(30), 40)
             .expect("request completes once the blocker drains");
         assert!(r.retries > 0, "the blocked window must have expired");
         assert_eq!(r.values[&1], Some(Bytes::from_static(b"v")));

@@ -4,9 +4,16 @@
 //! in-process, multi-threaded key-value cluster with real worker threads,
 //! real queues, and wall-clock measurement. This is the "tokio-style
 //! prototype" counterpart to the simulation — used by the examples and as
-//! a sanity check that the disciplines behave under genuine concurrency —
-//! built on `crossbeam` + `parking_lot` (no async runtime in the approved
-//! dependency set, and none needed for an in-process prototype).
+//! a sanity check that the disciplines behave under genuine concurrency.
+//!
+//! Every lock, channel, atomic, and thread spawn goes through the
+//! [`das_sync`] facade (normally `parking_lot` + `crossbeam`; no async
+//! runtime in the approved dependency set, and none needed for an
+//! in-process prototype). Built with `RUSTFLAGS="--cfg das_model"`, the
+//! same code runs under the `das-check` model checker, which explores
+//! thread interleavings exhaustively and detects data races, deadlocks,
+//! and lost wakeups — see `tests/model/` at the workspace root and the
+//! "Concurrency model" section of `DESIGN.md`.
 //!
 //! * [`store`] — a sharded concurrent in-memory store;
 //! * [`server`] — scheduler-fronted worker pools with emulated service

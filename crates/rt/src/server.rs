@@ -1,13 +1,17 @@
 //! One real-threaded storage server: worker threads draining a
 //! scheduler-ordered queue of get operations against the in-memory store.
+//!
+//! All synchronization goes through the `das-sync` facade, so under
+//! `cfg(das_model)` the whole server runs inside the `das-check` model
+//! scheduler (see `tests/model/` at the workspace root).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
-use parking_lot::{Condvar, Mutex};
+use das_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use das_sync::channel::Sender;
+use das_sync::{Condvar, Mutex};
 
 use das_sched::policy::PolicyKind;
 use das_sched::scheduler::Scheduler;
@@ -44,10 +48,14 @@ pub struct RtOp {
 struct Inner {
     scheduler: Mutex<SchedState>,
     cv: Condvar,
+    /// Signaled on every dequeue and worker exit; waited on by the
+    /// condition-based test synchronization helpers.
+    progress: Condvar,
     shutdown: AtomicBool,
     store: InMemoryStore,
     epoch: Instant,
     ops_served: AtomicU64,
+    worker_count: usize,
 }
 
 struct SchedState {
@@ -55,18 +63,24 @@ struct SchedState {
     /// Payload side-table keyed by op id (the scheduler only orders
     /// [`QueuedOp`]s).
     payloads: std::collections::HashMap<OpId, (Vec<u64>, u64, Sender<OpReply>)>,
+    /// Ops handed to workers so far (monotonic; drives [`RtServer::wait_dequeued`]).
+    dequeued: u64,
+    /// Worker threads that have exited, cleanly or by panic (drives
+    /// [`RtServer::wait_workers_stopped`]).
+    exited: usize,
 }
 
 /// A running server with its worker threads.
 pub struct RtServer {
     inner: Arc<Inner>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<das_sync::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for RtServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RtServer")
             .field("workers", &self.workers.len())
+            // das-lint: allow(ordering-relaxed): debug snapshot of a monotonic counter
             .field("ops_served", &self.inner.ops_served.load(Ordering::Relaxed))
             .finish()
     }
@@ -82,17 +96,21 @@ impl RtServer {
             scheduler: Mutex::new(SchedState {
                 scheduler: policy.build(),
                 payloads: std::collections::HashMap::new(),
+                dequeued: 0,
+                exited: 0,
             }),
             cv: Condvar::new(),
+            progress: Condvar::new(),
             shutdown: AtomicBool::new(false),
             store: InMemoryStore::new(),
             epoch,
             ops_served: AtomicU64::new(0),
+            worker_count: workers,
         });
         let handles = (0..workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                das_sync::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
         RtServer {
@@ -131,12 +149,37 @@ impl RtServer {
 
     /// Total ops served so far.
     pub fn ops_served(&self) -> u64 {
+        // das-lint: allow(ordering-relaxed): monotonic counter read for reporting only
         self.inner.ops_served.load(Ordering::Relaxed)
     }
 
     /// Wall time as [`SimTime`] since the cluster epoch.
     pub fn now(&self) -> SimTime {
         SimTime::from_nanos(self.inner.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Blocks until workers have dequeued at least `n` ops since start.
+    /// Condition-based test synchronization: replaces sleep-and-hope
+    /// handshakes, so tests hold under any schedule (and under the model
+    /// checker, where sleeping is meaningless).
+    pub fn wait_dequeued(&self, n: u64) {
+        let mut st = self.inner.scheduler.lock();
+        while st.dequeued < n {
+            self.inner.progress.wait(&mut st);
+        }
+    }
+
+    /// Blocks until every worker thread has exited (clean return after
+    /// [`halt`]/[`shutdown`], or a panic unwind). Does not join or
+    /// consume the server; pair with [`shutdown`] to reap the threads.
+    ///
+    /// [`halt`]: RtServer::halt
+    /// [`shutdown`]: RtServer::shutdown
+    pub fn wait_workers_stopped(&self) {
+        let mut st = self.inner.scheduler.lock();
+        while st.exited < self.inner.worker_count {
+            self.inner.progress.wait(&mut st);
+        }
     }
 
     /// Simulates server death (crash-stop): workers stop serving and exit,
@@ -165,7 +208,23 @@ impl RtServer {
     }
 }
 
+/// Increments `exited` when the worker leaves `worker_loop` for any
+/// reason — clean return or panic unwind — so waiters see dead workers.
+struct ExitGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.inner.scheduler.lock();
+        st.exited += 1;
+        drop(st);
+        self.inner.progress.notify_all();
+    }
+}
+
 fn worker_loop(inner: &Inner) {
+    let _exit = ExitGuard { inner };
     loop {
         let (queued, payload) = {
             let mut st = inner.scheduler.lock();
@@ -179,6 +238,8 @@ fn worker_loop(inner: &Inner) {
                         .payloads
                         .remove(&q.tag.op)
                         .expect("payload for queued op");
+                    st.dequeued += 1;
+                    inner.progress.notify_all();
                     break (q, payload);
                 }
                 inner.cv.wait(&mut st);
@@ -187,6 +248,7 @@ fn worker_loop(inner: &Inner) {
         let (keys, service_nanos, reply) = payload;
         let values: Vec<Option<Bytes>> = keys.iter().map(|&k| inner.store.get(k)).collect();
         busy_wait(service_nanos);
+        // das-lint: allow(ordering-relaxed): monotonic served counter, reporting only
         inner.ops_served.fetch_add(1, Ordering::Relaxed);
         let queue_len = inner.scheduler.lock().scheduler.len();
         // The request side may have given up (e.g. on shutdown); a closed
@@ -201,7 +263,8 @@ fn worker_loop(inner: &Inner) {
 
 /// Emulates CPU-bound service time. Spins rather than sleeping: sleep
 /// granularity on most OSes is far coarser than microsecond-scale service
-/// times.
+/// times. Invisible to the model checker (no sync operations), so model
+/// tests use `service_nanos: 0`.
 fn busy_wait(nanos: u64) {
     if nanos == 0 {
         return;
@@ -215,9 +278,9 @@ fn busy_wait(nanos: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
     use das_sched::types::OpTag;
     use das_sim::time::SimDuration;
+    use das_sync::channel::unbounded;
 
     fn op(req: u64, keys: Vec<u64>, reply: Sender<OpReply>) -> RtOp {
         let tag = OpTag {
@@ -297,6 +360,9 @@ mod tests {
         let mut blocker = op(100, vec![1], tx.clone());
         blocker.service_nanos = 20_000_000;
         server.submit(blocker);
+        // Wait for the worker to actually hold the blocker, so both
+        // competitors are enqueued while it spins.
+        server.wait_dequeued(1);
 
         // While it spins, enqueue big-bottleneck then small-bottleneck.
         let mk = |req: u64, bottleneck_us: u64| {
@@ -350,8 +416,9 @@ mod tests {
         let server = RtServer::start(PolicyKind::Fcfs, 1, Instant::now());
         server.load(1, Bytes::from_static(b"x"));
         server.halt();
-        // Give the worker a moment to observe the flag and exit.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wait for the worker to observe the flag and exit — a condition,
+        // not a sleep, so this holds under any schedule.
+        server.wait_workers_stopped();
         let (tx, rx) = unbounded();
         server.submit(op(1, vec![1], tx));
         // Submission is accepted but never served: the client's only signal
@@ -369,29 +436,23 @@ mod tests {
         let (tx, rx) = unbounded();
         // Pin the single worker so both same-id ops are queued before
         // either is dequeued: the payload table then holds one entry and
-        // the second dequeue finds none, panicking the worker. The blocker
-        // must outlast any scheduling hiccup between the two submits below,
-        // or the worker drains the first id-7 op (removing the payload)
-        // before the second re-inserts it and no panic fires.
+        // the second dequeue finds none, panicking the worker.
         let mut blocker = op(100, vec![1], tx.clone());
-        blocker.service_nanos = 200_000_000;
+        blocker.service_nanos = 50_000_000;
         server.submit(blocker);
-        // Let the worker dequeue the blocker so the full service time is
-        // ahead of us, then enqueue the colliding pair back to back.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wait until the worker holds the blocker (the full service time
+        // is then ahead of us), then enqueue the colliding pair.
+        server.wait_dequeued(1);
         server.submit(op(7, vec![1], tx.clone()));
         server.submit(op(7, vec![1], tx));
         let _ = rx.recv_timeout(std::time::Duration::from_secs(5));
         let _ = rx.recv_timeout(std::time::Duration::from_secs(5));
         // The second reply only proves the first id-7 op was served; the
         // panicking dequeue happens on the worker's *next* loop turn. Wait
-        // for the thread to actually die before shutting down, or the
-        // shutdown flag can win the race and let the worker exit cleanly.
-        let deadline = Instant::now() + std::time::Duration::from_secs(5);
-        while !server.workers[0].is_finished() {
-            assert!(Instant::now() < deadline, "worker did not panic within 5s");
-            std::thread::yield_now();
-        }
+        // for the thread to actually die (the exit guard fires on panic
+        // unwind too) before shutting down, or the shutdown flag can win
+        // the race and let the worker exit cleanly.
+        server.wait_workers_stopped();
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || server.shutdown()));
         assert!(result.is_err(), "worker panic must propagate via shutdown");

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use das_sync::RwLock;
 
 /// Number of lock shards (power of two).
 const SHARDS: usize = 64;
@@ -89,7 +89,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let s = Arc::clone(&s);
-                std::thread::spawn(move || {
+                das_sync::thread::spawn(move || {
                     for i in 0..1000u64 {
                         let key = t * 1000 + i;
                         s.put(key, Bytes::from(vec![t as u8; 16]));

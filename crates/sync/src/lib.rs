@@ -1,0 +1,131 @@
+//! `das-sync`: the workspace's single doorway to synchronization.
+//!
+//! Normal builds re-export the vendored `parking_lot` / `crossbeam`
+//! shims and `std::sync::atomic` unchanged — pure `pub use`, zero
+//! overhead, byte-identical behavior. Under `RUSTFLAGS="--cfg
+//! das_model"` every re-export flips to the `das-check` model
+//! primitives, whose every operation is a controlled yield point for
+//! the schedule-exploration checker (see `crates/check` and DESIGN.md,
+//! "Concurrency model (machine-checked)").
+//!
+//! The `das-lint` `raw-sync` rule keeps this the *only* doorway: direct
+//! `std::sync` / `parking_lot` / `crossbeam::channel` use outside this
+//! crate is a lint violation, because any primitive that bypasses the
+//! facade is invisible to the model checker and silently shrinks its
+//! guarantees.
+
+#![warn(missing_docs)]
+
+#[cfg(not(das_model))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(das_model)]
+pub use das_check::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+/// Atomics: `std::sync::atomic` normally, model atomics (every op an SC
+/// yield point) under `cfg(das_model)`.
+pub mod atomic {
+    #[cfg(not(das_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(das_model)]
+    pub use das_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// MPMC channels: the vendored `crossbeam::channel` shim normally,
+/// model channels under `cfg(das_model)`.
+pub mod channel {
+    #[cfg(not(das_model))]
+    pub use crossbeam::channel::{
+        bounded, unbounded, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        TryRecvError,
+    };
+
+    #[cfg(das_model)]
+    pub use das_check::sync::channel::{
+        bounded, unbounded, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        TryRecvError,
+    };
+}
+
+/// Thread spawn/join: `std::thread` normally, model threads under
+/// `cfg(das_model)`. Only the subset the model can control is exposed —
+/// notably no `sleep` (sleeping is meaningless under a controlled
+/// scheduler; synchronize on state instead).
+pub mod thread {
+    #[cfg(not(das_model))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(das_model)]
+    pub use das_check::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    // These run in whichever mode the test build selects; they assert
+    // the facade surface itself, so the same source must pass both ways.
+    use super::*;
+    use std::sync::Arc;
+
+    fn facade_roundtrip() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let flag = Arc::new(atomic::AtomicBool::new(false));
+
+        let pair2 = Arc::clone(&pair);
+        let flag2 = Arc::clone(&flag);
+        let worker = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut g = lock.lock();
+            *g = 7;
+            cv.notify_all();
+            drop(g);
+            flag2.store(true, atomic::Ordering::SeqCst);
+            tx.send(42).unwrap();
+        });
+
+        let (lock, cv) = &*pair;
+        let mut g = lock.lock();
+        while *g == 0 {
+            cv.wait(&mut g);
+        }
+        assert_eq!(*g, 7);
+        drop(g);
+        assert_eq!(rx.recv(), Ok(42));
+        assert!(flag.load(atomic::Ordering::SeqCst));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        worker.join().unwrap();
+    }
+
+    #[cfg(not(das_model))]
+    #[test]
+    fn normal_mode_delegates() {
+        facade_roundtrip();
+    }
+
+    #[cfg(das_model)]
+    #[test]
+    fn model_mode_routes_through_checker() {
+        let stats = das_check::check(&das_check::Config::default(), facade_roundtrip);
+        assert!(stats.schedules > 0);
+    }
+
+    #[test]
+    fn rwlock_surface() {
+        let run = || {
+            let l = RwLock::new(vec![1, 2]);
+            assert_eq!(l.read().len(), 2);
+            l.write().push(3);
+            assert_eq!(l.read().len(), 3);
+        };
+        #[cfg(not(das_model))]
+        run();
+        #[cfg(das_model)]
+        das_check::check(&das_check::Config::default(), run);
+    }
+}

@@ -1,0 +1,163 @@
+//! Seeded-bug mutation suite for the das-check model checker.
+//!
+//! Each fixture re-creates a concurrency bug class that the real engine
+//! is structured to avoid — an unguarded shared counter, a check-then-act
+//! double dequeue of the worker-loop shape, and a shutdown path that sets
+//! its flag without notifying. The checker must FAIL each one and hand
+//! back a decision string that replays the exact interleaving. This is
+//! the test of the tester: if a refactor of das-check stops catching any
+//! of these, tier-1 goes red.
+//!
+//! The `das_check`-direct fixtures run in every build (the checker itself
+//! is mode-independent); the final section repeats one bug through the
+//! `das-sync` facade and is compiled only under `--cfg das_model`, proving
+//! the facade really routes into the model scheduler.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use das_check::sync::{Mutex, RaceCell};
+use das_check::{explore, replay, Config, FailureKind, Strategy};
+
+fn dfs(max_schedules: usize) -> Config {
+    Config {
+        strategy: Strategy::Dfs,
+        max_schedules,
+        ..Config::default()
+    }
+}
+
+/// Asserts the failure replays from its decision string alone, landing on
+/// the same failure kind — the "replayable schedule" contract.
+fn assert_replays(failure: &das_check::Failure, program: impl Fn() + Send + Sync + 'static) {
+    assert!(
+        !failure.decisions.is_empty(),
+        "a failure must carry its schedule"
+    );
+    let replayed = replay(&failure.decisions, 100_000, program)
+        .expect("recorded decision string must reproduce the failure");
+    assert_eq!(replayed.kind, failure.kind, "replay must hit the same bug");
+    assert_eq!(
+        replayed.decisions, failure.decisions,
+        "replay must follow the identical interleaving"
+    );
+}
+
+/// Seeded bug 1: an unguarded shared counter. Two threads read-modify-
+/// write a plain cell with no synchronization; the checker must report a
+/// data race (not merely a wrong sum).
+#[test]
+fn detects_unguarded_counter_race() {
+    let program = || {
+        let counter = Arc::new(RaceCell::new(0u32));
+        let c = Arc::clone(&counter);
+        let t = das_check::thread::spawn(move || {
+            let v = c.get();
+            c.set(v + 1);
+        });
+        let v = counter.get();
+        counter.set(v + 1);
+        let _ = t.join();
+    };
+    let failure = explore(&dfs(10_000), program).expect_err("unguarded counter must race");
+    assert!(
+        matches!(failure.kind, FailureKind::Race(_)),
+        "expected a data race, got {}",
+        failure.kind
+    );
+    assert_replays(&failure, program);
+}
+
+/// Seeded bug 2: check-then-act double dequeue. The worker-loop shape of
+/// the real server, mutated to drop the lock between the emptiness check
+/// and the pop — two workers then agree the queue is non-empty and the
+/// loser panics, exactly like the server's payload-table `expect` would.
+#[test]
+fn detects_double_dequeue() {
+    let program = || {
+        let queue = Arc::new(Mutex::new(VecDeque::from([7u32])));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&queue);
+                das_check::thread::spawn(move || {
+                    // BUG: the lock is released between the check and the
+                    // pop, so both workers can pass the check on one item.
+                    if !q.lock().is_empty() {
+                        let _item = q.lock().pop_front().expect("double dequeue");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    };
+    let failure = explore(&dfs(10_000), program).expect_err("TOCTOU dequeue must be caught");
+    let FailureKind::Panic(ref msg) = failure.kind else {
+        panic!("expected the loser's panic, got {}", failure.kind);
+    };
+    assert!(msg.contains("double dequeue"), "got: {msg}");
+    assert_replays(&failure, program);
+}
+
+/// Seeded bug 3: missed-notify shutdown. The shutdown path sets the stop
+/// flag but never notifies the queue condvar; in schedules where the
+/// worker parks first, it parks forever. The checker must classify this
+/// as a lost wakeup (not a generic deadlock).
+#[test]
+fn detects_missed_notify_shutdown() {
+    let program = || {
+        let state = Arc::new((
+            Mutex::new(false), // shutdown flag, guarded like the real queue
+            das_check::sync::Condvar::new(),
+        ));
+        let s = Arc::clone(&state);
+        let worker = das_check::thread::spawn(move || {
+            let (flag, cv) = &*s;
+            let mut g = flag.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        // BUG: flips the flag without cv.notify_all().
+        *state.0.lock() = true;
+        let _ = worker.join();
+    };
+    let failure = explore(&dfs(10_000), program).expect_err("missed notify must be caught");
+    assert!(
+        matches!(failure.kind, FailureKind::LostWakeup(_)),
+        "expected a lost wakeup, got {}",
+        failure.kind
+    );
+    assert_replays(&failure, program);
+}
+
+/// The same missed-notify bug expressed against the `das-sync` facade:
+/// only meaningful when the facade routes into the checker.
+#[cfg(das_model)]
+#[test]
+fn facade_routes_bugs_into_the_checker() {
+    let program = || {
+        let state = Arc::new((das_sync::Mutex::new(false), das_sync::Condvar::new()));
+        let s = Arc::clone(&state);
+        let worker = das_sync::thread::spawn(move || {
+            let (flag, cv) = &*s;
+            let mut g = flag.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        *state.0.lock() = true; // BUG: no notify
+        let _ = worker.join();
+    };
+    let failure = explore(&dfs(10_000), program)
+        .expect_err("the facade build must surface the same lost wakeup");
+    assert!(
+        matches!(failure.kind, FailureKind::LostWakeup(_)),
+        "expected a lost wakeup, got {}",
+        failure.kind
+    );
+    assert_replays(&failure, program);
+}
