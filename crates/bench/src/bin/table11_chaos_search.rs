@@ -1,0 +1,7 @@
+//! Table 11 (extension): chaos search — adversarial fault schedules,
+//! oracle suite, and the committed minimized-reproducer corpus.
+use das_bench::{figures, output};
+
+fn main() {
+    figures::table11(output::quick_mode()).emit();
+}

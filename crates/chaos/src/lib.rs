@@ -1,0 +1,45 @@
+//! # das-chaos — deterministic chaos search over fault schedules
+//!
+//! A simulation-testing harness in the FoundationDB/Jepsen style, built on
+//! the deterministic simulator: generate combined fault-schedule +
+//! workload + overload configurations from a declared [`space::SearchSpace`],
+//! run each candidate paired (FCFS and DAS over the *identical* request
+//! trace), and check a suite of invariant [`oracle`]s reusing the repo's
+//! existing machinery — telemetry conservation, exactly-once completion,
+//! blame-path telescoping, goodput floors under admission control, and a
+//! DAS-vs-FCFS paired-replay regression oracle.
+//!
+//! Any failing case is delta-debug [`shrink`]-ed — drop or narrow fault
+//! events, trim the workload trace — to a minimal reproducer that still
+//! fails the *same* oracle, then emitted as a self-contained replayable
+//! [`artifact::Reproducer`] (`das_experiment replay` accepts its files).
+//!
+//! Everything is seeded: the same `(seed, budget, space)` triple produces a
+//! byte-identical [`report::ChaosReport`]. Each concern draws from its own
+//! [`das_sim::rng::SeedFactory`] stream (`"chaos-workload"`,
+//! `"chaos-faults"`, `"chaos-overload"`, `"chaos-search"`), so enabling
+//! fault generation never perturbs workload arrivals — the determinism
+//! tests byte-diff event logs to pin this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Test code asserts on exact deterministic outputs and unwraps freely;
+// the machine-checked rules apply to shipped library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+#![warn(missing_debug_implementations)]
+
+pub mod artifact;
+pub mod case;
+pub mod oracle;
+pub mod report;
+pub mod search;
+pub mod shrink;
+pub mod space;
+
+pub use artifact::{corpus_dir, read_corpus, Reproducer};
+pub use case::{ChaosCase, PairedRun};
+pub use oracle::{OracleConfig, Violation};
+pub use report::ChaosReport;
+pub use search::{search, ChaosConfig, Finding, SearchOutcome};
+pub use shrink::{shrink, size_metric, ShrinkOutcome};
+pub use space::SearchSpace;

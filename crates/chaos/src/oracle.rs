@@ -1,0 +1,340 @@
+//! The invariant oracles every chaos case is checked against.
+//!
+//! Each oracle reuses existing machinery rather than re-deriving physics:
+//! telemetry conservation folds the event log with [`das_trace::telemetry`],
+//! exactly-once reads [`das_trace::analysis::request_outcomes`], telescoping
+//! re-sums [`das_trace::analysis::critical_paths`], and the regression
+//! oracle compares the paired FCFS/DAS runs the case already produced.
+//! Violations come back in a deterministic order (oracle declaration order,
+//! then policy), so reports are byte-stable.
+
+use serde::{Deserialize, Serialize};
+
+use das_store::engine::RunResult;
+use das_trace::analysis::{critical_paths, request_outcomes};
+use das_trace::telemetry::{self, TelemetryConfig};
+
+use crate::case::{ChaosCase, PairedRun};
+
+/// All oracle slugs, in evaluation (and report) order.
+pub const ALL_ORACLES: [&str; 6] = [
+    "conservation",
+    "exactly-once",
+    "telescoping",
+    "goodput-floor",
+    "das-regression",
+    "bound-drift",
+];
+
+/// Which oracles run, and their thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Enabled oracle slugs (subset of [`ALL_ORACLES`]).
+    pub enabled: Vec<String>,
+    /// Minimum completed/offered fraction under admission control.
+    pub goodput_floor: f64,
+    /// DAS-vs-FCFS mean-RCT ratio above which DAS "lost" the pairing.
+    /// Slightly above 1.0 absorbs ties; a committed inversion reproducer
+    /// demonstrates a genuine loss, not noise.
+    pub das_regression_ratio: f64,
+    /// Factor over the zero-queueing lower bound beyond which a run is
+    /// considered pathological.
+    pub bound_drift_factor: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            enabled: ALL_ORACLES.iter().map(|s| s.to_string()).collect(),
+            goodput_floor: 0.5,
+            das_regression_ratio: 1.05,
+            bound_drift_factor: 30.0,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// A config with only the named oracles enabled. Unknown slugs are an
+    /// error so a typo in `--oracles` cannot silently disable a check.
+    pub fn only(slugs: &[&str]) -> Result<Self, String> {
+        for s in slugs {
+            if !ALL_ORACLES.contains(s) {
+                return Err(format!(
+                    "unknown oracle {s:?}; known: {}",
+                    ALL_ORACLES.join(", ")
+                ));
+            }
+        }
+        Ok(OracleConfig {
+            enabled: slugs.iter().map(|s| s.to_string()).collect(),
+            ..OracleConfig::default()
+        })
+    }
+
+    fn on(&self, slug: &str) -> bool {
+        self.enabled.iter().any(|s| s == slug)
+    }
+}
+
+/// One oracle violation on one run of a case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violated oracle's slug.
+    pub oracle: String,
+    /// Which run violated it (`"fcfs"`, `"das"`, or `"pair"`).
+    pub policy: String,
+    /// Human-readable description of the breach.
+    pub detail: String,
+    /// The violating measure (ratio, count, fraction — oracle-specific),
+    /// used to rank findings and to confirm a shrunk case still fails.
+    pub measure: f64,
+}
+
+/// Evaluates every enabled oracle against a paired run.
+pub fn evaluate(case: &ChaosCase, paired: &PairedRun, cfg: &OracleConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let runs = [("fcfs", &paired.fcfs), ("das", &paired.das)];
+
+    if cfg.on("conservation") {
+        for (policy, run) in runs {
+            out.extend(check_conservation(case, run, policy));
+        }
+    }
+    if cfg.on("exactly-once") {
+        for (policy, run) in runs {
+            out.extend(check_exactly_once(run, policy));
+        }
+    }
+    if cfg.on("telescoping") {
+        for (policy, run) in runs {
+            out.extend(check_telescoping(run, policy));
+        }
+    }
+    if cfg.on("goodput-floor") {
+        for (policy, run) in runs {
+            out.extend(check_goodput(case, run, policy, cfg.goodput_floor));
+        }
+    }
+    if cfg.on("das-regression") {
+        out.extend(check_regression(paired, cfg.das_regression_ratio));
+    }
+    if cfg.on("bound-drift") {
+        for (policy, run) in runs {
+            out.extend(check_bound_drift(run, policy, cfg.bound_drift_factor));
+        }
+    }
+    out
+}
+
+/// `busy + idle == workers × horizon` per server, per epoch: folded busy
+/// time may never exceed the worker capacity of an epoch.
+fn check_conservation(case: &ChaosCase, run: &RunResult, policy: &str) -> Option<Violation> {
+    let log = run.trace.as_ref()?;
+    if !log.complete() {
+        return None; // an overflowed ring can under-count; nothing to assert
+    }
+    let cfg = TelemetryConfig {
+        workers: case.cluster.workers_per_server,
+        ..TelemetryConfig::default()
+    };
+    let t = telemetry::fold(log, &cfg);
+    let capacity = u64::from(cfg.workers) * cfg.epoch_ns;
+    for series in t.servers.values() {
+        for (epoch, &busy) in series.busy_ns.iter().enumerate() {
+            if busy > capacity {
+                return Some(Violation {
+                    oracle: "conservation".into(),
+                    policy: policy.into(),
+                    detail: format!(
+                        "server {} epoch {epoch}: busy {busy} ns exceeds capacity {capacity} ns",
+                        series.server
+                    ),
+                    measure: busy as f64 / capacity as f64,
+                });
+            }
+        }
+    }
+    // The sweep-line lower bound on concurrency must also fit the cluster.
+    if let Some((server, needed)) = telemetry::min_workers(log) {
+        if needed > case.cluster.workers_per_server {
+            return Some(Violation {
+                oracle: "conservation".into(),
+                policy: policy.into(),
+                detail: format!(
+                    "server {server} needs {needed} concurrent workers, cluster has {}",
+                    case.cluster.workers_per_server
+                ),
+                measure: f64::from(needed),
+            });
+        }
+    }
+    None
+}
+
+/// Every request completes at most once, and never both completes and
+/// aborts.
+fn check_exactly_once(run: &RunResult, policy: &str) -> Option<Violation> {
+    let log = run.trace.as_ref()?;
+    if !log.complete() {
+        return None;
+    }
+    for (request, completes, aborts) in request_outcomes(log) {
+        if completes > 1 || (completes > 0 && aborts > 0) {
+            return Some(Violation {
+                oracle: "exactly-once".into(),
+                policy: policy.into(),
+                detail: format!(
+                    "request {request}: {completes} completions, {aborts} aborts"
+                ),
+                measure: f64::from(completes + aborts),
+            });
+        }
+    }
+    None
+}
+
+/// Every blame path telescopes: the five segments sum exactly to the RCT.
+fn check_telescoping(run: &RunResult, policy: &str) -> Option<Violation> {
+    let log = run.trace.as_ref()?;
+    if !log.complete() {
+        return None;
+    }
+    for p in critical_paths(log) {
+        if p.sum_ns() != p.rct_ns {
+            return Some(Violation {
+                oracle: "telescoping".into(),
+                policy: policy.into(),
+                detail: format!(
+                    "request {}: segments sum to {} ns but rct is {} ns",
+                    p.request,
+                    p.sum_ns(),
+                    p.rct_ns
+                ),
+                measure: (p.sum_ns() as f64 - p.rct_ns as f64).abs(),
+            });
+        }
+    }
+    None
+}
+
+/// Under admission control the store must still complete at least
+/// `floor` of offered requests — shedding everything is not "overload
+/// control".
+fn check_goodput(
+    case: &ChaosCase,
+    run: &RunResult,
+    policy: &str,
+    floor: f64,
+) -> Option<Violation> {
+    if !case.overload.admission.enabled() {
+        return None;
+    }
+    let offered = run.recovery.offered();
+    if offered == 0 {
+        return None;
+    }
+    let goodput = run.recovery.completed as f64 / offered as f64;
+    (goodput < floor).then(|| Violation {
+        oracle: "goodput-floor".into(),
+        policy: policy.into(),
+        detail: format!(
+            "completed {}/{} offered ({:.3} < floor {floor})",
+            run.recovery.completed, offered, goodput
+        ),
+        measure: goodput,
+    })
+}
+
+/// DAS's mean RCT exceeding FCFS's by more than the configured ratio on
+/// the *same* request stream — the adaptive scheduler lost to its baseline.
+fn check_regression(paired: &PairedRun, ratio: f64) -> Option<Violation> {
+    let r = paired.ratio()?;
+    (r > ratio).then(|| Violation {
+        oracle: "das-regression".into(),
+        policy: "pair".into(),
+        detail: format!(
+            "das mean rct {:.3} ms vs fcfs {:.3} ms (ratio {r:.3} > {ratio})",
+            paired.das.mean_rct() * 1e3,
+            paired.fcfs.mean_rct() * 1e3
+        ),
+        measure: r,
+    })
+}
+
+/// The mean RCT drifting absurdly far above the zero-queueing lower bound
+/// flags runaway queueing the overload layer should have damped.
+fn check_bound_drift(run: &RunResult, policy: &str, factor: f64) -> Option<Violation> {
+    if run.measured == 0 || run.lower_bound_mean_rct <= 0.0 {
+        return None;
+    }
+    let drift = run.mean_rct() / run.lower_bound_mean_rct;
+    (drift > factor).then(|| Violation {
+        oracle: "bound-drift".into(),
+        policy: policy.into(),
+        detail: format!(
+            "mean rct {:.3} ms is {drift:.1}x the zero-queueing bound {:.3} ms",
+            run.mean_rct() * 1e3,
+            run.lower_bound_mean_rct * 1e3
+        ),
+        measure: drift,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_sim::rng::SeedFactory;
+
+    use crate::space::SearchSpace;
+
+    #[test]
+    fn unknown_oracle_slug_is_rejected() {
+        assert!(OracleConfig::only(&["conservation"]).is_ok());
+        let err = OracleConfig::only(&["no-such-oracle"]).unwrap_err();
+        assert!(err.contains("no-such-oracle"));
+    }
+
+    #[test]
+    fn physics_oracles_pass_on_generated_cases() {
+        // The engine's invariants hold on ordinary cases; oracles exist to
+        // catch regressions, not to fire on every run.
+        let space = SearchSpace::default();
+        let seeds = SeedFactory::new(21);
+        let cfg = OracleConfig {
+            // The comparative oracles (regression, drift, goodput) can
+            // legitimately fire on hostile cases; here we check only the
+            // hard physics invariants.
+            enabled: vec![
+                "conservation".into(),
+                "exactly-once".into(),
+                "telescoping".into(),
+            ],
+            ..OracleConfig::default()
+        };
+        let case = space.generate(&seeds, 5).unwrap();
+        let paired = case.run_paired().unwrap();
+        let violations = evaluate(&case, &paired, &cfg);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn regression_oracle_fires_on_inverted_pair() {
+        let space = SearchSpace::default();
+        let seeds = SeedFactory::new(23);
+        let case = space.generate(&seeds, 0).unwrap();
+        let mut paired = case.run_paired().unwrap();
+        // Force an inversion by swapping the pair.
+        if paired.das.mean_rct() < paired.fcfs.mean_rct() {
+            std::mem::swap(&mut paired.das, &mut paired.fcfs);
+        }
+        let cfg = OracleConfig {
+            enabled: vec!["das-regression".into()],
+            das_regression_ratio: 1.0,
+            ..OracleConfig::default()
+        };
+        let v = evaluate(&case, &paired, &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "das-regression");
+        assert!(v[0].measure > 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The byte-stable chaos-search report.
+//!
+//! Everything in a [`ChaosReport`] is derived deterministically from the
+//! `(seed, budget, space, oracles)` tuple: maps are `BTreeMap`, findings
+//! are in case order, and floats serialize via serde_json's shortest
+//! round-trip form — the CI goldens byte-diff the JSON and the Markdown.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The worst DAS-vs-FCFS inversion seen anywhere in the search, even when
+/// it stayed below the regression oracle's threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InversionSummary {
+    /// The search iteration that produced it.
+    pub case_index: u64,
+    /// DAS mean RCT over FCFS mean RCT (> 1 = DAS lost).
+    pub ratio: f64,
+    /// FCFS mean RCT, milliseconds.
+    pub fcfs_mean_ms: f64,
+    /// DAS mean RCT, milliseconds.
+    pub das_mean_ms: f64,
+}
+
+/// One shrunk finding, as it appears in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FindingSummary {
+    /// Stable reproducer slug (`case0007_das_regression`).
+    pub slug: String,
+    /// The search iteration that found it.
+    pub case_index: u64,
+    /// The violated oracle.
+    pub oracle: String,
+    /// Which run violated it (`"fcfs"`, `"das"`, `"pair"`).
+    pub policy: String,
+    /// Violation description from the *minimized* case.
+    pub detail: String,
+    /// The violating measure on the minimized case.
+    pub measure: f64,
+    /// Case size before shrinking.
+    pub size_before: u64,
+    /// Case size after shrinking.
+    pub size_after: u64,
+    /// Predicate evaluations the shrinker spent.
+    pub shrink_evals: u64,
+}
+
+/// The complete, deterministic result of one chaos search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Master seed of the search.
+    pub seed: u64,
+    /// Requested case budget.
+    pub budget: u64,
+    /// Cases actually generated and run (== budget unless findings capped
+    /// the run early).
+    pub cases_run: u64,
+    /// Total paired-policy simulations executed, including shrinking.
+    pub sim_runs: u64,
+    /// Violations per oracle slug across all cases (pre-shrink).
+    pub oracle_hits: BTreeMap<String, u64>,
+    /// Worst DAS-vs-FCFS inversion observed, threshold or not.
+    pub worst_inversion: Option<InversionSummary>,
+    /// Shrunk findings, in discovery order.
+    pub findings: Vec<FindingSummary>,
+}
+
+impl ChaosReport {
+    /// Renders the report as a Markdown table pair (oracle hit-rates and
+    /// findings) — the same content Table 11 in EXPERIMENTS.md is built
+    /// from.
+    pub fn render_markdown(&self) -> String {
+        let mut md = String::new();
+        md.push_str(&format!(
+            "# Chaos search report\n\nseed {} | budget {} | cases {} | simulations {}\n\n",
+            self.seed, self.budget, self.cases_run, self.sim_runs
+        ));
+        md.push_str("## Oracle hits\n\n| oracle | hits | hit rate |\n|---|---|---|\n");
+        for (oracle, hits) in &self.oracle_hits {
+            let rate = if self.cases_run == 0 {
+                0.0
+            } else {
+                *hits as f64 / self.cases_run as f64
+            };
+            md.push_str(&format!("| {oracle} | {hits} | {rate:.3} |\n"));
+        }
+        if let Some(w) = &self.worst_inversion {
+            md.push_str(&format!(
+                "\n## Worst DAS-vs-FCFS inversion\n\ncase {}: ratio {:.3} \
+                 (das {:.3} ms vs fcfs {:.3} ms)\n",
+                w.case_index, w.ratio, w.das_mean_ms, w.fcfs_mean_ms
+            ));
+        }
+        md.push_str("\n## Findings (minimized)\n\n");
+        if self.findings.is_empty() {
+            md.push_str("none\n");
+        } else {
+            md.push_str(
+                "| slug | oracle | policy | measure | size before → after | shrink evals |\n\
+                 |---|---|---|---|---|---|\n",
+            );
+            for f in &self.findings {
+                md.push_str(&format!(
+                    "| {} | {} | {} | {:.3} | {} → {} | {} |\n",
+                    f.slug, f.oracle, f.policy, f.measure, f.size_before, f.size_after,
+                    f.shrink_evals
+                ));
+            }
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serde_roundtrip_and_markdown() {
+        let mut hits = BTreeMap::new();
+        hits.insert("das-regression".to_string(), 3u64);
+        let r = ChaosReport {
+            seed: 1,
+            budget: 10,
+            cases_run: 10,
+            sim_runs: 25,
+            oracle_hits: hits,
+            worst_inversion: Some(InversionSummary {
+                case_index: 7,
+                ratio: 1.31,
+                fcfs_mean_ms: 2.0,
+                das_mean_ms: 2.62,
+            }),
+            findings: vec![FindingSummary {
+                slug: "case0007_das_regression".into(),
+                case_index: 7,
+                oracle: "das-regression".into(),
+                policy: "pair".into(),
+                detail: "ratio 1.31".into(),
+                measure: 1.31,
+                size_before: 900,
+                size_after: 120,
+                shrink_evals: 40,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ChaosReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        let md = r.render_markdown();
+        assert!(md.contains("case0007_das_regression"));
+        assert!(md.contains("Worst DAS-vs-FCFS inversion"));
+    }
+}

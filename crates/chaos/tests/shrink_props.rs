@@ -1,0 +1,118 @@
+//! Soundness properties of the delta-debug shrinker.
+//!
+//! The contract under test: for any failing case and any predicate, the
+//! shrunk case (a) still satisfies the predicate — it fails the *same*
+//! check its parent failed, (b) never grows, (c) descends through a
+//! strictly decreasing size metric (which is also the termination
+//! argument), and (d) respects the evaluation budget. Predicates here are
+//! cheap structural ones so hundreds of shrink runs stay fast; one
+//! real-simulation test at the end exercises the same contract with a live
+//! oracle predicate.
+
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+
+use das_chaos::{shrink, size_metric, ChaosCase, SearchSpace};
+use das_sched::policy::PolicyKind;
+use das_sim::rng::SeedFactory;
+
+fn generated_case(seed: u64, index: u64) -> ChaosCase {
+    SearchSpace::default()
+        .generate(&SeedFactory::new(seed), index % 4)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shrinking under a structural predicate preserves the predicate,
+    /// never grows the case, and descends strictly.
+    #[test]
+    fn shrink_is_sound_for_structural_predicates(
+        seed in any::<u64>(),
+        index in 0u64..4,
+        predicate_kind in 0u8..4,
+        floor in 1usize..64,
+    ) {
+        let case = generated_case(seed, index);
+        let mut pred = |c: &ChaosCase| -> bool {
+            match predicate_kind {
+                // "The failure needs at least `floor` requests."
+                0 => c.trace.len() >= floor.min(case.trace.len()),
+                // "The failure needs some fault machinery active."
+                1 => c.faults.is_active() || !case.faults.is_active(),
+                // "The failure needs the first crash window."
+                2 => {
+                    case.faults.crashes.crashes.is_empty()
+                        || !c.faults.crashes.crashes.is_empty()
+                }
+                // "Any case fails" — the shrinker may take everything.
+                _ => true,
+            }
+        };
+        prop_assert!(pred(&case), "parent must fail (satisfy the predicate)");
+
+        let out = shrink(&case, &mut pred, 2_000);
+
+        // (a) the shrunk case still fails the same predicate;
+        prop_assert!(pred(&out.case));
+        // (b) it never grew;
+        prop_assert!(size_metric(&out.case) <= size_metric(&case));
+        // (c) accepted steps descend strictly — the termination measure;
+        let mut last = size_metric(&case);
+        for step in &out.steps {
+            prop_assert!(step.size < last, "non-decreasing step {step:?}");
+            last = step.size;
+        }
+        if let Some(final_step) = out.steps.last() {
+            prop_assert_eq!(final_step.size, size_metric(&out.case));
+        }
+        // (d) and the case is still a valid, runnable configuration.
+        prop_assert!(out.case.validate().is_ok());
+    }
+
+    /// The evaluation budget is a hard cap.
+    #[test]
+    fn shrink_budget_is_respected(
+        seed in any::<u64>(),
+        budget in 0u64..40,
+    ) {
+        let case = generated_case(seed, 1);
+        let out = shrink(&case, &mut |_| true, budget);
+        prop_assert!(out.evaluations <= budget);
+    }
+
+    /// A predicate nothing smaller satisfies leaves the case untouched.
+    #[test]
+    fn unsatisfiable_reductions_return_the_parent(seed in any::<u64>()) {
+        let case = generated_case(seed, 2);
+        let original_size = size_metric(&case);
+        // Only the exact parent size passes, so every candidate is
+        // rejected and the fixpoint is the input itself.
+        let out = shrink(&case, &mut |c| size_metric(c) >= original_size, 2_000);
+        prop_assert_eq!(&out.case, &case);
+        prop_assert!(out.steps.is_empty());
+    }
+}
+
+/// The same contract against a live simulation predicate: "FCFS still
+/// completes at least one request". Expensive, so a single seed.
+#[test]
+fn shrink_with_live_simulation_predicate() {
+    let case = generated_case(1234, 0);
+    let mut sims = 0u32;
+    let mut pred = |c: &ChaosCase| -> bool {
+        sims += 1;
+        c.run_policy(PolicyKind::Fcfs)
+            .map(|r| r.completed >= 1)
+            .unwrap_or(false)
+    };
+    assert!(pred(&case));
+    let out = shrink(&case, &mut pred, 60);
+    assert!(pred(&out.case), "shrunk case lost the property");
+    assert!(size_metric(&out.case) < size_metric(&case), "nothing shrank");
+    assert!(out.evaluations <= 60);
+    assert!(sims >= out.evaluations as u32);
+}

@@ -9,7 +9,15 @@
 //! das_experiment trace <config.json> <out.jsonl>   record the workload as a trace
 //! das_experiment replay <config.json> <workload.jsonl> [--out <dir>]
 //!                       [--trace <base>] [--trace-sample <rate>]
+//!                       [--faults <faults.json>] [--overload <overload.json>]
 //!                                                  replay a recorded workload
+//! das_experiment chaos [--seed N] [--budget N] [--out <dir>]
+//!                      [--oracles a,b,...] [--space <space.json>]
+//!                      [--shrink-budget N] [--no-shrink]
+//!                                                  adversarial fault-schedule search
+//! das_experiment chaos-verify <dir> [--oracles a,b,...]
+//!                                                  replay a reproducer corpus and
+//!                                                  assert every verdict still fires
 //! das_experiment blame-diff <a.jsonl> <b.jsonl> [<c.jsonl> ...]
 //!                           [--ladder n1,n2,...] [--out <summary.json>]
 //!                                                  attribute the RCT delta between
@@ -48,6 +56,26 @@
 //! traces whose arrival timestamps disagree. `--ladder` overrides the rung
 //! labels (default: file stems).
 //!
+//! ## Chaos search
+//!
+//! `chaos` runs the [`das_chaos`] adversarial search: a seeded, budgeted
+//! loop that generates fault-schedule/workload/overload combinations (and
+//! mutates interesting ones near scheduling decisions), replays each under
+//! the FCFS/DAS pair, checks the oracle suite, and delta-debug shrinks
+//! every violation to a minimal reproducer. The run is a pure function of
+//! `(--seed, --budget, --oracles, --space)`: the `chaos_report.json` it
+//! writes is byte-identical across invocations. `--out` lays each finding
+//! out as a replayable artifact set (`<slug>.case.json`, `.config.json`,
+//! `.workload.jsonl`, `.faults.json`, `.overload.json`) so
+//! `replay <slug>.config.json <slug>.workload.jsonl` reproduces the
+//! violating pair directly. `chaos-verify` re-runs every `*.case.json`
+//! under a directory and fails unless each recorded oracle verdict still
+//! fires — what CI does for the committed corpus in `crates/chaos/corpus`.
+//!
+//! `replay --faults/--overload` swap in a fault or overload profile from a
+//! JSON file (e.g. a reproducer's `.faults.json`) without editing the
+//! config — grafting an adversarial schedule onto any experiment.
+//!
 //! `top` folds one `.jsonl` event log into per-server occupancy telemetry
 //! (busy %, queue depth, reorder/shed/retry/hedge/batch/hint rates) and
 //! prints a sorted report with per-epoch busy sparklines. It refuses a
@@ -78,6 +106,8 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
+        Some("chaos-verify") => cmd_chaos_verify(&args[1..]),
         Some("blame-diff") => cmd_blame_diff(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -104,7 +134,9 @@ fn print_usage() {
          das_experiment policies\n  \
          das_experiment check <config.json>\n  \
          das_experiment trace <config.json> <out.jsonl>\n  \
-         das_experiment replay <config.json> <workload.jsonl> [--out <dir>] [--trace <base>] [--trace-sample <rate>]\n  \
+         das_experiment replay <config.json> <workload.jsonl> [--out <dir>] [--trace <base>] [--trace-sample <rate>] [--faults <faults.json>] [--overload <overload.json>]\n  \
+         das_experiment chaos [--seed N] [--budget N] [--out <dir>] [--oracles a,b,...] [--space <space.json>] [--shrink-budget N] [--no-shrink]\n  \
+         das_experiment chaos-verify <dir> [--oracles a,b,...]\n  \
          das_experiment blame-diff <a.jsonl> <b.jsonl> [<c.jsonl> ...] [--ladder n1,n2,...] [--out <summary.json>]\n  \
          das_experiment top <trace.jsonl> [--epoch-ms N] [--workers N]"
     );
@@ -118,19 +150,28 @@ fn load_config(path: &str) -> Result<ExperimentConfig, String> {
 }
 
 /// Flags shared by `run` and `replay`: output dir, event-trace emission,
-/// and (run only) workload recording.
+/// (run only) workload recording, and (replay only) fault/overload
+/// profile overrides.
 #[derive(Debug, Default)]
 struct EmitFlags {
     out_dir: Option<String>,
     trace_base: Option<String>,
     trace_sample: Option<f64>,
     record_workload: Option<String>,
+    faults: Option<String>,
+    overload: Option<String>,
 }
 
 impl EmitFlags {
     /// Parses the flag tail of `run`/`replay`. `cmd` labels errors;
-    /// `--record-workload` is only accepted when `allow_record` is set.
-    fn parse(cmd: &str, args: &[String], allow_record: bool) -> Result<Self, String> {
+    /// `--record-workload` is only accepted when `allow_record` is set,
+    /// `--faults`/`--overload` only when `allow_overrides` is.
+    fn parse(
+        cmd: &str,
+        args: &[String],
+        allow_record: bool,
+        allow_overrides: bool,
+    ) -> Result<Self, String> {
         let mut flags = EmitFlags::default();
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -153,6 +194,12 @@ impl EmitFlags {
                     flags.record_workload =
                         Some(rest.next().ok_or("--record-workload: missing path")?.clone());
                 }
+                "--faults" if allow_overrides => {
+                    flags.faults = Some(rest.next().ok_or("--faults: missing path")?.clone());
+                }
+                "--overload" if allow_overrides => {
+                    flags.overload = Some(rest.next().ok_or("--overload: missing path")?.clone());
+                }
                 other => return Err(format!("{cmd}: unexpected argument `{other}`")),
             }
         }
@@ -160,6 +207,39 @@ impl EmitFlags {
             return Err("--trace-sample requires --trace <path>".into());
         }
         Ok(flags)
+    }
+
+    /// Applies `--faults`/`--overload` profile overrides to the config,
+    /// then re-validates the composition (an override can introduce
+    /// invariant violations the original config never had, e.g. loss
+    /// without retries).
+    fn apply_overrides(&self, config: &mut ExperimentConfig) -> Result<(), String> {
+        if let Some(path) = &self.faults {
+            let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            config.faults =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        }
+        if let Some(path) = &self.overload {
+            let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            config.overload =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        }
+        if self.faults.is_some() || self.overload.is_some() {
+            das_store::config::SimulationConfig {
+                cluster: config.cluster.clone(),
+                policy: PolicyKind::Fcfs,
+                seed: config.seed,
+                horizon_secs: config.horizon_secs,
+                warmup_secs: config.warmup_secs,
+                rct_timeseries_bin_secs: None,
+                faults: config.faults.clone(),
+                overload: config.overload,
+                trace: config.trace,
+            }
+            .validate()
+            .map_err(|e| e.to_string())?;
+        }
+        Ok(())
     }
 
     /// Applies the tracing flags to the loaded config.
@@ -185,7 +265,7 @@ fn write_workload(path: &str, trace: &[RequestSpec]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run: missing <config.json>")?;
-    let flags = EmitFlags::parse("run", &args[1..], true)?;
+    let flags = EmitFlags::parse("run", &args[1..], true, false)?;
     let mut config = load_config(path)?;
     flags.arm_tracing(&mut config);
     eprintln!(
@@ -394,13 +474,14 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let [config_path, trace_path, rest @ ..] = args else {
         return Err(
             "replay: expected <config.json> <workload.jsonl> [--out <dir>] [--trace <base>] \
-             [--trace-sample <rate>]"
+             [--trace-sample <rate>] [--faults <faults.json>] [--overload <overload.json>]"
                 .into(),
         );
     };
-    let flags = EmitFlags::parse("replay", rest, false)?;
+    let flags = EmitFlags::parse("replay", rest, false, true)?;
     let mut config = load_config(config_path)?;
     flags.arm_tracing(&mut config);
+    flags.apply_overrides(&mut config)?;
     let file = fs::File::open(trace_path).map_err(|e| format!("opening {trace_path}: {e}"))?;
     let trace = read_trace(file).map_err(|e| e.to_string())?;
     validate_trace(&trace).map_err(|e| e.to_string())?;
@@ -411,6 +492,158 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     );
     let result = config.run_trace(&trace)?;
     emit_result(&result, &config, &flags)
+}
+
+/// Parses a `--oracles a,b,...` selection into an [`OracleConfig`],
+/// defaulting to the full suite.
+fn parse_oracles(spec: Option<&String>) -> Result<das_chaos::OracleConfig, String> {
+    match spec {
+        Some(s) => {
+            let names: Vec<&str> = s.split(',').map(str::trim).collect();
+            das_chaos::OracleConfig::only(&names)
+        }
+        None => Ok(das_chaos::OracleConfig::default()),
+    }
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let mut cfg = das_chaos::ChaosConfig {
+        budget: 25,
+        ..das_chaos::ChaosConfig::default()
+    };
+    let mut out_dir: Option<String> = None;
+    let mut oracles_spec: Option<String> = None;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let s = rest.next().ok_or("--seed: missing value")?;
+                cfg.seed = s
+                    .parse()
+                    .map_err(|_| format!("--seed: `{s}` is not an integer"))?;
+            }
+            "--budget" => {
+                let s = rest.next().ok_or("--budget: missing value")?;
+                cfg.budget = s
+                    .parse()
+                    .map_err(|_| format!("--budget: `{s}` is not an integer"))?;
+                if cfg.budget == 0 {
+                    return Err("--budget: must be positive".into());
+                }
+            }
+            "--shrink-budget" => {
+                let s = rest.next().ok_or("--shrink-budget: missing value")?;
+                cfg.shrink_budget = s
+                    .parse()
+                    .map_err(|_| format!("--shrink-budget: `{s}` is not an integer"))?;
+            }
+            "--no-shrink" => cfg.shrink = false,
+            "--out" => out_dir = Some(rest.next().ok_or("--out: missing directory")?.clone()),
+            "--oracles" => {
+                oracles_spec = Some(rest.next().ok_or("--oracles: missing a,b,...")?.clone());
+            }
+            "--space" => {
+                let path = rest.next().ok_or("--space: missing path")?;
+                let text =
+                    fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                cfg.space =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            }
+            other => return Err(format!("chaos: unexpected argument `{other}`")),
+        }
+    }
+    cfg.oracles = parse_oracles(oracles_spec.as_ref())?;
+
+    eprintln!(
+        "chaos search: seed {}, budget {} (paired FCFS/DAS runs per case)...",
+        cfg.seed, cfg.budget
+    );
+    let outcome = das_chaos::search(&cfg)?;
+    println!("{}", outcome.report.render_markdown());
+
+    if let Some(dir) = out_dir {
+        let dir = Path::new(&dir);
+        fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let json = serde_json::to_string_pretty(&outcome.report).map_err(|e| e.to_string())?;
+        let report_path = dir.join("chaos_report.json");
+        fs::write(&report_path, json + "\n")
+            .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+        let md_path = dir.join("chaos_report.md");
+        fs::write(&md_path, outcome.report.render_markdown())
+            .map_err(|e| format!("writing {}: {e}", md_path.display()))?;
+        eprintln!("wrote {} and {}", report_path.display(), md_path.display());
+        for f in &outcome.findings {
+            let reproducer = das_chaos::Reproducer {
+                slug: f.slug.clone(),
+                oracle: f.violation.oracle.clone(),
+                policy: f.violation.policy.clone(),
+                detail: f.violation.detail.clone(),
+                measure: f.violation.measure,
+                case: f.case.clone(),
+            };
+            let paths = das_core::chaos::write_artifacts(&reproducer, dir)?;
+            eprintln!(
+                "wrote reproducer {} ({} -> {} after {} shrink evals): {}",
+                f.slug,
+                f.size_before,
+                f.size_after,
+                f.shrink_evals,
+                paths.case.display()
+            );
+        }
+    } else if !outcome.findings.is_empty() {
+        eprintln!(
+            "{} finding(s); pass --out <dir> to write replayable reproducers",
+            outcome.findings.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_chaos_verify(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("chaos-verify: missing <dir>")?;
+    if dir.starts_with("--") {
+        return Err("chaos-verify: expected <dir> [--oracles a,b,...]".into());
+    }
+    let mut oracles_spec: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--oracles" => {
+                oracles_spec = Some(rest.next().ok_or("--oracles: missing a,b,...")?.clone());
+            }
+            other => return Err(format!("chaos-verify: unexpected argument `{other}`")),
+        }
+    }
+    let oracles = parse_oracles(oracles_spec.as_ref())?;
+    let corpus = das_chaos::read_corpus(Path::new(dir))?;
+    if corpus.is_empty() {
+        return Err(format!("chaos-verify: no *.case.json reproducers under {dir}"));
+    }
+    let mut failures = Vec::new();
+    for r in &corpus {
+        match r.verify(&oracles) {
+            Ok(v) => println!(
+                "ok   {} — {} ({}) still fires: {}",
+                r.slug, v.oracle, v.policy, v.detail
+            ),
+            Err(e) => {
+                println!("FAIL {} — {e}", r.slug);
+                failures.push(r.slug.clone());
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("verified {} reproducer(s)", corpus.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "chaos-verify: {}/{} reproducer(s) no longer reproduce: {}",
+            failures.len(),
+            corpus.len(),
+            failures.join(", ")
+        ))
+    }
 }
 
 fn read_event_log(path: &str) -> Result<das_trace::TraceLog, String> {

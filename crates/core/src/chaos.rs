@@ -1,0 +1,198 @@
+//! Bridge between the chaos harness and the experiment toolchain.
+//!
+//! A minimized [`ChaosCase`] is only a useful artifact if the ordinary
+//! tooling can replay it: [`experiment_config`] converts a case into an
+//! [`ExperimentConfig`] whose `run_trace` over the case's pinned request
+//! trace is **bit-identical** to [`ChaosCase::run_policy`] (the equivalence
+//! test below byte-diffs the event logs). [`write_artifacts`] lays a
+//! reproducer out on disk in exactly the shape `das_experiment replay`
+//! consumes:
+//!
+//! ```text
+//! <slug>.case.json      the self-contained Reproducer (case + verdict)
+//! <slug>.config.json    ExperimentConfig for `das_experiment replay`
+//! <slug>.workload.jsonl the pinned request trace (das_workload format)
+//! <slug>.faults.json    the FaultProfile alone, for `replay --faults`
+//! <slug>.overload.json  the OverloadProfile alone, for `replay --overload`
+//! ```
+//!
+//! so `das_experiment replay <slug>.config.json <slug>.workload.jsonl`
+//! reproduces the violating pair, and the split-out fault/overload files
+//! let `replay --faults/--overload` graft the adversarial schedule onto
+//! any other config.
+
+use std::path::{Path, PathBuf};
+
+use das_chaos::{ChaosCase, Reproducer};
+use das_sched::policy::PolicyKind;
+use das_trace::TraceConfig;
+use das_workload::trace::write_trace;
+
+use crate::experiment::ExperimentConfig;
+
+/// The [`ExperimentConfig`] equivalent of a chaos case: same cluster,
+/// seed, horizon, fault and overload profiles, with the FCFS/DAS pair as
+/// the policy set and event tracing armed (chaos runs always trace).
+/// `run_trace(&case.trace)` on the result replays the case bit-identically
+/// to [`ChaosCase::run_paired`].
+pub fn experiment_config(case: &ChaosCase) -> ExperimentConfig {
+    ExperimentConfig {
+        name: case.name.clone(),
+        workload: case.workload.clone(),
+        cluster: case.cluster.clone(),
+        policies: vec![PolicyKind::Fcfs, PolicyKind::das()],
+        seed: case.seed,
+        horizon_secs: case.horizon_secs,
+        warmup_secs: case.warmup_secs,
+        rct_timeseries_bin_secs: None,
+        faults: case.faults.clone(),
+        overload: case.overload,
+        trace: TraceConfig::enabled(),
+    }
+}
+
+/// The on-disk file set of one reproducer artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactPaths {
+    /// `<slug>.case.json` — the self-contained [`Reproducer`].
+    pub case: PathBuf,
+    /// `<slug>.config.json` — [`ExperimentConfig`] for `replay`.
+    pub config: PathBuf,
+    /// `<slug>.workload.jsonl` — the pinned request trace.
+    pub workload: PathBuf,
+    /// `<slug>.faults.json` — the fault profile for `replay --faults`.
+    pub faults: PathBuf,
+    /// `<slug>.overload.json` — the overload profile for `replay --overload`.
+    pub overload: PathBuf,
+}
+
+impl ArtifactPaths {
+    /// The artifact layout for `slug` under `dir` (nothing is written).
+    pub fn new(dir: &Path, slug: &str) -> Self {
+        ArtifactPaths {
+            case: dir.join(format!("{slug}.case.json")),
+            config: dir.join(format!("{slug}.config.json")),
+            workload: dir.join(format!("{slug}.workload.jsonl")),
+            faults: dir.join(format!("{slug}.faults.json")),
+            overload: dir.join(format!("{slug}.overload.json")),
+        }
+    }
+}
+
+fn write_pretty_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("serialize {}: {e}", path.display()))?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Writes the full replayable artifact set for one reproducer under `dir`
+/// (created if missing) and returns the paths.
+pub fn write_artifacts(reproducer: &Reproducer, dir: &Path) -> Result<ArtifactPaths, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let paths = ArtifactPaths::new(dir, &reproducer.slug);
+    reproducer.write(&paths.case)?;
+    write_pretty_json(&paths.config, &experiment_config(&reproducer.case))?;
+    write_pretty_json(&paths.faults, &reproducer.case.faults)?;
+    write_pretty_json(&paths.overload, &reproducer.case.overload)?;
+    let file = std::fs::File::create(&paths.workload)
+        .map_err(|e| format!("create {}: {e}", paths.workload.display()))?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_trace(&mut writer, &reproducer.case.trace).map_err(|e| e.to_string())?;
+    use std::io::Write as _;
+    writer.flush().map_err(|e| e.to_string())?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_chaos::SearchSpace;
+    use das_sim::rng::SeedFactory;
+    use das_workload::trace::read_trace;
+
+    fn sample_case() -> ChaosCase {
+        SearchSpace::default()
+            .generate(&SeedFactory::new(23), 1)
+            .unwrap()
+    }
+
+    /// Serializes an event log exactly as `das_experiment --trace` does.
+    fn jsonl_bytes(log: &das_trace::TraceLog) -> Vec<u8> {
+        let mut buf = Vec::new();
+        das_trace::export::write_jsonl(log, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn experiment_config_replays_a_case_bit_identically() {
+        // The load-bearing equivalence: the chaos harness's own runner and
+        // the `das_experiment replay` path produce indistinguishable runs,
+        // so a committed reproducer replays to the same verdict through
+        // the ordinary CLI.
+        let case = sample_case();
+        let paired = case.run_paired().unwrap();
+        let result = experiment_config(&case).run_trace(&case.trace).unwrap();
+        assert_eq!(result.runs.len(), 2);
+        for (ours, theirs) in [&paired.fcfs, &paired.das].into_iter().zip(&result.runs) {
+            assert_eq!(ours.policy, theirs.policy);
+            assert_eq!(ours.completed, theirs.completed);
+            assert_eq!(ours.events_processed, theirs.events_processed);
+            assert_eq!(
+                ours.mean_rct().to_bits(),
+                theirs.mean_rct().to_bits(),
+                "{}",
+                ours.policy
+            );
+            assert_eq!(
+                jsonl_bytes(ours.trace.as_ref().unwrap()),
+                jsonl_bytes(theirs.trace.as_ref().unwrap()),
+                "{}: event logs drifted",
+                ours.policy
+            );
+        }
+    }
+
+    #[test]
+    fn artifacts_roundtrip_and_validate() {
+        let case = sample_case();
+        let r = Reproducer {
+            slug: "case0001_test".into(),
+            oracle: "das-regression".into(),
+            policy: "pair".into(),
+            detail: "test artifact".into(),
+            measure: 1.5,
+            case,
+        };
+        let dir = std::env::temp_dir().join("das_core_chaos_artifacts");
+        let paths = write_artifacts(&r, &dir).unwrap();
+
+        let back = Reproducer::read(&paths.case).unwrap();
+        assert_eq!(back, r);
+
+        let config: ExperimentConfig = serde_json::from_str(
+            &std::fs::read_to_string(&paths.config).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(config, experiment_config(&r.case));
+
+        let trace = read_trace(std::fs::File::open(&paths.workload).unwrap()).unwrap();
+        assert_eq!(trace, r.case.trace);
+
+        let faults: das_store::config::FaultProfile =
+            serde_json::from_str(&std::fs::read_to_string(&paths.faults).unwrap()).unwrap();
+        assert_eq!(faults, r.case.faults);
+        let overload: das_store::config::OverloadProfile =
+            serde_json::from_str(&std::fs::read_to_string(&paths.overload).unwrap()).unwrap();
+        assert_eq!(overload, r.case.overload);
+
+        for p in [
+            &paths.case,
+            &paths.config,
+            &paths.workload,
+            &paths.faults,
+            &paths.overload,
+        ] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! * [`scenarios`] — the calibrated base scenario every figure varies;
 //! * [`load`] — translate between arrival rates and per-server load ρ;
 //! * [`adapter`] — feed generated or traced workloads into the engine;
+//! * [`chaos`] — replay bridge for chaos-search reproducer artifacts;
 //! * [`report`] — Markdown rendering for EXPERIMENTS.md.
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adapter;
+pub mod chaos;
 pub mod experiment;
 pub mod load;
 pub mod report;

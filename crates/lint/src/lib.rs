@@ -268,11 +268,12 @@ impl Report {
 // ---------------------------------------------------------------------------
 
 /// Crates whose in-simulation state must be iteration-order deterministic.
-const DETERMINISTIC_CRATES: [&str; 6] = ["sim", "sched", "store", "net", "trace", "workload"];
+const DETERMINISTIC_CRATES: [&str; 7] =
+    ["sim", "sched", "store", "net", "trace", "workload", "chaos"];
 
 /// Crates that are pure simulation: no OS threads, no locks.
-const PURE_SIM_CRATES: [&str; 8] = [
-    "sim", "sched", "store", "net", "trace", "workload", "metrics", "core",
+const PURE_SIM_CRATES: [&str; 9] = [
+    "sim", "sched", "store", "net", "trace", "workload", "metrics", "core", "chaos",
 ];
 
 /// Crates allowed to read real clocks and OS entropy (the real-time

@@ -81,6 +81,26 @@ impl FaultSchedule {
                 || w.up_secs.is_nan()
         })
     }
+
+    /// First server with two overlapping crash windows, if any.
+    ///
+    /// Overlapping windows on one server are ambiguous: the engine books a
+    /// single crash/recover transition pair per window, so a recovery from
+    /// the first window would "revive" a server the second window still
+    /// holds down. Windows are half-open `[down, up)`, so one window's `up`
+    /// equal to the next window's `down` (back-to-back) is allowed.
+    pub fn first_overlap(&self) -> Option<u32> {
+        let mut by_server: Vec<&CrashWindow> = self.crashes.iter().collect();
+        by_server.sort_by(|a, b| {
+            a.server
+                .cmp(&b.server)
+                .then(a.down_secs.total_cmp(&b.down_secs))
+        });
+        by_server
+            .windows(2)
+            .find(|pair| pair[0].server == pair[1].server && pair[1].down_secs < pair[0].up_secs)
+            .map(|pair| pair[0].server)
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +184,39 @@ mod tests {
         assert!(backwards.first_invalid(4).is_some());
         assert!(FaultSchedule::none().first_invalid(0).is_none());
         assert!(!FaultSchedule::none().is_active());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mk = |server, down_secs, up_secs| CrashWindow {
+            server,
+            down_secs,
+            up_secs,
+        };
+        // Overlap on one server, regardless of declaration order.
+        let s = FaultSchedule {
+            crashes: vec![mk(1, 2.0, 4.0), mk(1, 3.0, 5.0)],
+        };
+        assert_eq!(s.first_overlap(), Some(1));
+        let s = FaultSchedule {
+            crashes: vec![mk(1, 3.0, 5.0), mk(1, 2.0, 4.0)],
+        };
+        assert_eq!(s.first_overlap(), Some(1));
+        // A never-recovering window overlaps anything after it.
+        let s = FaultSchedule {
+            crashes: vec![mk(0, 1.0, f64::INFINITY), mk(0, 9.0, 10.0)],
+        };
+        assert_eq!(s.first_overlap(), Some(0));
+        // Same instants on different servers never overlap.
+        let s = FaultSchedule {
+            crashes: vec![mk(0, 2.0, 4.0), mk(1, 2.0, 4.0)],
+        };
+        assert_eq!(s.first_overlap(), None);
+        // Back-to-back windows are allowed (half-open [down, up)).
+        let s = FaultSchedule {
+            crashes: vec![mk(2, 1.0, 2.0), mk(2, 2.0, 3.0)],
+        };
+        assert_eq!(s.first_overlap(), None);
+        assert_eq!(FaultSchedule::none().first_overlap(), None);
     }
 }

@@ -74,6 +74,14 @@ pub enum ConfigError {
         /// The server the window targeted.
         server: u32,
     },
+    /// Two crash windows on the same server overlap in time: the engine
+    /// books one crash/recover transition pair per window, so a recovery
+    /// from the first window would revive a server the second still holds
+    /// down.
+    CrashWindowsOverlap {
+        /// The server with overlapping windows.
+        server: u32,
+    },
     /// A link-fault knob was out of range.
     LinkFaultInvalid {
         /// Which direction (`"request"` or `"response"`).
@@ -206,6 +214,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::CrashWindowInvalid { server } => {
                 write!(f, "malformed crash window for server {server}")
+            }
+            ConfigError::CrashWindowsOverlap { server } => {
+                write!(f, "overlapping crash windows for server {server}")
             }
             ConfigError::LinkFaultInvalid { direction, reason } => {
                 write!(f, "{direction} link faults: {reason}")
@@ -470,6 +481,9 @@ impl FaultProfile {
     pub fn validate(&self, servers: u32) -> Result<(), ConfigError> {
         if let Some(w) = self.crashes.first_invalid(servers) {
             return Err(ConfigError::CrashWindowInvalid { server: w.server });
+        }
+        if let Some(server) = self.crashes.first_overlap() {
+            return Err(ConfigError::CrashWindowsOverlap { server });
         }
         if let Some(reason) = self.request_faults.first_invalid() {
             return Err(ConfigError::LinkFaultInvalid {
@@ -1188,6 +1202,91 @@ mod tests {
         ));
         p.hedge.min_samples = 100;
         assert_eq!(p.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_crash_windows_rejected() {
+        let mut p = FaultProfile::none();
+        p.crashes.crashes.push(CrashWindow {
+            server: 2,
+            down_secs: 1.0,
+            up_secs: 3.0,
+        });
+        p.crashes.crashes.push(CrashWindow {
+            server: 2,
+            down_secs: 2.0,
+            up_secs: 4.0,
+        });
+        let err = p.validate(4).unwrap_err();
+        assert_eq!(err, ConfigError::CrashWindowsOverlap { server: 2 });
+        assert!(err.to_string().contains("overlapping"));
+
+        // Back-to-back windows on one server are fine ([down, up) is
+        // half-open), as are identical windows on different servers.
+        p.crashes.crashes[1].down_secs = 3.0;
+        assert_eq!(p.validate(4), Ok(()));
+        p.crashes.crashes[1].server = 3;
+        p.crashes.crashes[1].down_secs = 1.0;
+        assert_eq!(p.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn recovery_before_crash_rejected() {
+        let mut p = FaultProfile::none();
+        p.crashes.crashes.push(CrashWindow {
+            server: 1,
+            down_secs: 2.0,
+            up_secs: 1.0,
+        });
+        assert_eq!(
+            p.validate(4),
+            Err(ConfigError::CrashWindowInvalid { server: 1 })
+        );
+        // Recovery *at* the crash instant is an empty window — same error.
+        p.crashes.crashes[0].up_secs = 2.0;
+        assert_eq!(
+            p.validate(4),
+            Err(ConfigError::CrashWindowInvalid { server: 1 })
+        );
+    }
+
+    #[test]
+    fn link_probabilities_outside_unit_interval_rejected() {
+        // Each probability knob, in each direction, above 1 and below 0.
+        for bad in [1.5, -0.1] {
+            for knob in 0..3 {
+                for direction in ["request", "response"] {
+                    let mut p = FaultProfile::none();
+                    p.retry.deadline_secs = 0.05; // so loss alone can't trip LossWithoutRetry
+                    let faults = if direction == "request" {
+                        &mut p.request_faults
+                    } else {
+                        &mut p.response_faults
+                    };
+                    match knob {
+                        0 => faults.loss = bad,
+                        1 => faults.duplication = bad,
+                        _ => faults.extra_delay_prob = bad,
+                    }
+                    let err = p.validate(4).unwrap_err();
+                    assert!(
+                        matches!(err, ConfigError::LinkFaultInvalid { direction: d, .. } if d == direction),
+                        "knob {knob} {direction} {bad}: got {err:?}"
+                    );
+                }
+            }
+        }
+        // Negative extra delay is rejected too.
+        let mut p = FaultProfile::none();
+        p.request_faults.extra_delay_prob = 0.1;
+        p.request_faults.extra_delay_micros = -5.0;
+        assert!(matches!(
+            p.validate(4),
+            Err(ConfigError::LinkFaultInvalid {
+                direction: "request",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! integration tests can use one dependency. Library users should depend
 //! on the individual crates (`das-core`, `das-sched`, …) directly.
 
+pub use das_chaos as chaos;
 pub use das_core as core;
 pub use das_metrics as metrics;
 pub use das_net as net;

@@ -1,0 +1,122 @@
+//! The committed chaos-reproducer corpus is a regression baseline: every
+//! minimized case under `crates/chaos/corpus/` must replay from scratch
+//! to *exactly* the verdict recorded when it was minimized — same
+//! oracle, same policy, bit-identical measure. The `--ignored`
+//! regenerator re-runs the provenance search and rewrites the corpus
+//! byte-identically (a no-op diff unless the simulator changed).
+
+// Integration tests unwrap freely: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
+use std::collections::BTreeSet;
+
+use das_repro::chaos::{corpus_dir, read_corpus, search, ChaosConfig, OracleConfig, Reproducer};
+
+/// The exact search that produced the committed corpus (see
+/// `crates/chaos/corpus/README.md`).
+fn provenance_config() -> ChaosConfig {
+    ChaosConfig {
+        seed: 6,
+        budget: 40,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn corpus_meets_the_acceptance_floor() {
+    let corpus = read_corpus(&corpus_dir()).unwrap();
+    assert!(
+        corpus.len() >= 3,
+        "corpus holds {} reproducers, need at least 3",
+        corpus.len()
+    );
+    assert!(
+        corpus.iter().any(|r| r.oracle == "das-regression"),
+        "corpus must include at least one DAS-vs-FCFS inversion"
+    );
+    let slugs: BTreeSet<&str> = corpus.iter().map(|r| r.slug.as_str()).collect();
+    assert_eq!(slugs.len(), corpus.len(), "reproducer slugs must be unique");
+    for r in &corpus {
+        r.case.validate().unwrap_or_else(|e| panic!("{}: {e}", r.slug));
+    }
+}
+
+#[test]
+fn every_reproducer_replays_to_its_recorded_verdict() {
+    let oracles = OracleConfig::default();
+    for r in read_corpus(&corpus_dir()).unwrap() {
+        let live = r
+            .verify(&oracles)
+            .unwrap_or_else(|e| panic!("verdict drifted: {e}"));
+        assert_eq!(live.oracle, r.oracle, "{}", r.slug);
+        assert_eq!(live.policy, r.policy, "{}", r.slug);
+        assert_eq!(live.detail, r.detail, "{}: detail drifted", r.slug);
+        // The simulator is deterministic, so the violating measure must
+        // come back bit-identical — not merely "still above threshold".
+        assert_eq!(
+            live.measure.to_bits(),
+            r.measure.to_bits(),
+            "{}: measure drifted {} -> {}",
+            r.slug,
+            r.measure,
+            live.measure
+        );
+    }
+}
+
+#[test]
+fn corpus_matches_its_provenance_search() {
+    // The committed files are exactly what the provenance search's
+    // findings serialize to — pinned on the finding *summaries* here
+    // (slug/oracle/measure); the `--ignored` regenerator below rewrites
+    // the full files when the simulator legitimately moves.
+    let outcome = search(&provenance_config()).unwrap();
+    let corpus = read_corpus(&corpus_dir()).unwrap();
+    assert_eq!(outcome.findings.len(), corpus.len());
+    for (f, r) in outcome.findings.iter().zip(&corpus) {
+        assert_eq!(f.slug, r.slug);
+        assert_eq!(f.violation.oracle, r.oracle);
+        assert_eq!(f.violation.policy, r.policy);
+        assert_eq!(f.violation.measure.to_bits(), r.measure.to_bits(), "{}", f.slug);
+        assert_eq!(f.case, r.case, "{}: minimized case drifted", f.slug);
+    }
+}
+
+/// Regenerates the corpus in place. Run after a deliberate simulator or
+/// search change moves the findings:
+/// `cargo test --release --test chaos_corpus -- --ignored regenerate`
+#[test]
+#[ignore = "writes crates/chaos/corpus; run explicitly to regenerate"]
+fn regenerate() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".case.json"))
+        {
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+    let outcome = search(&provenance_config()).unwrap();
+    assert!(
+        outcome.findings.len() >= 3,
+        "provenance search found only {} reproducers; pick a richer seed",
+        outcome.findings.len()
+    );
+    for f in &outcome.findings {
+        let r = Reproducer {
+            slug: f.slug.clone(),
+            oracle: f.violation.oracle.clone(),
+            policy: f.violation.policy.clone(),
+            detail: f.violation.detail.clone(),
+            measure: f.violation.measure,
+            case: f.case.clone(),
+        };
+        let path = dir.join(format!("{}.case.json", f.slug));
+        r.write(&path).unwrap();
+        eprintln!("wrote {}", path.display());
+    }
+}

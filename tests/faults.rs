@@ -66,12 +66,31 @@ proptest! {
             cfg.cluster.replication = replication.min(servers);
             cfg.warmup_secs = 0.0;
             cfg.seed = seed;
-            for &(s, down_us, dur_us) in &crashes {
-                cfg.faults.crashes.crashes.push(CrashWindow {
+            let mut windows: Vec<CrashWindow> = crashes
+                .iter()
+                .map(|&(s, down_us, dur_us)| CrashWindow {
                     server: s % servers,
                     down_secs: down_us as f64 * 1e-6,
                     up_secs: (down_us + dur_us) as f64 * 1e-6,
-                });
+                })
+                .collect();
+            // Overlapping windows on one server are rejected by config
+            // validation; keep the earliest of each overlapping pair.
+            windows.sort_by(|a, b| {
+                a.server
+                    .cmp(&b.server)
+                    .then(a.down_secs.total_cmp(&b.down_secs))
+            });
+            for w in windows {
+                let overlaps = cfg
+                    .faults
+                    .crashes
+                    .crashes
+                    .last()
+                    .is_some_and(|p| p.server == w.server && w.down_secs < p.up_secs);
+                if !overlaps {
+                    cfg.faults.crashes.crashes.push(w);
+                }
             }
             cfg.faults.request_faults.loss = req_loss;
             cfg.faults.request_faults.extra_delay_prob = delay_prob;
